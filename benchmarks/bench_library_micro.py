@@ -1,0 +1,130 @@
+"""Real-time micro-benchmarks of the functional library itself.
+
+Unlike the figure benches (which measure *virtual* time on the simulated
+machines), these measure actual wall-clock performance of the Python
+implementation on local files: collective open/close latency, streaming
+write/read throughput, and the serial tool path.
+"""
+
+import os
+
+import pytest
+
+from repro.backends.localfs import LocalBackend
+from repro.sion import paropen, serial
+from repro.simmpi import run_spmd
+
+NTASKS = 8
+CHUNK = 64 * 1024
+PAYLOAD = os.urandom(256 * 1024)
+
+
+@pytest.fixture
+def backend():
+    return LocalBackend(blocksize_override=4096)
+
+
+def _write_multifile(path, backend, payload=PAYLOAD, compress=False):
+    def task(comm):
+        f = paropen(path, "w", comm, chunksize=CHUNK, nfiles=2,
+                    compress=compress, backend=backend)
+        f.fwrite(payload)
+        f.parclose()
+
+    run_spmd(NTASKS, task)
+
+
+def test_micro_open_close_latency(benchmark, backend, tmp_path):
+    """Collective paropen + parclose with no data (pure metadata path)."""
+    counter = iter(range(10**9))
+
+    def open_close():
+        path = str(tmp_path / f"oc{next(counter)}.sion")
+
+        def task(comm):
+            paropen(path, "w", comm, chunksize=CHUNK, backend=backend).parclose()
+
+        run_spmd(NTASKS, task)
+
+    benchmark(open_close)
+
+
+def test_micro_fwrite_throughput(benchmark, backend, tmp_path):
+    """Chunk-spanning writes: 8 tasks x 256 KiB per round."""
+    counter = iter(range(10**9))
+
+    def write_round():
+        _write_multifile(str(tmp_path / f"w{next(counter)}.sion"), backend)
+
+    benchmark(write_round)
+    benchmark.extra_info["bytes_per_round"] = NTASKS * len(PAYLOAD)
+
+
+def test_micro_parallel_read_throughput(benchmark, backend, tmp_path):
+    path = str(tmp_path / "r.sion")
+    _write_multifile(path, backend)
+
+    def read_round():
+        def task(comm):
+            f = paropen(path, "r", comm, backend=backend)
+            data = f.read_all()
+            f.parclose()
+            return len(data)
+
+        assert run_spmd(NTASKS, task) == [len(PAYLOAD)] * NTASKS
+
+    benchmark(read_round)
+
+
+def test_micro_serial_global_read(benchmark, backend, tmp_path):
+    path = str(tmp_path / "g.sion")
+    _write_multifile(path, backend)
+
+    def read_all_tasks():
+        with serial.open(path, "r", backend=backend) as sf:
+            return sum(len(sf.read_task(r)) for r in range(NTASKS))
+
+    total = benchmark(read_all_tasks)
+    assert total == NTASKS * len(PAYLOAD)
+
+
+def test_micro_compressed_write(benchmark, backend, tmp_path):
+    """Transparent-zlib write path (compressible payload)."""
+    payload = b"scalasca-trace-record " * 8192
+    counter = iter(range(10**9))
+
+    def write_round():
+        _write_multifile(
+            str(tmp_path / f"z{next(counter)}.sion"), backend, payload, compress=True
+        )
+
+    benchmark(write_round)
+
+
+def test_micro_metablock_roundtrip(benchmark):
+    """Encode+decode of a 4096-task metablock 1 (open/close hot path)."""
+    import io
+
+    from repro.sion.format import Metablock1
+
+    mb1 = Metablock1(
+        fsblksize=2 << 20,
+        ntasks_local=4096,
+        nfiles=1,
+        filenum=0,
+        ntasks_global=4096,
+        start_of_data=2 << 20,
+        metablock2_offset=0,
+        globalranks=list(range(4096)),
+        chunksizes=[1 << 20] * 4096,
+    )
+
+    class _F(io.BytesIO):
+        pass
+
+    def roundtrip():
+        raw = mb1.encode()
+        return Metablock1.decode_from(_F(raw))
+
+    out = benchmark(roundtrip)
+    assert out.ntasks_local == 4096

@@ -1,0 +1,40 @@
+"""Benchmark-harness helpers: result emission and shared profiles."""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.fs.systems import jaguar, jugene
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def emit(name: str, text: str) -> None:
+    """Print a reproduced table/figure and persist it under results/.
+
+    The saved files are the source material for EXPERIMENTS.md.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n=== {name} ===\n{text}")
+
+
+@pytest.fixture(scope="session")
+def jugene_profile():
+    return jugene()
+
+
+@pytest.fixture(scope="session")
+def jaguar_profile():
+    return jaguar()
+
+
+def once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark timing.
+
+    The scenarios are deterministic simulations; repeated rounds only
+    re-measure the same arithmetic, so a single round suffices.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

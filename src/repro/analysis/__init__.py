@@ -1,0 +1,17 @@
+"""Result containers, ASCII plotting, and report generation."""
+
+from repro.analysis.model import predict_bandwidth, predict_create_time
+from repro.analysis.plots import ascii_chart
+from repro.analysis.report import collect_sections, render_markdown, write_report
+from repro.analysis.results import Series, format_table
+
+__all__ = [
+    "Series",
+    "format_table",
+    "ascii_chart",
+    "predict_bandwidth",
+    "predict_create_time",
+    "collect_sections",
+    "render_markdown",
+    "write_report",
+]

@@ -1,0 +1,69 @@
+"""ASCII rendering of figure series (for terminal-only reproduction runs)."""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis.results import Series
+
+_MARKS = "*+xo#@%&"
+
+
+def ascii_chart(
+    series: Series,
+    width: int = 64,
+    height: int = 16,
+    log_x: bool = False,
+    log_y: bool = False,
+) -> str:
+    """Render the curves of ``series`` as a character grid.
+
+    Each curve gets a marker from ``*+xo#@%&``; a legend follows the grid.
+    Log axes mirror the paper's figure scales.
+    """
+    if not series.curves or not series.xs:
+        return "(empty series)"
+
+    def tx(v: float) -> float:
+        return math.log10(max(v, 1e-300)) if log_x else v
+
+    def ty(v: float) -> float:
+        return math.log10(max(v, 1e-300)) if log_y else v
+
+    xs = [tx(x) for x in series.xs]
+    all_y = [ty(v) for ys in series.curves.values() for v in ys]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(all_y), max(all_y)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for ci, (label, ys) in enumerate(series.curves.items()):
+        mark = _MARKS[ci % len(_MARKS)]
+        for x, y in zip(xs, (ty(v) for v in ys)):
+            col = round((x - x_lo) / x_span * (width - 1))
+            row = round((y - y_lo) / y_span * (height - 1))
+            grid[height - 1 - row][col] = mark
+
+    lines = []
+    top = f"{10**y_hi if log_y else y_hi:.4g}"
+    bottom = f"{10**y_lo if log_y else y_lo:.4g}"
+    margin = max(len(top), len(bottom)) + 1
+    for i, row_chars in enumerate(grid):
+        if i == 0:
+            prefix = top.rjust(margin)
+        elif i == height - 1:
+            prefix = bottom.rjust(margin)
+        else:
+            prefix = " " * margin
+        lines.append(prefix + "|" + "".join(row_chars))
+    lines.append(" " * margin + "+" + "-" * width)
+    left = f"{10**x_lo if log_x else x_lo:.4g}"
+    right = f"{10**x_hi if log_x else x_hi:.4g}"
+    lines.append(
+        " " * (margin + 1) + left + (" " * max(1, width - len(left) - len(right))) + right
+    )
+    lines.append(" " * (margin + 1) + f"x: {series.x_label}   y: {series.y_label}")
+    for ci, label in enumerate(series.curves):
+        lines.append(" " * (margin + 1) + f"{_MARKS[ci % len(_MARKS)]} {label}")
+    return "\n".join(lines)

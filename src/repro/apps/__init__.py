@@ -1,0 +1,9 @@
+"""Use-case applications from the paper's Section 5.
+
+* :mod:`repro.apps.mp2c` — a multi-particle collision dynamics (+ simple
+  MD coupling) mini-app with domain decomposition whose checkpoint/restart
+  I/O reproduces MP2C's pattern (52 bytes per particle, Fig. 6).
+* :mod:`repro.apps.scalasca` — an event-tracing library, a synthetic
+  SMG2000-like workload, and a parallel wait-state analyzer reproducing
+  the Scalasca toolchain's I/O pattern (Table 2).
+"""

@@ -1,0 +1,36 @@
+"""MP2C-like mesoscopic particle dynamics mini-app (paper §5.1).
+
+The real MP2C couples multi-particle collision dynamics (MPC, also known
+as stochastic rotation dynamics) with molecular dynamics under an MPI
+domain decomposition.  This mini-app implements the same structure —
+
+* :mod:`repro.apps.mp2c.particles` — particle state and the 52-byte
+  restart record,
+* :mod:`repro.apps.mp2c.decomposition` — regular 3-D domain decomposition
+  with ownership migration,
+* :mod:`repro.apps.mp2c.srd` — the MPC streaming + cell-wise collision
+  step (momentum-conserving),
+* :mod:`repro.apps.mp2c.md` — a small velocity-Verlet MD integrator with
+  harmonic bonds for embedded polymer chains,
+* :mod:`repro.apps.mp2c.checkpoint` — restart-file I/O through three
+  methods: ``singlefile`` (MP2C's original), ``tasklocal``, and ``sion``,
+* :mod:`repro.apps.mp2c.driver` — a runnable simulation loop with
+  periodic checkpointing.
+
+Fig. 6 is about the checkpoint path; the physics here exists so the I/O
+runs against a real, evolving particle state.
+"""
+
+from repro.apps.mp2c.checkpoint import read_restart, read_restart_any, write_restart
+from repro.apps.mp2c.driver import SimulationConfig, run_simulation
+from repro.apps.mp2c.particles import ParticleState, RECORD_BYTES
+
+__all__ = [
+    "ParticleState",
+    "RECORD_BYTES",
+    "read_restart",
+    "read_restart_any",
+    "write_restart",
+    "SimulationConfig",
+    "run_simulation",
+]

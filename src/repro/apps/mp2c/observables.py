@@ -1,0 +1,118 @@
+"""Physical observables and a thermostat for the particle mini-app.
+
+Mesoscale solvent simulations are judged by their transport and thermal
+behaviour; these are the standard diagnostics (unit masses, k_B = 1):
+
+* kinetic temperature and centre-of-mass velocity,
+* mean-squared displacement (diffusion),
+* a speed histogram with the Maxwell-Boltzmann reference, and
+* a velocity-rescaling thermostat (SRD conserves energy exactly, so a
+  thermostat is how one sets or holds the temperature).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.mp2c.particles import ParticleState
+from repro.errors import ReproError
+
+
+def temperature(state: ParticleState) -> float:
+    """Kinetic temperature: ``2 KE / (3 N)`` with k_B = m = 1.
+
+    Measured relative to the centre-of-mass frame, as is physical.
+    """
+    if state.n == 0:
+        return 0.0
+    v_rel = state.vel - state.vel.mean(axis=0)
+    ke = 0.5 * float((v_rel**2).sum())
+    return 2.0 * ke / (3.0 * state.n)
+
+
+def com_velocity(state: ParticleState) -> np.ndarray:
+    """Centre-of-mass velocity (unit masses)."""
+    if state.n == 0:
+        return np.zeros(3)
+    return state.vel.mean(axis=0)
+
+
+def rescale_to_temperature(state: ParticleState, target: float) -> ParticleState:
+    """Velocity-rescaling thermostat.
+
+    Scales peculiar velocities so the kinetic temperature equals
+    ``target`` exactly; the centre-of-mass velocity is preserved, so
+    momentum is untouched.
+    """
+    if target < 0:
+        raise ReproError(f"target temperature must be non-negative: {target}")
+    if state.n == 0:
+        return state
+    current = temperature(state)
+    com = state.vel.mean(axis=0)
+    if current <= 0:
+        # No thermal motion to scale; seed nothing, return unchanged.
+        return state
+    factor = np.sqrt(target / current)
+    new_vel = com + (state.vel - com) * factor
+    return ParticleState(state.ids, state.pos, new_vel)
+
+
+def mean_squared_displacement(
+    initial: ParticleState, final: ParticleState
+) -> float:
+    """MSD between two snapshots, matched by particle id.
+
+    Positions must be *unwrapped* (no periodic folding between the
+    snapshots) for the value to measure diffusion.
+    """
+    if initial.n != final.n:
+        raise ReproError(
+            f"snapshots hold different particle counts: {initial.n} vs {final.n}"
+        )
+    if initial.n == 0:
+        return 0.0
+    a = initial.sorted_by_id()
+    b = final.sorted_by_id()
+    if not np.array_equal(a.ids, b.ids):
+        raise ReproError("snapshots hold different particle ids")
+    d = b.pos - a.pos
+    return float((d**2).sum(axis=1).mean())
+
+
+def speed_histogram(
+    state: ParticleState, bins: int = 32, v_max: float | None = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Normalized speed distribution: ``(bin_centers, density)``."""
+    if bins < 1:
+        raise ReproError("need at least one bin")
+    speeds = np.linalg.norm(state.vel - com_velocity(state), axis=1)
+    hi = v_max if v_max is not None else (float(speeds.max()) or 1.0)
+    counts, edges = np.histogram(speeds, bins=bins, range=(0.0, hi), density=True)
+    centers = 0.5 * (edges[:-1] + edges[1:])
+    return centers, counts
+
+
+def maxwell_boltzmann_speed_pdf(v: np.ndarray, temp: float) -> np.ndarray:
+    """Reference Maxwell-Boltzmann speed density at temperature ``temp``."""
+    if temp <= 0:
+        raise ReproError(f"temperature must be positive: {temp}")
+    v = np.asarray(v, dtype=float)
+    pref = 4.0 * np.pi * (1.0 / (2.0 * np.pi * temp)) ** 1.5
+    return pref * v**2 * np.exp(-(v**2) / (2.0 * temp))
+
+
+def maxwellian_deviation(state: ParticleState, bins: int = 24) -> float:
+    """L1 distance between the measured and MB speed densities.
+
+    Small for a thermalized solvent; used as a sanity check that the SRD
+    collision step drives velocities toward equilibrium.
+    """
+    temp = temperature(state)
+    if temp <= 0 or state.n == 0:
+        return 0.0
+    v_max = 4.0 * np.sqrt(temp)
+    centers, measured = speed_histogram(state, bins=bins, v_max=v_max)
+    reference = maxwell_boltzmann_speed_pdf(centers, temp)
+    width = centers[1] - centers[0] if len(centers) > 1 else 1.0
+    return float(np.abs(measured - reference).sum() * width)

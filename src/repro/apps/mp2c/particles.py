@@ -1,0 +1,148 @@
+"""Particle state and the 52-byte restart record.
+
+The paper notes MP2C stores **52 bytes per particle** in its restart
+files; we use the natural encoding that produces exactly that:
+``uint32`` particle id + 3 x ``float64`` position + 3 x ``float64``
+velocity = 4 + 24 + 24 = 52 bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ReproError
+
+#: Bytes per particle in a restart record (paper §5.1).
+RECORD_BYTES = 52
+
+_ID_DTYPE = np.dtype("<u4")
+_COORD_DTYPE = np.dtype("<f8")
+
+
+@dataclass
+class ParticleState:
+    """A set of particles owned by one task.
+
+    ``ids`` are globally unique; ``pos`` and ``vel`` are ``(n, 3)`` arrays.
+    """
+
+    ids: np.ndarray
+    pos: np.ndarray
+    vel: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.ids = np.ascontiguousarray(self.ids, dtype=_ID_DTYPE)
+        self.pos = np.ascontiguousarray(self.pos, dtype=_COORD_DTYPE)
+        self.vel = np.ascontiguousarray(self.vel, dtype=_COORD_DTYPE)
+        n = len(self.ids)
+        if self.pos.shape != (n, 3) or self.vel.shape != (n, 3):
+            raise ReproError(
+                f"inconsistent particle arrays: ids={n}, pos={self.pos.shape}, "
+                f"vel={self.vel.shape}"
+            )
+
+    @property
+    def n(self) -> int:
+        """Number of particles held."""
+        return len(self.ids)
+
+    @property
+    def momentum(self) -> np.ndarray:
+        """Total momentum (unit masses)."""
+        return self.vel.sum(axis=0)
+
+    @property
+    def kinetic_energy(self) -> float:
+        """Total kinetic energy (unit masses)."""
+        return 0.5 * float((self.vel**2).sum())
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def empty(cls) -> "ParticleState":
+        return cls(
+            ids=np.empty(0, dtype=_ID_DTYPE),
+            pos=np.empty((0, 3), dtype=_COORD_DTYPE),
+            vel=np.empty((0, 3), dtype=_COORD_DTYPE),
+        )
+
+    @classmethod
+    def random(
+        cls,
+        n: int,
+        box: tuple[float, float, float],
+        temperature: float = 1.0,
+        seed: int = 0,
+        id_offset: int = 0,
+    ) -> "ParticleState":
+        """Uniform positions in ``box``, Maxwellian velocities."""
+        rng = np.random.default_rng(seed)
+        pos = rng.uniform(0.0, 1.0, size=(n, 3)) * np.asarray(box)
+        vel = rng.normal(0.0, np.sqrt(temperature), size=(n, 3))
+        if n > 0:
+            vel -= vel.mean(axis=0)  # zero net momentum
+        ids = np.arange(id_offset, id_offset + n, dtype=_ID_DTYPE)
+        return cls(ids=ids, pos=pos, vel=vel)
+
+    # -- set operations ------------------------------------------------------
+
+    def select(self, mask: np.ndarray) -> "ParticleState":
+        """Subset by boolean mask (copies)."""
+        return ParticleState(self.ids[mask].copy(), self.pos[mask].copy(), self.vel[mask].copy())
+
+    @classmethod
+    def concatenate(cls, parts: list["ParticleState"]) -> "ParticleState":
+        """Merge particle sets (order preserved)."""
+        parts = [p for p in parts if p.n > 0]
+        if not parts:
+            return cls.empty()
+        return cls(
+            ids=np.concatenate([p.ids for p in parts]),
+            pos=np.concatenate([p.pos for p in parts]),
+            vel=np.concatenate([p.vel for p in parts]),
+        )
+
+    def sorted_by_id(self) -> "ParticleState":
+        """Canonical ordering, for state comparison in tests."""
+        order = np.argsort(self.ids, kind="stable")
+        return ParticleState(self.ids[order], self.pos[order], self.vel[order])
+
+    # -- restart records --------------------------------------------------------
+
+    def to_records(self) -> bytes:
+        """Pack into the 52-byte-per-particle restart format."""
+        out = bytearray(self.n * RECORD_BYTES)
+        view = np.frombuffer(out, dtype=np.uint8).reshape(self.n, RECORD_BYTES)
+        view[:, :4] = self.ids.view(np.uint8).reshape(self.n, 4)
+        view[:, 4:28] = self.pos.view(np.uint8).reshape(self.n, 24)
+        view[:, 28:52] = self.vel.view(np.uint8).reshape(self.n, 24)
+        return bytes(out)
+
+    @classmethod
+    def from_records(cls, raw: bytes) -> "ParticleState":
+        """Unpack a restart record stream."""
+        if len(raw) % RECORD_BYTES:
+            raise ReproError(
+                f"restart data length {len(raw)} is not a multiple of "
+                f"{RECORD_BYTES}"
+            )
+        n = len(raw) // RECORD_BYTES
+        view = np.frombuffer(bytearray(raw), dtype=np.uint8).reshape(n, RECORD_BYTES)
+        ids = view[:, :4].copy().view(_ID_DTYPE).reshape(n)
+        pos = view[:, 4:28].copy().view(_COORD_DTYPE).reshape(n, 3)
+        vel = view[:, 28:52].copy().view(_COORD_DTYPE).reshape(n, 3)
+        return cls(ids=ids, pos=pos, vel=vel)
+
+
+def equal_states(a: ParticleState, b: ParticleState) -> bool:
+    """Exact equality up to particle order (checkpoint roundtrip check)."""
+    if a.n != b.n:
+        return False
+    sa, sb = a.sorted_by_id(), b.sorted_by_id()
+    return (
+        bool(np.array_equal(sa.ids, sb.ids))
+        and bool(np.array_equal(sa.pos, sb.pos))
+        and bool(np.array_equal(sa.vel, sb.vel))
+    )

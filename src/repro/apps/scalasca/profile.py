@@ -1,0 +1,132 @@
+"""Region profiling from event traces (the 'profile' half of Scalasca).
+
+Replays each task's ENTER/EXIT nesting to compute per-region *inclusive*
+time (everything between enter and exit) and *exclusive* time (inclusive
+minus nested children) — the standard call-path profile.  A collective
+wrapper aggregates the per-rank profiles into min/mean/max severities,
+which is how imbalance shows up in profile mode (before one ever needs
+traces).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.apps.scalasca.events import Event, EventKind
+from repro.apps.scalasca.tracer import read_trace
+from repro.backends.base import Backend
+from repro.errors import ReproError
+from repro.simmpi.comm import Comm
+
+
+@dataclass
+class RegionStats:
+    """One region's accumulated numbers on one rank."""
+
+    region: int
+    visits: int = 0
+    inclusive: float = 0.0
+    exclusive: float = 0.0
+
+
+def profile_events(events: list[Event]) -> dict[int, RegionStats]:
+    """Compute a region profile from one task's event stream.
+
+    Raises :class:`ReproError` on malformed nesting (EXIT without ENTER,
+    mismatched region ids, unclosed regions).
+    """
+    stats: dict[int, RegionStats] = {}
+    # Stack of [region, enter_ts, child_time_accumulator].
+    stack: list[list] = []
+    for e in events:
+        if e.kind == EventKind.ENTER:
+            stack.append([e.ref, e.timestamp, 0.0])
+        elif e.kind == EventKind.EXIT:
+            if not stack:
+                raise ReproError(f"EXIT of region {e.ref} without a matching ENTER")
+            region, enter_ts, child_time = stack.pop()
+            if region != e.ref:
+                raise ReproError(
+                    f"region nesting violated: EXIT {e.ref} inside region {region}"
+                )
+            inclusive = e.timestamp - enter_ts
+            if inclusive < -1e-12:
+                raise ReproError(f"region {region}: negative duration {inclusive}")
+            st = stats.setdefault(region, RegionStats(region))
+            st.visits += 1
+            st.inclusive += inclusive
+            st.exclusive += inclusive - child_time
+            if stack:
+                stack[-1][2] += inclusive
+    if stack:
+        raise ReproError(
+            f"trace ended with {len(stack)} unclosed region(s): "
+            f"{[frame[0] for frame in stack]}"
+        )
+    return stats
+
+
+@dataclass
+class RegionSeverity:
+    """Cross-rank aggregation of one region."""
+
+    region: int
+    total_visits: int
+    sum_exclusive: float
+    min_exclusive: float
+    max_exclusive: float
+
+    @property
+    def mean_exclusive(self) -> float:
+        return self.sum_exclusive / self.nranks if self.nranks else 0.0
+
+    nranks: int = 0
+
+    @property
+    def imbalance(self) -> float:
+        """max/mean exclusive time: 1.0 is perfectly balanced."""
+        mean = self.mean_exclusive
+        return self.max_exclusive / mean if mean > 0 else 1.0
+
+
+@dataclass
+class ProfileResult:
+    """Global profile: per-region severities, identical on every rank."""
+
+    ntasks: int
+    regions: dict[int, RegionSeverity] = field(default_factory=dict)
+
+    def most_imbalanced(self) -> RegionSeverity | None:
+        """The region whose exclusive time varies most across ranks."""
+        candidates = [r for r in self.regions.values() if r.sum_exclusive > 0]
+        if not candidates:
+            return None
+        return max(candidates, key=lambda r: r.imbalance)
+
+
+def profile_traces(
+    comm: Comm,
+    base_path: str,
+    method: str = "sion",
+    backend: Backend | None = None,
+) -> ProfileResult:
+    """Collective: every rank profiles its trace; severities are reduced."""
+    events = read_trace(base_path, comm.rank, method=method, backend=backend)
+    local = profile_events(events)
+    all_profiles = comm.allgather(
+        {r: (s.visits, s.exclusive) for r, s in local.items()}
+    )
+    result = ProfileResult(ntasks=comm.size)
+    region_ids = sorted({r for prof in all_profiles for r in prof})
+    for region in region_ids:
+        per_rank = [prof.get(region, (0, 0.0)) for prof in all_profiles]
+        exclusives = [e for _, e in per_rank]
+        result.regions[region] = RegionSeverity(
+            region=region,
+            total_visits=sum(v for v, _ in per_rank),
+            sum_exclusive=sum(exclusives),
+            min_exclusive=min(exclusives),
+            max_exclusive=max(exclusives),
+            nranks=comm.size,
+        )
+    return result

@@ -1,0 +1,129 @@
+"""Synthetic SMG2000-like workload generator.
+
+The paper's Table 2 run traced the ASC SMG2000 benchmark (a semicoarsening
+multigrid solver) on 32K cores.  What matters for the reproduction is the
+*shape* of the traffic the tracer records: iterative sweeps over a 3-D
+process grid with nearest-neighbour halo exchanges, region nesting for the
+solver phases, and a controllable computational imbalance that produces
+late-sender wait states for the analyzer to find.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.apps.mp2c.decomposition import factor3
+from repro.apps.scalasca.tracer import Tracer
+from repro.errors import ReproError
+
+# Region ids used in the generated traces.
+REGION_MAIN = 0
+REGION_RELAX = 1
+REGION_EXCHANGE = 2
+REGION_COARSEN = 3
+
+#: Halo message size (bytes) recorded for each exchange.
+HALO_BYTES = 4096
+
+
+@dataclass(frozen=True)
+class SMG2000Config:
+    """Workload shape parameters."""
+
+    ntasks: int
+    iterations: int = 4
+    levels: int = 3
+    base_work: float = 1.0e-3  # seconds of 'compute' per relax sweep
+    imbalance: float = 0.0  # extra work fraction on imbalanced tasks
+    imbalanced_fraction: float = 0.25  # share of tasks carrying extra work
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        if self.ntasks < 1:
+            raise ReproError("ntasks must be >= 1")
+        if self.iterations < 1 or self.levels < 1:
+            raise ReproError("iterations and levels must be >= 1")
+        if self.imbalance < 0:
+            raise ReproError("imbalance must be non-negative")
+        if not 0.0 <= self.imbalanced_fraction <= 1.0:
+            raise ReproError("imbalanced_fraction must be in [0, 1]")
+
+
+def neighbours(rank: int, grid: tuple[int, int, int]) -> list[int]:
+    """The six face neighbours of ``rank`` on a periodic 3-D grid."""
+    gx, gy, gz = grid
+    x = rank % gx
+    y = (rank // gx) % gy
+    z = rank // (gx * gy)
+
+    def enc(a: int, b: int, c: int) -> int:
+        return (a % gx) + (b % gy) * gx + (c % gz) * gx * gy
+
+    out = []
+    for d in (-1, 1):
+        out.extend([enc(x + d, y, z), enc(x, y + d, z), enc(x, y, z + d)])
+    # Degenerate grid axes produce self-neighbours; keep unique, drop self.
+    uniq = sorted({n for n in out if n != rank})
+    return uniq
+
+
+def is_imbalanced(rank: int, config: SMG2000Config) -> bool:
+    """Deterministic choice of the tasks that carry extra work."""
+    k = max(1, int(round(config.ntasks * config.imbalanced_fraction)))
+    if config.imbalance == 0.0:
+        return False
+    rng = np.random.default_rng(config.seed)
+    slow = rng.choice(config.ntasks, size=min(k, config.ntasks), replace=False)
+    return rank in set(int(s) for s in slow)
+
+
+def generate_smg2000_trace(rank: int, config: SMG2000Config, tracer: Tracer) -> None:
+    """Emit one task's events for the whole synthetic run into ``tracer``.
+
+    Send timestamps are taken *after* the sender's compute phase; receive
+    completions happen when the slowest involved party is done — so a task
+    with fast neighbours shows no wait, while a fast task receiving from a
+    slow sender records a RECV completion later than its own readiness:
+    the classic late-sender pattern.
+    """
+    grid = factor3(config.ntasks)
+    nbrs = neighbours(rank, grid)
+    slow_me = is_imbalanced(rank, config)
+    tracer.enter(REGION_MAIN)
+    for _ in range(config.iterations):
+        for level in range(config.levels):
+            # Relaxation sweep: coarser levels do less work.
+            work = config.base_work / (2**level)
+            if slow_me:
+                work *= 1.0 + config.imbalance
+            tracer.enter(REGION_RELAX)
+            tracer.advance(work)
+            tracer.exit(REGION_RELAX)
+
+            # Halo exchange with face neighbours.
+            tracer.enter(REGION_EXCHANGE)
+            ready = tracer.now
+            for n in nbrs:
+                tracer.send(n, tag=level, nbytes=HALO_BYTES)
+            for n in nbrs:
+                # The matching send leaves the neighbour after *its* sweep:
+                # reconstruct that time deterministically.
+                n_work = config.base_work / (2**level)
+                if is_imbalanced(n, config):
+                    n_work *= 1.0 + config.imbalance
+                sender_time = ready - (work - n_work)  # same iteration start
+                completion = max(tracer.now, sender_time)
+                if completion > tracer.now:
+                    tracer.advance(completion - tracer.now)
+                tracer.recv(n, tag=level, nbytes=HALO_BYTES)
+            tracer.exit(REGION_EXCHANGE)
+        tracer.enter(REGION_COARSEN)
+        tracer.advance(config.base_work * 0.1)
+        tracer.exit(REGION_COARSEN)
+        # End-of-iteration barrier: the analyzer derives Wait-at-Barrier
+        # severities from the spread of the enter timestamps.
+        tracer.barrier_enter(barrier_id=0)
+        tracer.barrier_exit(barrier_id=0)
+    tracer.exit(REGION_MAIN)

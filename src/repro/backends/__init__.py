@@ -1,0 +1,13 @@
+"""Storage backends for the SION layer.
+
+The SION multifile code is written against the small :class:`~repro.backends.base.Backend`
+interface so the same layout/format logic runs on real POSIX files
+(:class:`~repro.backends.localfs.LocalBackend`) and on the simulated
+parallel file system (:class:`~repro.backends.simfs_backend.SimBackend`).
+"""
+
+from repro.backends.base import Backend, RawFile
+from repro.backends.localfs import LocalBackend
+from repro.backends.simfs_backend import SimBackend
+
+__all__ = ["Backend", "RawFile", "LocalBackend", "SimBackend"]

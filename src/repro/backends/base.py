@@ -1,0 +1,85 @@
+"""Abstract storage interface consumed by the SION layer.
+
+Kept deliberately small — exactly what the multifile format needs:
+positioned binary I/O, sparse zero-extension, existence/size/blocksize
+queries, and unlink.  Paths are plain strings interpreted by the backend.
+"""
+
+from __future__ import annotations
+
+import abc
+
+
+class RawFile(abc.ABC):
+    """An open file supporting positioned binary I/O."""
+
+    @abc.abstractmethod
+    def seek(self, offset: int, whence: int = 0) -> int:
+        """Move the file pointer; returns the new absolute position."""
+
+    @abc.abstractmethod
+    def tell(self) -> int:
+        """Current absolute position."""
+
+    @abc.abstractmethod
+    def read(self, n: int = -1) -> bytes:
+        """Read up to ``n`` bytes at the current position."""
+
+    @abc.abstractmethod
+    def write(self, data: bytes) -> int:
+        """Write ``data`` at the current position; returns bytes written."""
+
+    @abc.abstractmethod
+    def write_zeros(self, n: int) -> int:
+        """Extend by ``n`` zero bytes *without necessarily materializing them*.
+
+        Implementations should leave a hole where the underlying store
+        supports sparse files; the SION layer relies on this so empty chunk
+        padding "exists only on the logical level" (paper §3.1).
+        """
+
+    @abc.abstractmethod
+    def truncate(self, size: int) -> None:
+        """Set the file size exactly to ``size``."""
+
+    @abc.abstractmethod
+    def flush(self) -> None:
+        """Push buffered data down to the store."""
+
+    @abc.abstractmethod
+    def close(self) -> None:
+        """Release the handle; subsequent operations are invalid."""
+
+    def __enter__(self) -> "RawFile":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+class Backend(abc.ABC):
+    """A place files live: the real FS or a simulated one."""
+
+    @abc.abstractmethod
+    def open(self, path: str, mode: str) -> RawFile:
+        """Open ``path``; modes follow ``io.open`` binary conventions."""
+
+    @abc.abstractmethod
+    def exists(self, path: str) -> bool:
+        """True if ``path`` exists."""
+
+    @abc.abstractmethod
+    def unlink(self, path: str) -> None:
+        """Delete the file at ``path``."""
+
+    @abc.abstractmethod
+    def file_size(self, path: str) -> int:
+        """Logical size of the file in bytes."""
+
+    @abc.abstractmethod
+    def stat_blocksize(self, path: str) -> int:
+        """File-system block size governing alignment (paper: via fstat)."""
+
+    @abc.abstractmethod
+    def allocated_size(self, path: str) -> int:
+        """Physically allocated bytes (for sparseness/defrag verification)."""

@@ -1,0 +1,88 @@
+"""Backend over the real (POSIX) file system."""
+
+from __future__ import annotations
+
+import os
+
+from repro.backends.base import Backend, RawFile
+
+
+class LocalRawFile(RawFile):
+    """Thin adapter around a builtin binary file object."""
+
+    def __init__(self, fobj) -> None:
+        self._f = fobj
+
+    def seek(self, offset: int, whence: int = 0) -> int:
+        return self._f.seek(offset, whence)
+
+    def tell(self) -> int:
+        return self._f.tell()
+
+    def read(self, n: int = -1) -> bytes:
+        return self._f.read(n)
+
+    def write(self, data: bytes) -> int:
+        return self._f.write(data)
+
+    def write_zeros(self, n: int) -> int:
+        # Seek forward and truncate up: leaves a hole on sparse-capable
+        # file systems instead of writing n zero bytes.
+        if n < 0:
+            raise ValueError("negative zero-extension")
+        pos = self._f.seek(n, os.SEEK_CUR)
+        end = self._f.seek(0, os.SEEK_END)
+        if pos > end:
+            self._f.truncate(pos)
+        self._f.seek(pos)
+        return n
+
+    def truncate(self, size: int) -> None:
+        self._f.truncate(size)
+
+    def flush(self) -> None:
+        self._f.flush()
+
+    def close(self) -> None:
+        self._f.close()
+
+
+class LocalBackend(Backend):
+    """Real files; block size from ``statvfs`` unless overridden.
+
+    ``blocksize_override`` pins the alignment granularity, which tests use
+    to get deterministic layouts regardless of the host file system.
+    """
+
+    def __init__(self, blocksize_override: int | None = None) -> None:
+        if blocksize_override is not None and blocksize_override < 1:
+            raise ValueError("blocksize_override must be positive")
+        self.blocksize_override = blocksize_override
+
+    def open(self, path: str, mode: str) -> LocalRawFile:
+        if "b" not in mode:
+            mode += "b"
+        return LocalRawFile(open(path, mode))
+
+    def exists(self, path: str) -> bool:
+        return os.path.exists(path)
+
+    def unlink(self, path: str) -> None:
+        os.unlink(path)
+
+    def file_size(self, path: str) -> int:
+        return os.stat(path).st_size
+
+    def stat_blocksize(self, path: str) -> int:
+        if self.blocksize_override is not None:
+            return self.blocksize_override
+        probe = path if os.path.exists(path) else (os.path.dirname(path) or ".")
+        try:
+            return os.statvfs(probe).f_bsize or 4096
+        except OSError:
+            return 4096
+
+    def allocated_size(self, path: str) -> int:
+        st = os.stat(path)
+        # st_blocks counts 512-byte sectors on Linux.
+        return getattr(st, "st_blocks", 0) * 512

@@ -1,0 +1,68 @@
+"""Backend adapter over the simulated file system (:class:`repro.fs.SimFS`).
+
+Lets the complete SION stack — format, layout, parallel and serial APIs,
+command-line tools — run unmodified against the in-memory simulator, with
+every operation advancing the simulator's virtual clock.
+"""
+
+from __future__ import annotations
+
+from repro.backends.base import Backend, RawFile
+from repro.fs.simfs import SimFS, SimFileHandle
+
+
+class SimRawFile(RawFile):
+    """Adapter from :class:`SimFileHandle` to the backend interface."""
+
+    def __init__(self, handle: SimFileHandle) -> None:
+        self._h = handle
+
+    def seek(self, offset: int, whence: int = 0) -> int:
+        return self._h.seek(offset, whence)
+
+    def tell(self) -> int:
+        return self._h.tell()
+
+    def read(self, n: int = -1) -> bytes:
+        return self._h.read(n)
+
+    def write(self, data: bytes) -> int:
+        return self._h.write(data)
+
+    def write_zeros(self, n: int) -> int:
+        return self._h.write_zeros(n)
+
+    def truncate(self, size: int) -> None:
+        self._h.truncate(size)
+
+    def flush(self) -> None:
+        self._h.flush()
+
+    def close(self) -> None:
+        self._h.close()
+
+
+class SimBackend(Backend):
+    """Backend view of one :class:`SimFS` instance."""
+
+    def __init__(self, fs: SimFS | None = None) -> None:
+        self.fs = fs if fs is not None else SimFS()
+
+    def open(self, path: str, mode: str) -> SimRawFile:
+        return SimRawFile(self.fs.open(path, mode))
+
+    def exists(self, path: str) -> bool:
+        return self.fs.exists(path)
+
+    def unlink(self, path: str) -> None:
+        self.fs.unlink(path)
+
+    def file_size(self, path: str) -> int:
+        return self.fs.stat(path).st_size
+
+    def stat_blocksize(self, path: str) -> int:
+        probe = path if self.fs.exists(path) else "/"
+        return self.fs.stat(probe).st_blksize
+
+    def allocated_size(self, path: str) -> int:
+        return self.fs.stat(path).allocated_bytes

@@ -1,0 +1,95 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError`, so callers can catch one type.  Sub-hierarchies mirror
+the package layout: SPMD substrate, simulated file system, and the SION
+multifile layer.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+# ---------------------------------------------------------------------------
+# simmpi
+
+
+class SimMPIError(ReproError):
+    """Base class for SPMD-substrate errors."""
+
+
+class CommunicatorError(SimMPIError):
+    """Invalid communicator usage (bad rank, mismatched collective, ...)."""
+
+
+class CollectiveMismatchError(CommunicatorError):
+    """Ranks of one communicator called different collectives concurrently."""
+
+
+class SpmdWorkerError(SimMPIError):
+    """One or more SPMD workers raised; carries the per-rank exceptions."""
+
+    def __init__(self, failures: dict[int, BaseException]):
+        self.failures = dict(failures)
+        ranks = ", ".join(str(r) for r in sorted(self.failures))
+        first = next(iter(sorted(self.failures.items())))
+        super().__init__(
+            f"{len(self.failures)} SPMD worker(s) failed (ranks {ranks}); "
+            f"first failure on rank {first[0]}: {first[1]!r}"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Simulated file system
+
+
+class SimFSError(ReproError):
+    """Base class for simulated-file-system errors."""
+
+
+class FileExistsSimError(SimFSError):
+    """Exclusive create of a path that already exists."""
+
+
+class FileNotFoundSimError(SimFSError):
+    """Open/stat/unlink of a path that does not exist."""
+
+
+class NotADirectorySimError(SimFSError):
+    """Path component used as a directory is not one."""
+
+
+class InvalidOperationError(SimFSError):
+    """Operation not valid for the handle's open mode or state."""
+
+
+# ---------------------------------------------------------------------------
+# SION layer
+
+
+class SionError(ReproError):
+    """Base class for SION multifile errors."""
+
+
+class SionFormatError(SionError):
+    """File does not parse as a SION multifile (bad magic, truncation, ...)."""
+
+
+class SionUsageError(SionError):
+    """API misuse: wrong mode, closed handle, invalid parameter."""
+
+
+class SionChunkOverflowError(SionError):
+    """A plain write exceeded the space remaining in the current chunk.
+
+    Raised when the caller used the raw ANSI-style ``write`` without a
+    preceding :func:`ensure_free_space`, mirroring the corruption that would
+    occur in C.  Use ``sion_fwrite`` to split writes across chunks instead.
+    """
+
+
+class SionMetadataLostError(SionError):
+    """Metablock 2 is missing or corrupt; recovery may be possible."""

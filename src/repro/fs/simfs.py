@@ -1,0 +1,511 @@
+"""Functional in-memory file system with sparse files and a virtual clock.
+
+:class:`SimFS` gives the SION layer a real (if simulated) place to put
+bytes: hierarchical directories, POSIX-ish open modes, seek/read/write, and
+*sparse* storage — extents of zeros occupy no memory, so a 1 TB virtual
+write is cheap.  Every operation advances a virtual clock using the machine
+profile's metadata costs and single-stream bandwidth, which lets functional
+tests assert timing properties (e.g. "creating one multifile is cheaper
+than creating N files") without the full discrete-event machinery.
+
+The massively parallel experiments do *not* route every byte through this
+class; they use the flow/queue models directly (see :mod:`repro.workloads`).
+"""
+
+from __future__ import annotations
+
+import posixpath
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass
+
+from repro.errors import (
+    FileExistsSimError,
+    FileNotFoundSimError,
+    InvalidOperationError,
+    NotADirectorySimError,
+)
+from repro.fs.systems import SystemProfile
+
+_DEFAULT_BLKSIZE = 2 * (1 << 20)
+
+
+class SparseFile:
+    """Byte store holding only materialized extents; holes read as zeros."""
+
+    __slots__ = ("size", "_starts", "_chunks")
+
+    def __init__(self) -> None:
+        self.size = 0
+        self._starts: list[int] = []
+        self._chunks: list[bytearray] = []
+
+    # -- queries -------------------------------------------------------------
+
+    @property
+    def allocated_bytes(self) -> int:
+        """Bytes actually materialized (the paper's 'physical' footprint)."""
+        return sum(len(c) for c in self._chunks)
+
+    def extents(self) -> list[tuple[int, int]]:
+        """Materialized ``(offset, length)`` runs, ascending and disjoint."""
+        return [(s, len(c)) for s, c in zip(self._starts, self._chunks)]
+
+    # -- mutation ------------------------------------------------------------
+
+    def write(self, offset: int, data: bytes | bytearray | memoryview) -> int:
+        """Overlay ``data`` at ``offset``; grows the file as needed."""
+        if offset < 0:
+            raise ValueError(f"negative offset: {offset}")
+        data = bytes(data)
+        n = len(data)
+        if n == 0:
+            return 0
+        lo, hi = offset, offset + n
+        first, last = self._overlap_range(lo, hi)
+        if first == last:
+            # No overlap with existing extents: insert fresh.
+            self._starts.insert(first, lo)
+            self._chunks.insert(first, bytearray(data))
+        else:
+            new_lo = min(lo, self._starts[first])
+            new_hi = max(hi, self._starts[last - 1] + len(self._chunks[last - 1]))
+            merged = bytearray(new_hi - new_lo)
+            for i in range(first, last):
+                s = self._starts[i]
+                merged[s - new_lo : s - new_lo + len(self._chunks[i])] = self._chunks[i]
+            merged[lo - new_lo : lo - new_lo + n] = data
+            del self._starts[first:last]
+            del self._chunks[first:last]
+            self._starts.insert(first, new_lo)
+            self._chunks.insert(first, merged)
+        self._coalesce_around(first)
+        self.size = max(self.size, hi)
+        return n
+
+    def write_zeros(self, offset: int, n: int) -> int:
+        """Write ``n`` zero bytes without materializing them (a hole)."""
+        if offset < 0 or n < 0:
+            raise ValueError("offset and n must be non-negative")
+        if n == 0:
+            return 0
+        lo, hi = offset, offset + n
+        first, last = self._overlap_range(lo, hi)
+        # Punch the range out of any overlapping extents.
+        keep_starts: list[int] = []
+        keep_chunks: list[bytearray] = []
+        for i in range(first, last):
+            s = self._starts[i]
+            c = self._chunks[i]
+            e = s + len(c)
+            if s < lo:
+                keep_starts.append(s)
+                keep_chunks.append(c[: lo - s])
+            if e > hi:
+                keep_starts.append(hi)
+                keep_chunks.append(c[hi - s :])
+        self._starts[first:last] = keep_starts
+        self._chunks[first:last] = keep_chunks
+        self.size = max(self.size, hi)
+        return n
+
+    def truncate(self, size: int) -> None:
+        """Cut or extend (with a hole) to exactly ``size`` bytes."""
+        if size < 0:
+            raise ValueError("negative size")
+        if size < self.size:
+            first, last = self._overlap_range(size, self.size)
+            keep_starts: list[int] = []
+            keep_chunks: list[bytearray] = []
+            for i in range(first, last):
+                s = self._starts[i]
+                if s < size:
+                    keep_starts.append(s)
+                    keep_chunks.append(self._chunks[i][: size - s])
+            self._starts[first:] = keep_starts
+            self._chunks[first:] = keep_chunks
+        self.size = size
+
+    def read(self, offset: int, n: int) -> bytes:
+        """Read up to ``n`` bytes at ``offset``; holes come back as zeros."""
+        if offset < 0 or n < 0:
+            raise ValueError("offset and n must be non-negative")
+        n = max(0, min(n, self.size - offset))
+        if n == 0:
+            return b""
+        out = bytearray(n)
+        lo, hi = offset, offset + n
+        first, last = self._overlap_range(lo, hi)
+        for i in range(first, last):
+            s = self._starts[i]
+            c = self._chunks[i]
+            cs = max(s, lo)
+            ce = min(s + len(c), hi)
+            out[cs - lo : ce - lo] = c[cs - s : ce - s]
+        return bytes(out)
+
+    # -- internals -------------------------------------------------------------
+
+    def _overlap_range(self, lo: int, hi: int) -> tuple[int, int]:
+        """Indices [first, last) of extents intersecting [lo, hi)."""
+        first = bisect_right(self._starts, lo) - 1
+        if first >= 0:
+            s = self._starts[first]
+            if s + len(self._chunks[first]) <= lo:
+                first += 1
+        else:
+            first = 0
+        last = bisect_left(self._starts, hi, lo=first)
+        return first, last
+
+    def _coalesce_around(self, idx: int) -> None:
+        """Merge extent ``idx`` with physically adjacent neighbours."""
+        # Merge with next while touching.
+        while idx + 1 < len(self._starts):
+            end = self._starts[idx] + len(self._chunks[idx])
+            if self._starts[idx + 1] == end:
+                self._chunks[idx] += self._chunks[idx + 1]
+                del self._starts[idx + 1]
+                del self._chunks[idx + 1]
+            else:
+                break
+        # Merge with previous while touching.
+        while idx > 0:
+            end = self._starts[idx - 1] + len(self._chunks[idx - 1])
+            if self._starts[idx] == end:
+                self._chunks[idx - 1] += self._chunks[idx]
+                del self._starts[idx]
+                del self._chunks[idx]
+                idx -= 1
+            else:
+                break
+
+
+@dataclass
+class SimStat:
+    """Subset of ``os.stat_result`` the SION layer needs."""
+
+    st_size: int
+    st_blksize: int
+    allocated_bytes: int
+    is_dir: bool
+
+
+class _Inode:
+    __slots__ = ("kind", "entries", "data")
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind  # "dir" | "file"
+        self.entries: dict[str, _Inode] = {} if kind == "dir" else None  # type: ignore
+        self.data: SparseFile | None = SparseFile() if kind == "file" else None
+
+
+class SimFileHandle:
+    """Open-file handle with POSIX-like positioning semantics."""
+
+    def __init__(self, fs: "SimFS", inode: _Inode, path: str, mode: str) -> None:
+        self._fs = fs
+        self._inode = inode
+        self.path = path
+        self.mode = mode
+        self._pos = 0
+        self._closed = False
+        self.readable = "r" in mode or "+" in mode
+        self.writable = "w" in mode or "a" in mode or "+" in mode
+
+    # -- positioning ----------------------------------------------------------
+
+    def seek(self, offset: int, whence: int = 0) -> int:
+        """Like ``io.IOBase.seek``: whence 0=set, 1=cur, 2=end."""
+        self._check_open()
+        if whence == 0:
+            new = offset
+        elif whence == 1:
+            new = self._pos + offset
+        elif whence == 2:
+            new = self._data.size + offset
+        else:
+            raise ValueError(f"bad whence: {whence}")
+        if new < 0:
+            raise ValueError("negative seek position")
+        self._pos = new
+        return new
+
+    def tell(self) -> int:
+        """Current file position."""
+        self._check_open()
+        return self._pos
+
+    # -- data -------------------------------------------------------------------
+
+    def write(self, data: bytes | bytearray | memoryview) -> int:
+        """Write at the current position; advances it."""
+        self._check_open()
+        self._check_writable()
+        n = self._data.write(self._pos, data)
+        self._pos += n
+        self._fs._account_data("write", n)
+        return n
+
+    def write_zeros(self, n: int) -> int:
+        """Sparse write of ``n`` zeros at the current position."""
+        self._check_open()
+        self._check_writable()
+        self._data.write_zeros(self._pos, n)
+        self._pos += n
+        self._fs._account_data("write", n)
+        return n
+
+    def read(self, n: int = -1) -> bytes:
+        """Read up to ``n`` bytes (all remaining if negative)."""
+        self._check_open()
+        if not self.readable:
+            raise InvalidOperationError(f"{self.path}: not open for reading")
+        if n < 0:
+            n = max(0, self._data.size - self._pos)
+        out = self._data.read(self._pos, n)
+        self._pos += len(out)
+        self._fs._account_data("read", len(out))
+        return out
+
+    def pwrite(self, offset: int, data: bytes) -> int:
+        """Positional write; does not move the file pointer."""
+        self._check_open()
+        self._check_writable()
+        n = self._data.write(offset, data)
+        self._fs._account_data("write", n)
+        return n
+
+    def pread(self, offset: int, n: int) -> bytes:
+        """Positional read; does not move the file pointer."""
+        self._check_open()
+        if not self.readable:
+            raise InvalidOperationError(f"{self.path}: not open for reading")
+        out = self._data.read(offset, n)
+        self._fs._account_data("read", len(out))
+        return out
+
+    def truncate(self, size: int | None = None) -> int:
+        """Truncate/extend to ``size`` (default: current position)."""
+        self._check_open()
+        self._check_writable()
+        size = self._pos if size is None else size
+        self._data.truncate(size)
+        return size
+
+    def flush(self) -> None:
+        """No-op (everything is already 'durable' in memory)."""
+        self._check_open()
+
+    def close(self) -> None:
+        """Close the handle; further operations raise."""
+        if not self._closed:
+            self._closed = True
+            self._fs._account_meta("close")
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __enter__(self) -> "SimFileHandle":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # -- internals ----------------------------------------------------------------
+
+    @property
+    def _data(self) -> SparseFile:
+        assert self._inode.data is not None
+        return self._inode.data
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise InvalidOperationError(f"{self.path}: handle is closed")
+
+    def _check_writable(self) -> None:
+        if not self.writable:
+            raise InvalidOperationError(f"{self.path}: not open for writing")
+
+
+class SimFS:
+    """In-memory hierarchical file system with virtual-time accounting."""
+
+    def __init__(
+        self,
+        profile: SystemProfile | None = None,
+        serial_bw_mb_s: float | None = None,
+        blocksize_override: int | None = None,
+    ) -> None:
+        if blocksize_override is not None and blocksize_override < 1:
+            raise InvalidOperationError("blocksize_override must be positive")
+        self.profile = profile
+        self.blocksize_override = blocksize_override
+        self._root = _Inode("dir")
+        self.clock = 0.0
+        self.op_counts: dict[str, int] = {}
+        if serial_bw_mb_s is not None:
+            self._serial_bw = serial_bw_mb_s
+        elif profile is not None:
+            self._serial_bw = profile.per_file_bw("write")
+        else:
+            self._serial_bw = None  # timing disabled for data
+
+    # -- namespace -----------------------------------------------------------------
+
+    def mkdir(self, path: str, parents: bool = False) -> None:
+        """Create a directory (optionally with intermediate ones)."""
+        parts = self._split(path)
+        node = self._root
+        for i, part in enumerate(parts):
+            if node.kind != "dir":
+                raise NotADirectorySimError("/" + "/".join(parts[:i]))
+            child = node.entries.get(part)
+            last = i == len(parts) - 1
+            if child is None:
+                if last or parents:
+                    child = _Inode("dir")
+                    node.entries[part] = child
+                    self._account_meta("mkdir")
+                else:
+                    raise FileNotFoundSimError("/" + "/".join(parts[: i + 1]))
+            elif last:
+                raise FileExistsSimError(path)
+            node = child
+
+    def open(self, path: str, mode: str = "rb") -> SimFileHandle:
+        """Open a file; 'w' creates/truncates, 'r' requires existence.
+
+        Supported modes: ``rb``, ``wb``, ``ab``, ``r+b``, ``w+b``.
+        """
+        if "b" not in mode:
+            raise InvalidOperationError("SimFS is binary-only; use a 'b' mode")
+        parts = self._split(path)
+        if not parts:
+            raise InvalidOperationError("cannot open the root directory")
+        parent = self._walk_dir(parts[:-1], path)
+        name = parts[-1]
+        inode = parent.entries.get(name)
+        creating = "w" in mode or "a" in mode
+        if inode is None:
+            if not creating:
+                raise FileNotFoundSimError(path)
+            inode = _Inode("file")
+            parent.entries[name] = inode
+            self._account_meta("create")
+        else:
+            if inode.kind != "file":
+                raise InvalidOperationError(f"{path}: is a directory")
+            self._account_meta("open")
+            if mode.startswith("w"):
+                inode.data = SparseFile()
+        handle = SimFileHandle(self, inode, self._norm(path), mode)
+        if "a" in mode:
+            handle.seek(0, 2)
+        return handle
+
+    def exists(self, path: str) -> bool:
+        """True if ``path`` names a file or directory."""
+        try:
+            self._lookup(path)
+            return True
+        except (FileNotFoundSimError, NotADirectorySimError):
+            return False
+
+    def stat(self, path: str) -> SimStat:
+        """Stat; ``st_blksize`` comes from the machine profile."""
+        inode = self._lookup(path)
+        self._account_meta("stat")
+        if self.blocksize_override is not None:
+            blk = self.blocksize_override
+        elif self.profile is not None:
+            blk = self.profile.fs_block_size
+        else:
+            blk = _DEFAULT_BLKSIZE
+        if inode.kind == "dir":
+            return SimStat(0, blk, 0, True)
+        assert inode.data is not None
+        return SimStat(inode.data.size, blk, inode.data.allocated_bytes, False)
+
+    def unlink(self, path: str) -> None:
+        """Remove a file."""
+        parts = self._split(path)
+        parent = self._walk_dir(parts[:-1], path)
+        inode = parent.entries.get(parts[-1])
+        if inode is None:
+            raise FileNotFoundSimError(path)
+        if inode.kind != "file":
+            raise InvalidOperationError(f"{path}: is a directory; cannot unlink")
+        del parent.entries[parts[-1]]
+        self._account_meta("unlink")
+
+    def listdir(self, path: str = "/") -> list[str]:
+        """Sorted entry names of a directory."""
+        inode = self._lookup(path)
+        if inode.kind != "dir":
+            raise NotADirectorySimError(path)
+        return sorted(inode.entries)
+
+    def rename(self, old: str, new: str) -> None:
+        """Move a file or directory (new parent must exist)."""
+        oparts = self._split(old)
+        nparts = self._split(new)
+        oparent = self._walk_dir(oparts[:-1], old)
+        inode = oparent.entries.get(oparts[-1])
+        if inode is None:
+            raise FileNotFoundSimError(old)
+        nparent = self._walk_dir(nparts[:-1], new)
+        if nparts[-1] in nparent.entries:
+            raise FileExistsSimError(new)
+        del oparent.entries[oparts[-1]]
+        nparent.entries[nparts[-1]] = inode
+
+    # -- accounting -----------------------------------------------------------------
+
+    def _account_meta(self, kind: str) -> None:
+        self.op_counts[kind] = self.op_counts.get(kind, 0) + 1
+        if self.profile is not None:
+            self.clock += self.profile.metadata_costs.base_time(kind)
+
+    def _account_data(self, op: str, nbytes: int) -> None:
+        key = f"{op}_bytes"
+        self.op_counts[key] = self.op_counts.get(key, 0) + nbytes
+        if self._serial_bw:
+            self.clock += nbytes / (self._serial_bw * 1e6)
+
+    # -- path helpers ------------------------------------------------------------------
+
+    @staticmethod
+    def _norm(path: str) -> str:
+        norm = posixpath.normpath("/" + path.strip())
+        # POSIX preserves a leading double slash; collapse it for our use.
+        return "/" + norm.lstrip("/")
+
+    def _split(self, path: str) -> list[str]:
+        norm = self._norm(path)
+        if norm == "/":
+            return []
+        return norm.lstrip("/").split("/")
+
+    def _walk_dir(self, parts: list[str], full_path: str) -> _Inode:
+        node = self._root
+        for i, part in enumerate(parts):
+            if node.kind != "dir":
+                raise NotADirectorySimError("/" + "/".join(parts[:i]))
+            nxt = node.entries.get(part)
+            if nxt is None:
+                raise FileNotFoundSimError("/" + "/".join(parts[: i + 1]))
+            node = nxt
+        if node.kind != "dir":
+            raise NotADirectorySimError(full_path)
+        return node
+
+    def _lookup(self, path: str) -> _Inode:
+        parts = self._split(path)
+        if not parts:
+            return self._root
+        parent = self._walk_dir(parts[:-1], path)
+        inode = parent.entries.get(parts[-1])
+        if inode is None:
+            raise FileNotFoundSimError(path)
+        return inode

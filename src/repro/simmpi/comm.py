@@ -1,0 +1,438 @@
+"""MPI-like communicators over threads.
+
+A :class:`Comm` is one rank's view of a communication group.  All ranks of a
+group share a :class:`_Backbone` carrying the synchronization primitives.
+Collectives follow a deposit / barrier / read / barrier pattern so that a
+slot array can be reused safely between consecutive operations.
+
+Message payloads: numpy arrays and bytearrays are defensively copied on
+deposit (MPI semantics give the receiver its own buffer); other objects are
+passed by reference, which is safe for the immutable metadata tuples the
+SION layer exchanges.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import (
+    CollectiveMismatchError,
+    CommunicatorError,
+    SimMPIError,
+)
+
+#: Wildcard source for :meth:`Comm.recv`.
+ANY_SOURCE = -1
+#: Wildcard tag for :meth:`Comm.recv`.
+ANY_TAG = -1
+
+#: Returned by :meth:`Comm.split` for ranks passing ``color=None``.
+COMM_NULL = None
+
+
+def _copy_payload(value: Any) -> Any:
+    """Defensively copy mutable buffer-like payloads."""
+    if isinstance(value, np.ndarray):
+        return value.copy()
+    if isinstance(value, bytearray):
+        return bytearray(value)
+    if isinstance(value, memoryview):
+        return bytes(value)
+    return value
+
+
+class _Mailbox:
+    """Per-destination message store supporting wildcard matching."""
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._messages: list[tuple[int, int, Any]] = []
+        self._aborted = False
+
+    def put(self, source: int, tag: int, payload: Any) -> None:
+        with self._cond:
+            self._messages.append((source, tag, payload))
+            self._cond.notify_all()
+
+    def get(self, source: int, tag: int, timeout: float | None) -> tuple[int, int, Any]:
+        def _match() -> int | None:
+            for i, (src, tg, _) in enumerate(self._messages):
+                if source not in (ANY_SOURCE, src):
+                    continue
+                if tag not in (ANY_TAG, tg):
+                    continue
+                return i
+            return None
+
+        with self._cond:
+            while True:
+                if self._aborted:
+                    raise SimMPIError("communicator aborted while waiting for a message")
+                idx = _match()
+                if idx is not None:
+                    return self._messages.pop(idx)
+                if not self._cond.wait(timeout=timeout):
+                    raise SimMPIError(
+                        f"recv timed out waiting for source={source} tag={tag}"
+                    )
+
+    def try_get(self, source: int, tag: int) -> tuple[int, int, Any] | None:
+        """Non-blocking matching receive; ``None`` when nothing matches."""
+        with self._cond:
+            if self._aborted:
+                raise SimMPIError("communicator aborted while probing for a message")
+            for i, (src, tg, _) in enumerate(self._messages):
+                if source not in (ANY_SOURCE, src):
+                    continue
+                if tag not in (ANY_TAG, tg):
+                    continue
+                return self._messages.pop(i)
+            return None
+
+    def abort(self) -> None:
+        with self._cond:
+            self._aborted = True
+            self._cond.notify_all()
+
+
+class _Backbone:
+    """Shared state of one communicator group."""
+
+    def __init__(self, size: int, timeout: float | None = None) -> None:
+        if size < 1:
+            raise CommunicatorError(f"communicator size must be >= 1, got {size}")
+        self.size = size
+        self.timeout = timeout
+        self.barrier = threading.Barrier(size)
+        self.lock = threading.Lock()
+        self.slots: list[Any] = [None] * size
+        self.opnames: list[str | None] = [None] * size
+        self.mailboxes = [_Mailbox() for _ in range(size)]
+        self.shared: dict[Any, Any] = {}
+        self.generation = 0
+        self.children: list[_Backbone] = []
+        self._aborted = False
+
+    def abort(self) -> None:
+        """Break all synchronization points so blocked ranks raise."""
+        self._aborted = True
+        self.barrier.abort()
+        for box in self.mailboxes:
+            box.abort()
+        for child in self.children:
+            child.abort()
+
+    def wait_barrier(self) -> None:
+        if self._aborted:
+            raise SimMPIError("communicator aborted")
+        try:
+            self.barrier.wait(timeout=self.timeout)
+        except threading.BrokenBarrierError as exc:
+            raise SimMPIError(
+                "collective aborted (another rank failed or barrier timed out)"
+            ) from exc
+
+
+class Comm:
+    """One rank's handle on a communicator.
+
+    Mirrors the subset of MPI used by SIONlib and the example applications:
+    ``rank``/``size``, ``barrier``, ``bcast``, ``gather``, ``allgather``,
+    ``scatter``, ``alltoall``, ``reduce``/``allreduce``, ``send``/``recv``,
+    ``split`` and ``dup``.
+    """
+
+    def __init__(self, backbone: _Backbone, rank: int) -> None:
+        if not 0 <= rank < backbone.size:
+            raise CommunicatorError(
+                f"rank {rank} out of range for size {backbone.size}"
+            )
+        self._bb = backbone
+        self._rank = rank
+
+    # -- introspection ----------------------------------------------------
+
+    @property
+    def rank(self) -> int:
+        """This task's rank within the communicator (0-based)."""
+        return self._rank
+
+    @property
+    def size(self) -> int:
+        """Number of ranks in the communicator."""
+        return self._bb.size
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Comm rank={self._rank} size={self.size}>"
+
+    # -- internal collective machinery ------------------------------------
+
+    def _check_root(self, root: int) -> None:
+        if not 0 <= root < self.size:
+            raise CommunicatorError(f"root {root} out of range for size {self.size}")
+
+    def _exchange(self, opname: str, value: Any) -> list[Any]:
+        """Allgather-style primitive: every rank deposits, all read all."""
+        bb = self._bb
+        with bb.lock:
+            bb.slots[self._rank] = value
+            bb.opnames[self._rank] = opname
+        bb.wait_barrier()
+        names = {n for n in bb.opnames if n is not None}
+        if len(names) > 1:
+            bb.abort()
+            raise CollectiveMismatchError(
+                f"ranks disagree on collective operation: {sorted(names)}"
+            )
+        result = list(bb.slots)
+        bb.wait_barrier()
+        if self._rank == 0:
+            with bb.lock:
+                bb.slots = [None] * bb.size
+                bb.opnames = [None] * bb.size
+                bb.generation += 1
+        bb.wait_barrier()
+        return result
+
+    # -- collectives -------------------------------------------------------
+
+    def barrier(self) -> None:
+        """Block until every rank of the communicator has entered."""
+        self._exchange("barrier", None)
+
+    def bcast(self, value: Any, root: int = 0) -> Any:
+        """Broadcast ``value`` from ``root`` to every rank; returns it."""
+        self._check_root(root)
+        deposited = _copy_payload(value) if self._rank == root else None
+        slots = self._exchange("bcast", deposited)
+        return slots[root]
+
+    def gather(self, value: Any, root: int = 0) -> list[Any] | None:
+        """Gather one value per rank at ``root``.
+
+        Returns the rank-ordered list at ``root`` and ``None`` elsewhere.
+        """
+        self._check_root(root)
+        slots = self._exchange("gather", _copy_payload(value))
+        return slots if self._rank == root else None
+
+    def allgather(self, value: Any) -> list[Any]:
+        """Gather one value per rank and return the list on every rank."""
+        return self._exchange("allgather", _copy_payload(value))
+
+    def scatter(self, values: Sequence[Any] | None, root: int = 0) -> Any:
+        """Scatter ``len == size`` values from ``root``; each rank gets one."""
+        self._check_root(root)
+        if self._rank == root:
+            if values is None or len(values) != self.size:
+                self._bb.abort()
+                raise CommunicatorError(
+                    "scatter requires exactly one value per rank at the root"
+                )
+            deposit = [_copy_payload(v) for v in values]
+        else:
+            deposit = None
+        slots = self._exchange("scatter", deposit)
+        return slots[root][self._rank]
+
+    def alltoall(self, values: Sequence[Any]) -> list[Any]:
+        """Each rank provides one value per destination; returns its column."""
+        if len(values) != self.size:
+            self._bb.abort()
+            raise CommunicatorError("alltoall requires exactly one value per rank")
+        slots = self._exchange("alltoall", [_copy_payload(v) for v in values])
+        return [slots[src][self._rank] for src in range(self.size)]
+
+    def reduce(
+        self,
+        value: Any,
+        op: Callable[[Any, Any], Any] | None = None,
+        root: int = 0,
+    ) -> Any | None:
+        """Reduce one value per rank at ``root`` (default op: ``+``)."""
+        self._check_root(root)
+        slots = self._exchange("reduce", _copy_payload(value))
+        if self._rank != root:
+            return None
+        return _fold(slots, op)
+
+    def allreduce(self, value: Any, op: Callable[[Any, Any], Any] | None = None) -> Any:
+        """Reduce one value per rank; the result is returned on every rank."""
+        slots = self._exchange("allreduce", _copy_payload(value))
+        return _fold(slots, op)
+
+    # -- point to point ----------------------------------------------------
+
+    def send(self, value: Any, dest: int, tag: int = 0) -> None:
+        """Send ``value`` to rank ``dest`` (asynchronous, buffered)."""
+        if not 0 <= dest < self.size:
+            raise CommunicatorError(f"dest {dest} out of range for size {self.size}")
+        if tag < 0:
+            raise CommunicatorError("tags must be non-negative")
+        self._bb.mailboxes[dest].put(self._rank, tag, _copy_payload(value))
+
+    def recv(
+        self, source: int = ANY_SOURCE, tag: int = ANY_TAG, return_status: bool = False
+    ) -> Any:
+        """Receive a message; blocks until a matching one arrives.
+
+        With ``return_status=True`` returns ``(value, source, tag)``.
+        """
+        if source != ANY_SOURCE and not 0 <= source < self.size:
+            raise CommunicatorError(f"source {source} out of range")
+        src, tg, payload = self._bb.mailboxes[self._rank].get(
+            source, tag, self._bb.timeout
+        )
+        if return_status:
+            return payload, src, tg
+        return payload
+
+    def sendrecv(
+        self, value: Any, dest: int, source: int = ANY_SOURCE, tag: int = 0
+    ) -> Any:
+        """Combined send and receive (deadlock-free shift pattern)."""
+        self.send(value, dest, tag)
+        return self.recv(source, tag)
+
+    def isend(self, value: Any, dest: int, tag: int = 0) -> "Request":
+        """Non-blocking send.  Buffered, so it completes immediately;
+        the returned request exists for MPI-style symmetry."""
+        self.send(value, dest, tag)
+        req = Request(self, None, None)
+        req._done = True
+        return req
+
+    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> "Request":
+        """Non-blocking receive; complete it with ``wait()`` or ``test()``."""
+        if source != ANY_SOURCE and not 0 <= source < self.size:
+            raise CommunicatorError(f"source {source} out of range")
+        return Request(self, source, tag)
+
+    def iprobe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> bool:
+        """True if a matching message is already waiting (not consumed)."""
+        box = self._bb.mailboxes[self._rank]
+        with box._cond:
+            for src, tg, _ in box._messages:
+                if source not in (ANY_SOURCE, src):
+                    continue
+                if tag not in (ANY_TAG, tg):
+                    continue
+                return True
+            return False
+
+    # -- communicator management -------------------------------------------
+
+    def split(self, color: int | None, key: int = 0) -> "Comm | None":
+        """Partition the communicator by ``color``; order subgroups by ``key``.
+
+        Ranks passing ``color=None`` receive :data:`COMM_NULL`.  New ranks are
+        assigned by ascending ``(key, old_rank)``.
+        """
+        info = self._exchange("split", (color, key))
+        groups: dict[int, list[tuple[int, int]]] = {}
+        for old_rank, (col, k) in enumerate(info):
+            if col is None:
+                continue
+            groups.setdefault(col, []).append((k, old_rank))
+        my_new_rank: int | None = None
+        my_members: list[int] | None = None
+        if color is not None:
+            members = [r for _, r in sorted(groups[color])]
+            my_members = members
+            my_new_rank = members.index(self._rank)
+
+        bb = self._bb
+        gen = bb.generation
+        if color is not None and my_members is not None and my_members[0] == self._rank:
+            child = _Backbone(len(my_members), timeout=bb.timeout)
+            with bb.lock:
+                bb.shared[("split", gen, color)] = child
+                bb.children.append(child)
+        bb.wait_barrier()
+        new_comm: Comm | None = None
+        if color is not None and my_new_rank is not None:
+            child = bb.shared[("split", gen, color)]
+            new_comm = Comm(child, my_new_rank)
+        bb.wait_barrier()
+        if self._rank == 0:
+            with bb.lock:
+                for key_ in [k for k in bb.shared if k[0] == "split" and k[1] == gen]:
+                    del bb.shared[key_]
+        return new_comm
+
+    def dup(self) -> "Comm":
+        """Duplicate the communicator (fresh synchronization context)."""
+        comm = self.split(color=0, key=self._rank)
+        assert comm is not None
+        return comm
+
+    def abort(self) -> None:
+        """Abort the communicator group, waking all blocked ranks with errors."""
+        self._bb.abort()
+
+
+class Request:
+    """Handle for a pending non-blocking operation."""
+
+    def __init__(self, comm: "Comm", source: int | None, tag: int | None) -> None:
+        self._comm = comm
+        self._source = source
+        self._tag = tag
+        self._done = False
+        self._value: Any = None
+
+    @property
+    def completed(self) -> bool:
+        """True once the operation has finished (after wait/test success)."""
+        return self._done
+
+    def test(self) -> tuple[bool, Any]:
+        """Non-blocking completion check: ``(done, value_or_None)``."""
+        if self._done:
+            return True, self._value
+        assert self._source is not None or self._source == ANY_SOURCE
+        box = self._comm._bb.mailboxes[self._comm.rank]
+        hit = box.try_get(self._source if self._source is not None else ANY_SOURCE,
+                          self._tag if self._tag is not None else ANY_TAG)
+        if hit is None:
+            return False, None
+        _, _, payload = hit
+        self._value = payload
+        self._done = True
+        return True, payload
+
+    def wait(self) -> Any:
+        """Block until completion; returns the received value (sends: None)."""
+        if self._done:
+            return self._value
+        value = self._comm.recv(
+            self._source if self._source is not None else ANY_SOURCE,
+            self._tag if self._tag is not None else ANY_TAG,
+        )
+        self._value = value
+        self._done = True
+        return value
+
+
+def _fold(values: Iterable[Any], op: Callable[[Any, Any], Any] | None) -> Any:
+    it = iter(values)
+    try:
+        acc = next(it)
+    except StopIteration:  # pragma: no cover - size >= 1 enforced
+        raise CommunicatorError("reduce over empty communicator") from None
+    if op is None:
+        for v in it:
+            acc = acc + v
+    else:
+        for v in it:
+            acc = op(acc, v)
+    return acc
+
+
+def make_world(size: int, timeout: float | None = None) -> list[Comm]:
+    """Create a world communicator and return each rank's handle."""
+    bb = _Backbone(size, timeout=timeout)
+    return [Comm(bb, r) for r in range(size)]

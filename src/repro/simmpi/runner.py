@@ -1,0 +1,105 @@
+"""SPMD program execution over threads.
+
+:func:`run_spmd` launches ``nprocs`` copies of a function, each with its own
+rank's :class:`~repro.simmpi.comm.Comm`, joins them, and either returns the
+rank-ordered results or raises :class:`~repro.errors.SpmdWorkerError`
+carrying every rank's exception.  A failing rank aborts the world's
+synchronization primitives so no surviving rank deadlocks.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+from typing import Any, Callable, Iterator
+
+from repro.errors import SimMPIError, SpmdWorkerError
+from repro.simmpi.comm import Comm, make_world
+
+#: Default safety timeout for collectives; prevents silent test hangs.
+DEFAULT_TIMEOUT = 120.0
+
+
+def run_spmd(
+    nprocs: int,
+    fn: Callable[..., Any],
+    *args: Any,
+    timeout: float | None = DEFAULT_TIMEOUT,
+    **kwargs: Any,
+) -> list[Any]:
+    """Run ``fn(comm, *args, **kwargs)`` on ``nprocs`` ranks and join.
+
+    Parameters
+    ----------
+    nprocs:
+        Number of ranks (threads) to launch.
+    fn:
+        The SPMD program.  Receives the rank's communicator as the first
+        positional argument.
+    timeout:
+        Collective/receive timeout in seconds (``None`` disables).  A rank
+        stuck longer than this raises instead of hanging the process.
+
+    Returns
+    -------
+    list
+        ``fn``'s return value for each rank, in rank order.
+
+    Raises
+    ------
+    SpmdWorkerError
+        If any rank raised.  ``failures`` maps rank to the exception; ranks
+        that only failed because the world was aborted are omitted.
+    """
+    comms = make_world(nprocs, timeout=timeout)
+    results: list[Any] = [None] * nprocs
+    failures: dict[int, BaseException] = {}
+    failures_lock = threading.Lock()
+
+    def worker(rank: int) -> None:
+        try:
+            results[rank] = fn(comms[rank], *args, **kwargs)
+        except BaseException as exc:  # noqa: BLE001 - fan out to caller
+            with failures_lock:
+                failures[rank] = exc
+            comms[rank].abort()
+
+    threads = [
+        threading.Thread(target=worker, args=(r,), name=f"spmd-rank-{r}", daemon=True)
+        for r in range(nprocs)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+    if failures:
+        primary = {
+            rank: exc
+            for rank, exc in failures.items()
+            if not _is_abort_fallout(exc)
+        }
+        raise SpmdWorkerError(primary or failures)
+    return results
+
+
+def _is_abort_fallout(exc: BaseException) -> bool:
+    """True for errors that are consequences of another rank's failure."""
+    return isinstance(exc, SimMPIError) and "abort" in str(exc).lower()
+
+
+@contextlib.contextmanager
+def spmd_context(
+    nprocs: int, timeout: float | None = DEFAULT_TIMEOUT
+) -> Iterator[list[Comm]]:
+    """Context manager yielding the communicators of a world.
+
+    Useful for driving ranks manually from test code (e.g. one rank per
+    explicitly managed thread).  On exit the world is aborted so stray
+    blocked threads are released.
+    """
+    comms = make_world(nprocs, timeout=timeout)
+    try:
+        yield comms
+    finally:
+        comms[0].abort()

@@ -1,0 +1,66 @@
+"""SION multifile library — the paper's primary contribution.
+
+Maps many logical task-local files onto one (or a few) physical *multifiles*
+with internal metadata handling and file-system-block alignment.  The API
+mirrors the paper's (Listings 1-5):
+
+Parallel write (collective open/close, independent writes)::
+
+    from repro import simmpi, sion
+
+    def program(comm):
+        f = sion.paropen("/data/out.sion", "w", comm, chunksize=1 << 16)
+        f.ensure_free_space(len(payload))
+        f.write(payload)            # ANSI-style write within the chunk
+        f.fwrite(big_payload)       # or: chunk-spanning write
+        f.parclose()
+
+    simmpi.run_spmd(8, program)
+
+Parallel read mirrors write (``sion.paropen(..., "r")``, ``fread``,
+``feof``, ``bytes_avail_in_chunk``).  Serial tools use :func:`sion.open`
+(global view, with ``get_locations`` and ``seek``) or
+:func:`sion.open_rank` (task-local view).
+"""
+
+from repro.sion.constants import (
+    DEFAULT_FSBLKSIZE,
+    FLAG_COMPRESS,
+    FLAG_SHADOW,
+    MAGIC_MB1,
+    MAGIC_MB2,
+)
+from repro.sion.format import Metablock1, Metablock2
+from repro.sion.layout import ChunkLayout, align_up
+from repro.sion.mapping import TaskMapping
+from repro.sion.buffering import CoalescingWriter
+from repro.sion.hybrid import HybridParallelFile, open_rank_thread, paropen_hybrid
+from repro.sion.parallel import SionParallelFile, paropen
+from repro.sion.serial import SionSerialFile, open, open_rank  # noqa: A004
+from repro.sion.recovery import recover_multifile
+from repro.sion.text import TextReader, TextWriter
+
+__all__ = [
+    "DEFAULT_FSBLKSIZE",
+    "FLAG_COMPRESS",
+    "FLAG_SHADOW",
+    "MAGIC_MB1",
+    "MAGIC_MB2",
+    "Metablock1",
+    "Metablock2",
+    "ChunkLayout",
+    "align_up",
+    "TaskMapping",
+    "SionParallelFile",
+    "paropen",
+    "HybridParallelFile",
+    "paropen_hybrid",
+    "open_rank_thread",
+    "CoalescingWriter",
+    "TextReader",
+    "TextWriter",
+    "SionSerialFile",
+    "open",
+    "open_rank",
+    "recover_multifile",
+]

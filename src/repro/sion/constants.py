@@ -1,0 +1,33 @@
+"""Magic numbers and defaults of the SION multifile format."""
+
+from __future__ import annotations
+
+#: Magic bytes opening metablock 1 (start of every physical file).
+MAGIC_MB1 = b"SIONPYv1"
+
+#: Magic bytes opening metablock 2 (end of every physical file).
+MAGIC_MB2 = b"SIONPYm2"
+
+#: Magic bytes of a per-chunk shadow header (recovery extension, paper §6).
+MAGIC_SHADOW = b"SIONPYsh"
+
+#: Format version stored in metablock 1.
+FORMAT_VERSION = 1
+
+#: Fallback alignment granularity when the backend cannot report one.
+DEFAULT_FSBLKSIZE = 64 * 1024
+
+#: Flag bits stored in metablock 1.
+FLAG_COMPRESS = 1 << 0  # chunks hold a zlib-compressed task stream
+FLAG_SHADOW = 1 << 1  # chunks start with a shadow header for recovery
+
+#: Size in bytes of the per-chunk shadow header when FLAG_SHADOW is set.
+SHADOW_HEADER_SIZE = 32
+
+#: Suffix appended to physical files 1..n-1 of a multifile set.
+MULTIFILE_SUFFIX = ".{:06d}"
+
+#: Task-to-file mapping kinds (stored in metablock 1 of file 0).
+MAPPING_BLOCKED = 0
+MAPPING_ROUNDROBIN = 1
+MAPPING_CUSTOM = 2

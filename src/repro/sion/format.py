@@ -1,0 +1,287 @@
+"""Binary encoding of the multifile metablocks.
+
+A physical SION file looks like (paper Fig. 2):
+
+```
++-------------+------------------- ... -------------------+-------------+
+| metablock 1 | block 0 | block 1 | ...      (chunk data) | metablock 2 |
++-------------+------------------- ... -------------------+-------------+
+```
+
+*Metablock 1* is written at offset 0 during the collective open: layout
+parameters (fs block size, chunk sizes, global ranks) plus, in physical
+file 0, the task-to-file mapping.  Its ``metablock2_offset`` field is
+patched during the collective close, when *metablock 2* — per-task block
+counts and bytes actually written per chunk — is appended at the end.
+
+All integers are little-endian.  Metablock 2 carries a CRC32 so truncation
+and corruption are detectable (the recovery path, paper §6, reconstructs it
+from per-chunk shadow headers).
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass, field
+
+from repro.backends.base import RawFile
+from repro.errors import SionFormatError
+from repro.sion.constants import (
+    FORMAT_VERSION,
+    MAGIC_MB1,
+    MAGIC_MB2,
+    MAGIC_SHADOW,
+    MAPPING_BLOCKED,
+    MAPPING_CUSTOM,
+    MAPPING_ROUNDROBIN,
+    SHADOW_HEADER_SIZE,
+)
+
+_MB1_HEAD = struct.Struct("<8sIIQIIIIQQ")
+# magic, version, flags, fsblksize, ntasks_local, nfiles, filenum,
+# ntasks_global, start_of_data, metablock2_offset
+_MB2_HEAD = struct.Struct("<8sI")
+_SHADOW = struct.Struct("<8sIIQQ")  # magic, ltask, block, written, crc
+
+
+@dataclass
+class Metablock1:
+    """Layout metadata at the head of one physical file."""
+
+    fsblksize: int
+    ntasks_local: int
+    nfiles: int
+    filenum: int
+    ntasks_global: int
+    start_of_data: int
+    metablock2_offset: int
+    globalranks: list[int]
+    chunksizes: list[int]  # requested (pre-alignment) chunk sizes, bytes
+    flags: int = 0
+    mapping_kind: int = MAPPING_BLOCKED
+    # Only present in file 0 when mapping_kind == MAPPING_CUSTOM:
+    mapping_table: list[tuple[int, int]] = field(default_factory=list)
+
+    def validate(self) -> None:
+        """Raise :class:`SionFormatError` on internally inconsistent values."""
+        if self.fsblksize < 1:
+            raise SionFormatError(f"fsblksize must be positive: {self.fsblksize}")
+        if self.ntasks_local < 0 or self.ntasks_global < self.ntasks_local:
+            raise SionFormatError(
+                f"bad task counts: local={self.ntasks_local} "
+                f"global={self.ntasks_global}"
+            )
+        if not 0 <= self.filenum < max(self.nfiles, 1):
+            raise SionFormatError(
+                f"filenum {self.filenum} out of range for nfiles {self.nfiles}"
+            )
+        if len(self.globalranks) != self.ntasks_local:
+            raise SionFormatError("globalranks length mismatch")
+        if len(self.chunksizes) != self.ntasks_local:
+            raise SionFormatError("chunksizes length mismatch")
+        if any(c < 0 for c in self.chunksizes):
+            raise SionFormatError("negative chunk size")
+        if self.mapping_kind not in (
+            MAPPING_BLOCKED,
+            MAPPING_ROUNDROBIN,
+            MAPPING_CUSTOM,
+        ):
+            raise SionFormatError(f"unknown mapping kind {self.mapping_kind}")
+        if self.mapping_kind == MAPPING_CUSTOM and self.filenum == 0:
+            if len(self.mapping_table) != self.ntasks_global:
+                raise SionFormatError("custom mapping table length mismatch")
+
+    def encode(self) -> bytes:
+        """Serialize; the result's length is the metablock-1 size on disk."""
+        self.validate()
+        head = _MB1_HEAD.pack(
+            MAGIC_MB1,
+            FORMAT_VERSION,
+            self.flags,
+            self.fsblksize,
+            self.ntasks_local,
+            self.nfiles,
+            self.filenum,
+            self.ntasks_global,
+            self.start_of_data,
+            self.metablock2_offset,
+        )
+        parts = [head]
+        parts.append(struct.pack(f"<{self.ntasks_local}Q", *self.globalranks))
+        parts.append(struct.pack(f"<{self.ntasks_local}Q", *self.chunksizes))
+        parts.append(struct.pack("<I", self.mapping_kind))
+        if self.mapping_kind == MAPPING_CUSTOM and self.filenum == 0:
+            flat = [v for pair in self.mapping_table for v in pair]
+            parts.append(struct.pack(f"<{2 * self.ntasks_global}I", *flat))
+        return b"".join(parts)
+
+    @property
+    def encoded_size(self) -> int:
+        """Size of the encoded metablock without building it."""
+        n = _MB1_HEAD.size + 16 * self.ntasks_local + 4
+        if self.mapping_kind == MAPPING_CUSTOM and self.filenum == 0:
+            n += 8 * self.ntasks_global
+        return n
+
+    @classmethod
+    def decode_from(cls, f: RawFile) -> "Metablock1":
+        """Read and parse metablock 1 from the start of ``f``."""
+        f.seek(0)
+        raw = f.read(_MB1_HEAD.size)
+        if len(raw) != _MB1_HEAD.size:
+            raise SionFormatError("file too short for a SION metablock 1")
+        (
+            magic,
+            version,
+            flags,
+            fsblksize,
+            ntasks_local,
+            nfiles,
+            filenum,
+            ntasks_global,
+            start_of_data,
+            mb2_offset,
+        ) = _MB1_HEAD.unpack(raw)
+        if magic != MAGIC_MB1:
+            raise SionFormatError(
+                f"not a SION multifile (magic {magic!r} != {MAGIC_MB1!r})"
+            )
+        if version != FORMAT_VERSION:
+            raise SionFormatError(f"unsupported format version {version}")
+        granks = _read_array(f, "Q", ntasks_local, "globalranks")
+        chunks = _read_array(f, "Q", ntasks_local, "chunksizes")
+        (mapping_kind,) = struct.unpack("<I", _read_exact(f, 4, "mapping kind"))
+        table: list[tuple[int, int]] = []
+        if mapping_kind == MAPPING_CUSTOM and filenum == 0:
+            flat = _read_array(f, "I", 2 * ntasks_global, "mapping table")
+            table = [(flat[2 * i], flat[2 * i + 1]) for i in range(ntasks_global)]
+        mb1 = cls(
+            fsblksize=fsblksize,
+            ntasks_local=ntasks_local,
+            nfiles=nfiles,
+            filenum=filenum,
+            ntasks_global=ntasks_global,
+            start_of_data=start_of_data,
+            metablock2_offset=mb2_offset,
+            globalranks=list(granks),
+            chunksizes=list(chunks),
+            flags=flags,
+            mapping_kind=mapping_kind,
+            mapping_table=table,
+        )
+        mb1.validate()
+        return mb1
+
+    def patch_metablock2_offset(self, f: RawFile, offset: int) -> None:
+        """Rewrite only the ``metablock2_offset`` field in place."""
+        self.metablock2_offset = offset
+        # Field position: after 8s I I Q I I I I Q = 8+4+4+8+4+4+4+4+8 = 48.
+        f.seek(_MB1_HEAD.size - 8)
+        f.write(struct.pack("<Q", offset))
+
+
+@dataclass
+class Metablock2:
+    """Write-accounting metadata appended at close time.
+
+    ``blocksizes[t][b]`` is the number of bytes task ``t`` (local index)
+    actually wrote into its chunk of block ``b``.
+    """
+
+    blocksizes: list[list[int]]
+
+    @property
+    def ntasks_local(self) -> int:
+        return len(self.blocksizes)
+
+    @property
+    def maxblocks(self) -> int:
+        """Largest per-task block count (the multifile's block count)."""
+        return max((len(b) for b in self.blocksizes), default=0)
+
+    def validate(self) -> None:
+        for t, blocks in enumerate(self.blocksizes):
+            if any(b < 0 for b in blocks):
+                raise SionFormatError(f"task {t}: negative block size")
+
+    def encode(self) -> bytes:
+        """Serialize with a trailing CRC32 over the payload."""
+        self.validate()
+        parts = [_MB2_HEAD.pack(MAGIC_MB2, self.ntasks_local)]
+        nblocks = [len(b) for b in self.blocksizes]
+        parts.append(struct.pack(f"<{self.ntasks_local}I", *nblocks))
+        for blocks in self.blocksizes:
+            parts.append(struct.pack(f"<{len(blocks)}Q", *blocks))
+        payload = b"".join(parts)
+        crc = zlib.crc32(payload) & 0xFFFFFFFF
+        return payload + struct.pack("<I", crc)
+
+    @classmethod
+    def decode_from(cls, f: RawFile, offset: int) -> "Metablock2":
+        """Read and verify metablock 2 at ``offset``."""
+        if offset <= 0:
+            raise SionFormatError(
+                "metablock 2 offset not set (file was never closed cleanly)"
+            )
+        f.seek(offset)
+        head = _read_exact(f, _MB2_HEAD.size, "metablock 2 header")
+        magic, ntasks = _MB2_HEAD.unpack(head)
+        if magic != MAGIC_MB2:
+            raise SionFormatError(
+                f"bad metablock 2 magic {magic!r} at offset {offset}"
+            )
+        nblocks_raw = _read_exact(f, 4 * ntasks, "metablock 2 block counts")
+        nblocks = struct.unpack(f"<{ntasks}I", nblocks_raw)
+        payload = head + nblocks_raw
+        blocksizes: list[list[int]] = []
+        for t in range(ntasks):
+            raw = _read_exact(f, 8 * nblocks[t], f"task {t} block sizes")
+            payload += raw
+            blocksizes.append(list(struct.unpack(f"<{nblocks[t]}Q", raw)))
+        (stored_crc,) = struct.unpack("<I", _read_exact(f, 4, "metablock 2 crc"))
+        if stored_crc != (zlib.crc32(payload) & 0xFFFFFFFF):
+            raise SionFormatError("metablock 2 CRC mismatch (corrupt or truncated)")
+        return cls(blocksizes=blocksizes)
+
+
+@dataclass
+class ShadowHeader:
+    """Tiny per-chunk header enabling metablock-2 reconstruction (§6)."""
+
+    ltask: int
+    block: int
+    written: int
+
+    def encode(self) -> bytes:
+        body = _SHADOW.pack(MAGIC_SHADOW, self.ltask, self.block, self.written, 0)
+        crc = zlib.crc32(body[:-8]) & 0xFFFFFFFF
+        out = _SHADOW.pack(MAGIC_SHADOW, self.ltask, self.block, self.written, crc)
+        assert len(out) == SHADOW_HEADER_SIZE
+        return out
+
+    @classmethod
+    def decode(cls, raw: bytes) -> "ShadowHeader | None":
+        """Parse a shadow header; ``None`` if the bytes aren't one."""
+        if len(raw) < SHADOW_HEADER_SIZE:
+            return None
+        magic, ltask, block, written, crc = _SHADOW.unpack(raw[:SHADOW_HEADER_SIZE])
+        if magic != MAGIC_SHADOW:
+            return None
+        expect = zlib.crc32(_SHADOW.pack(magic, ltask, block, written, 0)[:-8])
+        if crc != (expect & 0xFFFFFFFF):
+            return None
+        return cls(ltask=ltask, block=block, written=written)
+
+
+def _read_exact(f: RawFile, n: int, what: str) -> bytes:
+    raw = f.read(n)
+    if len(raw) != n:
+        raise SionFormatError(f"truncated multifile while reading {what}")
+    return raw
+
+
+def _read_array(f: RawFile, fmt: str, count: int, what: str) -> tuple:
+    width = struct.calcsize(f"<{fmt}")
+    raw = _read_exact(f, width * count, what)
+    return struct.unpack(f"<{count}{fmt}", raw)

@@ -1,0 +1,176 @@
+"""Chunk/block offset arithmetic with file-system block alignment.
+
+This is the heart of the file organization (paper §3.1 and Fig. 2):
+
+* every task owns one *chunk* per *block*;
+* chunk allocations are rounded up to a multiple of the FS block size so no
+  two tasks ever share an FS block (avoids write-lock false sharing);
+* block ``b``'s chunk for task ``t`` starts at
+  ``start_of_data + b * block_capacity + chunk_prefix[t]``;
+* tasks can compute any chunk's address locally — growing into a new block
+  needs **no communication**, only metadata accounting at close.
+
+The same :class:`ChunkLayout` drives the real library, the serial tools,
+and the simulated experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SionUsageError
+
+
+def align_up(value: int, granularity: int) -> int:
+    """Smallest multiple of ``granularity`` that is >= ``value``."""
+    if granularity < 1:
+        raise SionUsageError(f"alignment granularity must be positive: {granularity}")
+    if value < 0:
+        raise SionUsageError(f"cannot align a negative size: {value}")
+    return ((value + granularity - 1) // granularity) * granularity
+
+
+@dataclass
+class ChunkLayout:
+    """Resolved on-disk geometry of one physical file's chunk array.
+
+    Parameters
+    ----------
+    fsblksize:
+        Alignment granularity (the FS block size, or the user's override —
+        using a value smaller than the true block size reintroduces the
+        false sharing that Table 1 quantifies).
+    chunksizes:
+        Requested chunk size per local task, in bytes.  Each is rounded up
+        to a whole number of FS blocks, with a minimum of one block (the
+        paper notes SIONlib "writes at least one file-system block per
+        task").
+    metablock1_size:
+        Bytes occupied by metablock 1; data starts at the next FS block
+        boundary after it.
+    """
+
+    fsblksize: int
+    chunksizes: list[int]
+    metablock1_size: int
+    aligned_sizes: list[int] = field(init=False)
+    chunk_prefix: list[int] = field(init=False)
+    block_capacity: int = field(init=False)
+    start_of_data: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.fsblksize < 1:
+            raise SionUsageError(f"fsblksize must be positive: {self.fsblksize}")
+        if self.metablock1_size < 0:
+            raise SionUsageError("metablock1_size must be non-negative")
+        if any(c < 0 for c in self.chunksizes):
+            raise SionUsageError("chunk sizes must be non-negative")
+        self.aligned_sizes = [
+            max(align_up(c, self.fsblksize), self.fsblksize) for c in self.chunksizes
+        ]
+        prefix: list[int] = []
+        acc = 0
+        for size in self.aligned_sizes:
+            prefix.append(acc)
+            acc += size
+        self.chunk_prefix = prefix
+        self.block_capacity = acc
+        self.start_of_data = align_up(self.metablock1_size, self.fsblksize)
+
+    @classmethod
+    def from_metablock1(cls, mb1) -> "ChunkLayout":
+        """Rebuild the layout of an existing file from its metablock 1.
+
+        Uses the *stored* ``start_of_data`` (authoritative) rather than
+        recomputing it, so readers stay correct even if a future writer
+        changes the metablock encoding size.
+        """
+        lay = cls(mb1.fsblksize, list(mb1.chunksizes), 0)
+        lay.start_of_data = mb1.start_of_data
+        return lay
+
+    # -- geometry -----------------------------------------------------------
+
+    @property
+    def ntasks(self) -> int:
+        """Number of local tasks laid out in this file."""
+        return len(self.chunksizes)
+
+    def capacity(self, task: int) -> int:
+        """Writable bytes in each of ``task``'s chunks (the aligned size).
+
+        The usable capacity is the *allocated* (aligned) size: SIONlib
+        allocates whole FS blocks, so writes may use the padding.
+        """
+        self._check_task(task)
+        return self.aligned_sizes[task]
+
+    def chunk_start(self, task: int, block: int) -> int:
+        """Absolute file offset of ``task``'s chunk in ``block``."""
+        self._check_task(task)
+        if block < 0:
+            raise SionUsageError(f"block must be non-negative: {block}")
+        return (
+            self.start_of_data
+            + block * self.block_capacity
+            + self.chunk_prefix[task]
+        )
+
+    def chunk_end(self, task: int, block: int) -> int:
+        """Exclusive end offset of the chunk's allocation."""
+        return self.chunk_start(task, block) + self.aligned_sizes[task]
+
+    def block_start(self, block: int) -> int:
+        """Absolute offset where ``block`` begins."""
+        if block < 0:
+            raise SionUsageError(f"block must be non-negative: {block}")
+        return self.start_of_data + block * self.block_capacity
+
+    def end_of_blocks(self, nblocks: int) -> int:
+        """Offset one past the last allocated block (metablock 2 goes here)."""
+        if nblocks < 0:
+            raise SionUsageError("nblocks must be non-negative")
+        return self.start_of_data + nblocks * self.block_capacity
+
+    def locate(self, offset: int) -> tuple[int, int, int] | None:
+        """Inverse mapping: file offset -> ``(task, block, pos_in_chunk)``.
+
+        Returns ``None`` for offsets outside chunk data (metablock area).
+        Used by the recovery scanner and by tests as the inverse of
+        :meth:`chunk_start`.
+        """
+        if offset < self.start_of_data or self.block_capacity == 0:
+            return None
+        rel = offset - self.start_of_data
+        block, in_block = divmod(rel, self.block_capacity)
+        # Binary search over the prefix array.
+        lo, hi = 0, self.ntasks - 1
+        while lo < hi:
+            mid = (lo + hi + 1) // 2
+            if self.chunk_prefix[mid] <= in_block:
+                lo = mid
+            else:
+                hi = mid - 1
+        task = lo
+        pos = in_block - self.chunk_prefix[task]
+        if pos >= self.aligned_sizes[task]:  # pragma: no cover - padding gap
+            return None
+        return task, block, pos
+
+    def is_aligned(self, true_fsblksize: int) -> bool:
+        """True when every chunk boundary falls on a ``true_fsblksize`` edge."""
+        if true_fsblksize < 1:
+            raise SionUsageError("true_fsblksize must be positive")
+        if self.start_of_data % true_fsblksize:
+            return False
+        return all(
+            (self.chunk_start(t, 0)) % true_fsblksize == 0 for t in range(self.ntasks)
+        )
+
+    # -- internals ------------------------------------------------------------
+
+    def _check_task(self, task: int) -> None:
+        if not 0 <= task < self.ntasks:
+            raise SionUsageError(
+                f"task {task} out of range for {self.ntasks} local tasks"
+            )

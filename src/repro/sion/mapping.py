@@ -1,0 +1,168 @@
+"""Task-to-physical-file mapping (paper §3.1, Fig. 2d).
+
+A multifile may be backed by several physical files; every task lives in
+exactly one.  The default *blocked* mapping keeps ranks contiguous (e.g.
+one physical file per Blue Gene I/O node, as the paper suggests); a
+*round-robin* mapping interleaves, and a *custom* mapping accepts an
+explicit rank -> file table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SionUsageError
+from repro.sion.constants import (
+    MAPPING_BLOCKED,
+    MAPPING_CUSTOM,
+    MAPPING_ROUNDROBIN,
+    MULTIFILE_SUFFIX,
+)
+
+
+@dataclass(frozen=True)
+class TaskMapping:
+    """Immutable assignment of ``ntasks`` global ranks to ``nfiles`` files."""
+
+    ntasks: int
+    nfiles: int
+    kind: int
+    table: tuple[tuple[int, int], ...]  # global rank -> (file, local rank)
+
+    # -- constructors ---------------------------------------------------------
+
+    @classmethod
+    def blocked(cls, ntasks: int, nfiles: int) -> "TaskMapping":
+        """Contiguous rank ranges per file, sizes balanced within one."""
+        _check_counts(ntasks, nfiles)
+        base, extra = divmod(ntasks, nfiles)
+        table: list[tuple[int, int]] = []
+        rank = 0
+        for f in range(nfiles):
+            span = base + (1 if f < extra else 0)
+            for lrank in range(span):
+                table.append((f, lrank))
+                rank += 1
+        return cls(ntasks, nfiles, MAPPING_BLOCKED, tuple(table))
+
+    @classmethod
+    def roundrobin(cls, ntasks: int, nfiles: int) -> "TaskMapping":
+        """Rank ``r`` goes to file ``r % nfiles``."""
+        _check_counts(ntasks, nfiles)
+        counters = [0] * nfiles
+        table: list[tuple[int, int]] = []
+        for r in range(ntasks):
+            f = r % nfiles
+            table.append((f, counters[f]))
+            counters[f] += 1
+        return cls(ntasks, nfiles, MAPPING_ROUNDROBIN, tuple(table))
+
+    @classmethod
+    def custom(cls, file_of_task: list[int]) -> "TaskMapping":
+        """Explicit file index per global rank; local ranks follow rank order."""
+        if not file_of_task:
+            raise SionUsageError("custom mapping needs at least one task")
+        nfiles = max(file_of_task) + 1
+        if min(file_of_task) < 0:
+            raise SionUsageError("file indices must be non-negative")
+        used = set(file_of_task)
+        if used != set(range(nfiles)):
+            missing = sorted(set(range(nfiles)) - used)
+            raise SionUsageError(f"custom mapping leaves files empty: {missing}")
+        counters = [0] * nfiles
+        table: list[tuple[int, int]] = []
+        for f in file_of_task:
+            table.append((f, counters[f]))
+            counters[f] += 1
+        return cls(len(file_of_task), nfiles, MAPPING_CUSTOM, tuple(table))
+
+    @classmethod
+    def create(
+        cls, ntasks: int, nfiles: int, kind: "str | list[int]" = "blocked"
+    ) -> "TaskMapping":
+        """Factory from a kind name or an explicit file-per-task list."""
+        if isinstance(kind, list):
+            m = cls.custom(kind)
+            if m.ntasks != ntasks or m.nfiles != nfiles:
+                raise SionUsageError(
+                    f"custom mapping shape ({m.ntasks} tasks, {m.nfiles} files) "
+                    f"does not match requested ({ntasks}, {nfiles})"
+                )
+            return m
+        if kind == "blocked":
+            return cls.blocked(ntasks, nfiles)
+        if kind == "roundrobin":
+            return cls.roundrobin(ntasks, nfiles)
+        raise SionUsageError(
+            f"unknown mapping kind {kind!r}; use 'blocked', 'roundrobin' or a list"
+        )
+
+    @classmethod
+    def from_kind_code(
+        cls,
+        ntasks: int,
+        nfiles: int,
+        kind_code: int,
+        table: list[tuple[int, int]] | None = None,
+    ) -> "TaskMapping":
+        """Rebuild from metablock-1 fields (standard kinds need no table)."""
+        if kind_code == MAPPING_BLOCKED:
+            return cls.blocked(ntasks, nfiles)
+        if kind_code == MAPPING_ROUNDROBIN:
+            return cls.roundrobin(ntasks, nfiles)
+        if kind_code == MAPPING_CUSTOM:
+            if not table:
+                raise SionUsageError("custom mapping requires the stored table")
+            return cls(ntasks, nfiles, MAPPING_CUSTOM, tuple(table))
+        raise SionUsageError(f"unknown mapping kind code {kind_code}")
+
+    # -- queries -----------------------------------------------------------------
+
+    def file_of(self, rank: int) -> int:
+        """Physical file index holding ``rank``'s chunks."""
+        self._check_rank(rank)
+        return self.table[rank][0]
+
+    def local_rank(self, rank: int) -> int:
+        """Rank's index within its physical file's chunk array."""
+        self._check_rank(rank)
+        return self.table[rank][1]
+
+    def tasks_of_file(self, filenum: int) -> list[int]:
+        """Global ranks stored in file ``filenum``, in local-rank order."""
+        if not 0 <= filenum < self.nfiles:
+            raise SionUsageError(f"file {filenum} out of range ({self.nfiles})")
+        members = [(lr, r) for r, (f, lr) in enumerate(self.table) if f == filenum]
+        return [r for _, r in sorted(members)]
+
+    def ntasks_of_file(self, filenum: int) -> int:
+        """Number of tasks mapped to ``filenum``."""
+        return len(self.tasks_of_file(filenum))
+
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self.ntasks:
+            raise SionUsageError(f"rank {rank} out of range ({self.ntasks} tasks)")
+
+
+def physical_path(base: str, filenum: int) -> str:
+    """Path of physical file ``filenum`` in a multifile set.
+
+    File 0 keeps the user's path; siblings get a numeric suffix
+    (``out.sion``, ``out.sion.000001``, ...).
+    """
+    if filenum < 0:
+        raise SionUsageError(f"filenum must be non-negative: {filenum}")
+    if filenum == 0:
+        return base
+    return base + MULTIFILE_SUFFIX.format(filenum)
+
+
+def _check_counts(ntasks: int, nfiles: int) -> None:
+    if ntasks < 1:
+        raise SionUsageError(f"ntasks must be >= 1, got {ntasks}")
+    if nfiles < 1:
+        raise SionUsageError(f"nfiles must be >= 1, got {nfiles}")
+    if nfiles > ntasks:
+        raise SionUsageError(
+            f"cannot use more physical files ({nfiles}) than tasks ({ntasks})"
+        )

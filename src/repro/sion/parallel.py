@@ -1,0 +1,414 @@
+"""Collective (parallel) multifile access — the paper's Listings 1 and 2.
+
+:func:`paropen` is a collective operation over a communicator: tasks agree
+on the task-to-file mapping, per-file masters write/read the metablocks,
+layout information is distributed, and every task receives a
+:class:`SionParallelFile` positioned at its first chunk.  In between open
+and close, reads and writes are completely independent (no communication).
+:meth:`SionParallelFile.parclose` is the matching collective close, where
+masters collect per-task byte counts and append metablock 2.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.backends.base import Backend, RawFile
+from repro.backends.localfs import LocalBackend
+from repro.errors import SionFormatError, SionUsageError
+from repro.sion.constants import FLAG_COMPRESS, FLAG_SHADOW
+from repro.sion.compression import ZlibReader, ZlibWriter
+from repro.sion.format import Metablock1, Metablock2
+from repro.sion.layout import ChunkLayout
+from repro.sion.mapping import TaskMapping, physical_path
+from repro.sion.readwrite import TaskStream
+from repro.simmpi.comm import Comm
+
+
+def paropen(
+    path: str,
+    mode: str,
+    comm: Comm,
+    chunksize: int | None = None,
+    *,
+    fsblksize: int | None = None,
+    nfiles: int = 1,
+    mapping: str | list[int] = "blocked",
+    backend: Backend | None = None,
+    compress: bool = False,
+    shadow: bool = False,
+) -> "SionParallelFile":
+    """Collectively open a multifile for parallel access.
+
+    Parameters mirror ``sion_paropen_mpi``:
+
+    ``chunksize``
+        Maximum bytes this task writes *in one piece* (write mode).  May
+        differ per task.  Ignored when reading.
+    ``fsblksize``
+        Alignment granularity.  Defaults to the file system's block size
+        (determined via the backend's ``stat_blocksize``, the paper's
+        ``fstat`` call).  Configuring a smaller value reintroduces block
+        false-sharing — exactly the Table 1 experiment.
+    ``nfiles`` / ``mapping``
+        Number of physical files and the task distribution over them.
+    ``compress``
+        Transparent zlib compression of each task's stream (paper §6).
+    ``shadow``
+        Per-chunk recovery headers so metablock 2 can be rebuilt after a
+        crash (paper §6).
+
+    Returns each task's :class:`SionParallelFile` handle.
+    """
+    if mode not in ("r", "w"):
+        raise SionUsageError(f"mode must be 'r' or 'w', got {mode!r}")
+    backend = backend if backend is not None else LocalBackend()
+    if mode == "w":
+        return _paropen_write(
+            path, comm, chunksize, fsblksize, nfiles, mapping, backend, compress, shadow
+        )
+    return _paropen_read(path, comm, backend)
+
+
+def _paropen_write(
+    path: str,
+    comm: Comm,
+    chunksize: int | None,
+    fsblksize: int | None,
+    nfiles: int,
+    mapping: str | list[int],
+    backend: Backend,
+    compress: bool,
+    shadow: bool,
+) -> "SionParallelFile":
+    if chunksize is None or chunksize < 0:
+        raise SionUsageError("write mode requires a non-negative chunksize")
+    ntasks = comm.size
+    tmap = TaskMapping.create(ntasks, nfiles, mapping)
+    myfile = tmap.file_of(comm.rank)
+    lrank = tmap.local_rank(comm.rank)
+    mypath = physical_path(path, myfile)
+
+    # Rank 0 determines the alignment granularity for the whole set.
+    if fsblksize is None:
+        probed = backend.stat_blocksize(path) if comm.rank == 0 else None
+        fsblksize = comm.bcast(probed, root=0)
+    assert fsblksize is not None
+    if fsblksize < 1:
+        raise SionUsageError(f"fsblksize must be positive: {fsblksize}")
+
+    lcom = comm.split(color=myfile, key=comm.rank)
+    assert lcom is not None
+
+    flags = (FLAG_COMPRESS if compress else 0) | (FLAG_SHADOW if shadow else 0)
+    # Per-file master gathers (global rank, chunksize) and writes metablock 1.
+    gathered = lcom.gather((comm.rank, int(chunksize)), root=0)
+    layout: ChunkLayout
+    if lcom.rank == 0:
+        assert gathered is not None
+        granks = [g for g, _ in gathered]
+        chunks = [c for _, c in gathered]
+        mb1 = Metablock1(
+            fsblksize=fsblksize,
+            ntasks_local=len(chunks),
+            nfiles=tmap.nfiles,
+            filenum=myfile,
+            ntasks_global=ntasks,
+            start_of_data=0,
+            metablock2_offset=0,
+            globalranks=granks,
+            chunksizes=chunks,
+            flags=flags,
+            mapping_kind=tmap.kind,
+            mapping_table=list(tmap.table) if myfile == 0 else [],
+        )
+        layout = ChunkLayout(fsblksize, chunks, mb1.encoded_size)
+        mb1.start_of_data = layout.start_of_data
+        raw = backend.open(mypath, "w+b")
+        raw.write(mb1.encode())
+        raw.flush()
+        lcom.bcast((layout, mb1), root=0)
+    else:
+        layout, mb1 = lcom.bcast(None, root=0)
+        raw = None
+    lcom.barrier()  # the file now exists for everyone
+    if raw is None:
+        raw = backend.open(mypath, "r+b")
+    stream = TaskStream(raw, layout, lrank, "w", shadow=shadow)
+    return SionParallelFile(
+        mode="w",
+        comm=comm,
+        lcom=lcom,
+        backend=backend,
+        base_path=path,
+        my_path=mypath,
+        raw=raw,
+        stream=stream,
+        layout=layout,
+        mb1=mb1,
+        mapping=tmap,
+        compress=compress,
+    )
+
+
+def _paropen_read(path: str, comm: Comm, backend: Backend) -> "SionParallelFile":
+    # Rank 0 reads file 0's metablock 1 to learn the set geometry.
+    if comm.rank == 0:
+        probe = backend.open(path, "rb")
+        mb1_0 = Metablock1.decode_from(probe)
+        probe.close()
+        info = (mb1_0.nfiles, mb1_0.ntasks_global, mb1_0.mapping_kind, mb1_0.mapping_table)
+    else:
+        info = None
+    nfiles, ntasks_global, kind, table = comm.bcast(info, root=0)
+    if ntasks_global != comm.size:
+        raise SionUsageError(
+            f"multifile was written by {ntasks_global} tasks but the "
+            f"communicator has {comm.size}; use the serial API for other shapes"
+        )
+    tmap = TaskMapping.from_kind_code(ntasks_global, nfiles, kind, table)
+    myfile = tmap.file_of(comm.rank)
+    lrank = tmap.local_rank(comm.rank)
+    mypath = physical_path(path, myfile)
+
+    lcom = comm.split(color=myfile, key=comm.rank)
+    assert lcom is not None
+    if lcom.rank == 0:
+        raw0 = backend.open(mypath, "rb")
+        mb1 = Metablock1.decode_from(raw0)
+        mb2 = Metablock2.decode_from(raw0, mb1.metablock2_offset)
+        raw0.close()
+        layout = ChunkLayout.from_metablock1(mb1)
+        lcom.bcast((mb1, mb2, layout), root=0)
+    else:
+        mb1, mb2, layout = lcom.bcast(None, root=0)
+    raw = backend.open(mypath, "rb")
+    stream = TaskStream(
+        raw,
+        layout,
+        lrank,
+        "r",
+        blocksizes=mb2.blocksizes[lrank],
+        shadow=bool(mb1.flags & FLAG_SHADOW),
+    )
+    return SionParallelFile(
+        mode="r",
+        comm=comm,
+        lcom=lcom,
+        backend=backend,
+        base_path=path,
+        my_path=mypath,
+        raw=raw,
+        stream=stream,
+        layout=layout,
+        mb1=mb1,
+        mapping=tmap,
+        compress=bool(mb1.flags & FLAG_COMPRESS),
+    )
+
+
+class SionParallelFile:
+    """One task's handle on a collectively opened multifile."""
+
+    def __init__(
+        self,
+        mode: str,
+        comm: Comm,
+        lcom: Comm,
+        backend: Backend,
+        base_path: str,
+        my_path: str,
+        raw: RawFile,
+        stream: TaskStream,
+        layout: ChunkLayout,
+        mb1: Metablock1,
+        mapping: TaskMapping,
+        compress: bool,
+    ) -> None:
+        self.mode = mode
+        self.comm = comm
+        self.lcom = lcom
+        self.backend = backend
+        self.base_path = base_path
+        self.my_path = my_path
+        self._raw = raw
+        self._stream = stream
+        self.layout = layout
+        self.mb1 = mb1
+        self.mapping = mapping
+        self.compress = compress
+        self._zw: ZlibWriter | None = ZlibWriter() if compress and mode == "w" else None
+        self._zr: ZlibReader | None = ZlibReader() if compress and mode == "r" else None
+        self._closed = False
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def filenum(self) -> int:
+        """Index of the physical file this task writes to."""
+        return self.mb1.filenum
+
+    @property
+    def local_rank(self) -> int:
+        """This task's index within its physical file."""
+        return self._stream.ltask
+
+    @property
+    def chunksize(self) -> int:
+        """This task's usable chunk capacity in bytes."""
+        return self._stream.capacity
+
+    @property
+    def fsblksize(self) -> int:
+        """Alignment granularity of the multifile."""
+        return self.mb1.fsblksize
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def get_current_location(self) -> tuple[int, int]:
+        """``sion_get_current_location``: ``(block, pos_in_chunk)``.
+
+        Positions refer to the raw chunk stream (compressed bytes when
+        transparent compression is active).
+        """
+        return self._stream.cur_block, self._stream.pos
+
+    def tell_logical(self) -> int:
+        """Raw chunk-stream bytes consumed/produced so far by this task."""
+        return self._stream.tell_logical()
+
+    # -- write API (Listing 1) ------------------------------------------------
+
+    def ensure_free_space(self, nbytes: int) -> bool:
+        """Make room for an ``nbytes`` ANSI-style write; True if block grew."""
+        self._check_plain("ensure_free_space")
+        return self._stream.ensure_free_space(nbytes)
+
+    def write(self, data: bytes) -> int:
+        """ANSI-``fwrite`` equivalent: must fit in the current chunk."""
+        self._check_plain("write")
+        return self._stream.write(data)
+
+    def fwrite(self, data: bytes) -> int:
+        """SIONlib write: splits across chunks; returns *logical* bytes."""
+        self._check_mode("w")
+        if self._zw is not None:
+            compressed = self._zw.compress(bytes(data))
+            self._stream.fwrite(compressed)
+            return len(data)
+        return self._stream.fwrite(data)
+
+    def bytes_left_in_chunk(self) -> int:
+        """Writable bytes remaining in the current chunk."""
+        self._check_plain("bytes_left_in_chunk")
+        return self._stream.bytes_left_in_chunk()
+
+    def flush_shadow(self) -> None:
+        """Checkpoint recovery metadata for the current block (paper §6)."""
+        self._check_mode("w")
+        self._stream.flush_shadow()
+
+    # -- read API (Listing 2) ----------------------------------------------------
+
+    def feof(self) -> bool:
+        """True after the task's entire logical stream has been read."""
+        self._check_mode("r")
+        if self._zr is not None:
+            self._pump(1)
+            return self._zr.exhausted
+        return self._stream.feof()
+
+    def bytes_avail_in_chunk(self) -> int:
+        """Unread data bytes in the current chunk."""
+        self._check_plain("bytes_avail_in_chunk")
+        return self._stream.bytes_avail_in_chunk()
+
+    def read(self, n: int) -> bytes:
+        """ANSI-``fread`` equivalent: stays within the current chunk."""
+        self._check_plain("read")
+        return self._stream.read(n)
+
+    def fread(self, n: int) -> bytes:
+        """SIONlib read: crosses chunk boundaries; up to ``n`` logical bytes."""
+        self._check_mode("r")
+        if self._zr is not None:
+            self._pump(n)
+            return self._zr.take(n)
+        return self._stream.fread(n)
+
+    def read_all(self) -> bytes:
+        """Entire remaining logical stream of this task."""
+        self._check_mode("r")
+        if self._zr is not None:
+            parts = []
+            while not self.feof():
+                self._pump(1 << 20)
+                parts.append(self._zr.take(self._zr.available()))
+            return b"".join(parts)
+        return self._stream.read_all()
+
+    def _pump(self, want: int) -> None:
+        """Feed the decompressor until ``want`` bytes are ready or EOF."""
+        assert self._zr is not None
+        while self._zr.available() < want and not self._stream.feof():
+            raw_piece = self._stream.fread(64 * 1024)
+            if not raw_piece:
+                break
+            self._zr.feed(raw_piece)
+        if self._stream.feof():
+            self._zr.source_exhausted()
+
+    # -- collective close ------------------------------------------------------
+
+    def parclose(self) -> None:
+        """Collective close; masters append metablock 2 (write mode)."""
+        if self._closed:
+            raise SionUsageError("multifile already closed")
+        if self.mode == "w":
+            if self._zw is not None:
+                tail = self._zw.finish()
+                if tail:
+                    self._stream.fwrite(tail)
+            blocks = self._stream.finalize()
+            gathered = self.lcom.gather(blocks, root=0)
+            if self.lcom.rank == 0:
+                assert gathered is not None
+                mb2 = Metablock2(blocksizes=gathered)
+                offset = self.layout.end_of_blocks(mb2.maxblocks)
+                self._raw.seek(offset)
+                self._raw.write(mb2.encode())
+                self.mb1.patch_metablock2_offset(self._raw, offset)
+                self._raw.flush()
+            self.lcom.barrier()  # metadata durable before anyone returns
+        self._raw.close()
+        self._closed = True
+        self.comm.barrier()
+
+    # -- context manager -----------------------------------------------------
+
+    def __enter__(self) -> "SionParallelFile":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        if not self._closed:
+            self.parclose()
+
+    # -- internals -------------------------------------------------------------
+
+    def _check_mode(self, mode: str) -> None:
+        if self._closed:
+            raise SionUsageError("multifile is closed")
+        if self.mode != mode:
+            raise SionUsageError(
+                f"operation requires mode {mode!r}, file is open {self.mode!r}"
+            )
+
+    def _check_plain(self, op: str) -> None:
+        self._check_mode("w" if op in ("ensure_free_space", "write", "bytes_left_in_chunk") else "r")
+        if self.compress:
+            raise SionUsageError(
+                f"{op} is unavailable with transparent compression; "
+                "use fwrite/fread, which manage chunk boundaries internally"
+            )

@@ -1,0 +1,272 @@
+"""Chunk-aware task streams: the read/write engine of the SION layer.
+
+A :class:`TaskStream` is one task's sequential view of its logical file,
+implemented over the chunks that belong to it inside a physical multifile.
+It provides the paper's API semantics:
+
+* ``ensure_free_space(n)`` — advance to a fresh chunk if the current one
+  cannot take ``n`` more bytes (Listing 1); requires **no communication**
+  because every chunk address is computable locally.
+* ``write(data)`` — ANSI-``fwrite``-style write that must fit the current
+  chunk (the caller guards with ``ensure_free_space``).
+* ``fwrite(data)`` — SIONlib's own write, splitting data across chunk
+  boundaries internally.
+* ``bytes_avail_in_chunk`` / ``feof`` / ``read`` / ``fread`` — the read-side
+  mirror images (Listing 2), driven by the per-block byte counts recorded
+  in metablock 2.
+
+With the *shadow* extension (paper §6 roadmap), the first 32 bytes of every
+chunk hold a :class:`~repro.sion.format.ShadowHeader` so metablock 2 can be
+reconstructed after a crash; usable chunk capacity shrinks accordingly.
+"""
+
+from __future__ import annotations
+
+from repro.backends.base import RawFile
+from repro.errors import SionChunkOverflowError, SionUsageError
+from repro.sion.constants import SHADOW_HEADER_SIZE
+from repro.sion.format import ShadowHeader
+from repro.sion.layout import ChunkLayout
+
+
+class TaskStream:
+    """Sequential cursor over one task's chunks in one physical file."""
+
+    def __init__(
+        self,
+        raw: RawFile,
+        layout: ChunkLayout,
+        ltask: int,
+        mode: str,
+        blocksizes: list[int] | None = None,
+        shadow: bool = False,
+    ) -> None:
+        if mode not in ("r", "w"):
+            raise SionUsageError(f"TaskStream mode must be 'r' or 'w', got {mode!r}")
+        if mode == "r" and blocksizes is None:
+            raise SionUsageError("read mode requires the task's block sizes")
+        self.raw = raw
+        self.layout = layout
+        self.ltask = ltask
+        self.mode = mode
+        self.shadow = shadow
+        self._data_offset = SHADOW_HEADER_SIZE if shadow else 0
+        self.capacity = layout.capacity(ltask) - self._data_offset
+        if self.capacity <= 0:
+            raise SionUsageError(
+                "chunk too small to hold the shadow header; "
+                "increase chunksize or fsblksize"
+            )
+        self.cur_block = 0
+        self.pos = 0  # data bytes into the current chunk
+        self._finished: list[int] = []  # bytes written per completed block
+        self._blocksizes = list(blocksizes) if blocksizes is not None else None
+        self._closed = False
+        self._seek_chunk_data(0, 0)
+        if mode == "r":
+            self._skip_empty_blocks()
+
+    # -- common ------------------------------------------------------------
+
+    @property
+    def nblocks_read(self) -> int:
+        """Number of blocks recorded for this task (read mode)."""
+        assert self._blocksizes is not None
+        return len(self._blocksizes)
+
+    def tell_logical(self) -> int:
+        """Bytes consumed/produced so far across all blocks."""
+        if self.mode == "w":
+            return sum(self._finished) + self.pos
+        assert self._blocksizes is not None
+        return sum(self._blocksizes[: self.cur_block]) + self.pos
+
+    def _seek_chunk_data(self, block: int, pos: int) -> None:
+        self.raw.seek(self.layout.chunk_start(self.ltask, block) + self._data_offset + pos)
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise SionUsageError("stream is closed")
+
+    # -- write side ------------------------------------------------------------
+
+    def bytes_left_in_chunk(self) -> int:
+        """Write capacity remaining in the current chunk."""
+        self._require("w")
+        return self.capacity - self.pos
+
+    def ensure_free_space(self, nbytes: int) -> bool:
+        """Guarantee ``nbytes`` fit contiguously; may advance to a new chunk.
+
+        Returns True if a new chunk (block) was allocated.  Raises
+        :class:`SionUsageError` if ``nbytes`` can never fit a single chunk —
+        use :meth:`fwrite` for such writes.
+        """
+        self._require("w")
+        if nbytes < 0:
+            raise SionUsageError("nbytes must be non-negative")
+        if nbytes > self.capacity:
+            raise SionUsageError(
+                f"request of {nbytes} bytes exceeds the chunk capacity "
+                f"({self.capacity}); use fwrite() to span chunks"
+            )
+        if self.pos + nbytes > self.capacity:
+            self._advance_write_block()
+            return True
+        return False
+
+    def write(self, data: bytes) -> int:
+        """Write within the current chunk (ANSI-style); no spanning."""
+        self._require("w")
+        n = len(data)
+        if self.pos + n > self.capacity:
+            raise SionChunkOverflowError(
+                f"write of {n} bytes overflows chunk (pos={self.pos}, "
+                f"capacity={self.capacity}); call ensure_free_space first"
+            )
+        self.raw.write(bytes(data))
+        self.pos += n
+        return n
+
+    def fwrite(self, data: bytes) -> int:
+        """Chunk-spanning write: splits internally at chunk boundaries."""
+        self._require("w")
+        view = memoryview(bytes(data))
+        total = len(view)
+        while len(view) > 0:
+            avail = self.capacity - self.pos
+            if avail == 0:
+                self._advance_write_block()
+                avail = self.capacity
+            piece = view[:avail]
+            self.raw.write(bytes(piece))
+            self.pos += len(piece)
+            view = view[len(piece):]
+        return total
+
+    def _advance_write_block(self) -> None:
+        self._flush_shadow()
+        self._finished.append(self.pos)
+        self.cur_block += 1
+        self.pos = 0
+        self._seek_chunk_data(self.cur_block, 0)
+
+    def _flush_shadow(self) -> None:
+        """Persist the current block's shadow header (if enabled)."""
+        if not self.shadow:
+            return
+        hdr = ShadowHeader(ltask=self.ltask, block=self.cur_block, written=self.pos)
+        self.raw.seek(self.layout.chunk_start(self.ltask, self.cur_block))
+        self.raw.write(hdr.encode())
+        self._seek_chunk_data(self.cur_block, self.pos)
+
+    def flush_shadow(self) -> None:
+        """Public hook: checkpoint the recovery metadata now (paper §6)."""
+        self._require("w")
+        self._flush_shadow()
+
+    def finalize(self) -> list[int]:
+        """Close the write stream; returns bytes written per block.
+
+        Trailing empty blocks are trimmed; a task that wrote nothing
+        reports a single zero-byte block.
+        """
+        self._require("w")
+        self._flush_shadow()
+        sizes = [*self._finished, self.pos]
+        while len(sizes) > 1 and sizes[-1] == 0:
+            sizes.pop()
+        self._closed = True
+        return sizes
+
+    # -- read side -----------------------------------------------------------------
+
+    def bytes_avail_in_chunk(self) -> int:
+        """Data bytes left to read in the current chunk (Listing 2)."""
+        self._require("r")
+        assert self._blocksizes is not None
+        self._skip_empty_blocks()
+        if self.cur_block >= len(self._blocksizes):
+            return 0
+        return self._blocksizes[self.cur_block] - self.pos
+
+    def feof(self) -> bool:
+        """True once every recorded byte of this task has been read."""
+        self._require("r")
+        assert self._blocksizes is not None
+        self._skip_empty_blocks()
+        return self.cur_block >= len(self._blocksizes)
+
+    def read(self, n: int) -> bytes:
+        """Read up to ``n`` bytes from the current chunk only."""
+        self._require("r")
+        if n < 0:
+            raise SionUsageError("read size must be non-negative")
+        avail = self.bytes_avail_in_chunk()
+        m = min(n, avail)
+        if m == 0:
+            return b""
+        out = self.raw.read(m)
+        self.pos += len(out)
+        return out
+
+    def fread(self, n: int) -> bytes:
+        """Chunk-spanning read of up to ``n`` bytes (stops at task EOF)."""
+        self._require("r")
+        parts: list[bytes] = []
+        remaining = n
+        while remaining > 0 and not self.feof():
+            piece = self.read(remaining)
+            if not piece:  # pragma: no cover - defensive
+                break
+            parts.append(piece)
+            remaining -= len(piece)
+        return b"".join(parts)
+
+    def read_all(self) -> bytes:
+        """Read this task's entire remaining logical stream."""
+        self._require("r")
+        parts: list[bytes] = []
+        while not self.feof():
+            parts.append(self.read(self.bytes_avail_in_chunk()))
+        return b"".join(parts)
+
+    def seek_logical(self, block: int, pos: int) -> None:
+        """Reposition to ``pos`` within the data of chunk ``block`` (read mode)."""
+        self._require("r")
+        assert self._blocksizes is not None
+        if block < 0 or pos < 0:
+            raise SionUsageError("block and pos must be non-negative")
+        if block >= len(self._blocksizes):
+            raise SionUsageError(
+                f"block {block} out of range ({len(self._blocksizes)} blocks)"
+            )
+        if pos > self._blocksizes[block]:
+            raise SionUsageError(
+                f"pos {pos} beyond data in block {block} "
+                f"({self._blocksizes[block]} bytes)"
+            )
+        self.cur_block = block
+        self.pos = pos
+        self._seek_chunk_data(block, pos)
+
+    def _skip_empty_blocks(self) -> None:
+        assert self._blocksizes is not None
+        moved = False
+        while (
+            self.cur_block < len(self._blocksizes)
+            and self.pos >= self._blocksizes[self.cur_block]
+        ):
+            self.cur_block += 1
+            self.pos = 0
+            moved = True
+        if moved and self.cur_block < len(self._blocksizes):
+            self._seek_chunk_data(self.cur_block, 0)
+
+    # -- internals ----------------------------------------------------------
+
+    def _require(self, mode: str) -> None:
+        self._check_open()
+        if self.mode != mode:
+            verb = "write" if mode == "w" else "read"
+            raise SionUsageError(f"stream is not open for {verb} (mode={self.mode!r})")

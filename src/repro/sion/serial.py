@@ -1,0 +1,534 @@
+"""Serial multifile access — the paper's Listings 3-5.
+
+Three entry points:
+
+* :func:`open` with mode ``"r"`` — *global view*: all metadata of all
+  physical files is loaded (``get_locations``), and ``seek(rank, block,
+  pos)`` positions anywhere in any task's data (Listing 5).
+* :func:`open` with mode ``"w"`` — serial creation of a multifile for an
+  arbitrary number of tasks, the prerequisite for post-processing tools
+  like defragmentation (Listing 3).
+* :func:`open_rank` — *task-local view*: read a single task's logical file
+  with the same streaming API the parallel reader offers (Listing 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.backends.base import Backend, RawFile
+from repro.backends.localfs import LocalBackend
+from repro.errors import SionUsageError
+from repro.sion.constants import FLAG_COMPRESS, FLAG_SHADOW
+from repro.sion.compression import ZlibReader
+from repro.sion.format import Metablock1, Metablock2
+from repro.sion.layout import ChunkLayout
+from repro.sion.mapping import TaskMapping, physical_path
+from repro.sion.readwrite import TaskStream
+
+
+@dataclass
+class Locations:
+    """Everything ``sion_get_locations`` reveals about a multifile."""
+
+    ntasks: int
+    nfiles: int
+    fsblksize: int
+    chunksizes: list[int]  # requested chunk size per global rank
+    nblocks: list[int]  # blocks recorded per global rank
+    blocksizes: list[list[int]]  # bytes written per rank per block
+    file_of_task: list[int]
+    compressed: bool
+
+    def total_bytes(self, rank: int | None = None) -> int:
+        """Logical bytes of one rank (or of the whole multifile)."""
+        if rank is None:
+            return sum(sum(b) for b in self.blocksizes)
+        if not 0 <= rank < self.ntasks:
+            raise SionUsageError(f"rank {rank} out of range ({self.ntasks})")
+        return sum(self.blocksizes[rank])
+
+
+class _PhysFile:
+    """Loaded state of one physical file of the multifile set."""
+
+    def __init__(
+        self, filenum: int, path: str, raw: RawFile, mb1: Metablock1, layout: ChunkLayout
+    ) -> None:
+        self.filenum = filenum
+        self.path = path
+        self.raw = raw
+        self.mb1 = mb1
+        self.layout = layout
+        self.mb2: Metablock2 | None = None
+
+
+def open(  # noqa: A001 - mirrors the paper's sion_open
+    path: str,
+    mode: str = "r",
+    *,
+    chunksizes: list[int] | None = None,
+    fsblksize: int | None = None,
+    nfiles: int = 1,
+    mapping: str | list[int] = "blocked",
+    backend: Backend | None = None,
+) -> "SionSerialFile":
+    """Open a multifile from a serial program (global view)."""
+    backend = backend if backend is not None else LocalBackend()
+    if mode == "r":
+        return SionSerialFile._open_read(path, backend)
+    if mode == "w":
+        if not chunksizes:
+            raise SionUsageError("serial write requires the per-task chunk sizes")
+        return SionSerialFile._open_write(
+            path, backend, chunksizes, fsblksize, nfiles, mapping
+        )
+    raise SionUsageError(f"mode must be 'r' or 'w', got {mode!r}")
+
+
+def open_rank(
+    path: str, rank: int, backend: Backend | None = None
+) -> "SionRankFile":
+    """Open the task-local view of a single rank (read-only)."""
+    backend = backend if backend is not None else LocalBackend()
+    return SionRankFile(path, rank, backend)
+
+
+class SionSerialFile:
+    """Global-view handle for serial programs and command-line tools."""
+
+    def __init__(
+        self,
+        mode: str,
+        backend: Backend,
+        base_path: str,
+        files: list[_PhysFile],
+        tmap: TaskMapping,
+    ) -> None:
+        self.mode = mode
+        self.backend = backend
+        self.base_path = base_path
+        self._files = files
+        self.mapping = tmap
+        self._closed = False
+        # Serial-write accounting: bytes written per (global rank, block).
+        self._written: dict[int, dict[int, int]] = {}
+        # Current cursor.
+        self._cur_rank = 0
+        self._cur_block = 0
+        self._cur_pos = 0
+        self._read_stream: TaskStream | None = None
+        if mode == "r":
+            self.seek(0, 0, 0)
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def _open_read(cls, path: str, backend: Backend) -> "SionSerialFile":
+        raw0 = backend.open(path, "rb")
+        mb1_0 = Metablock1.decode_from(raw0)
+        tmap = TaskMapping.from_kind_code(
+            mb1_0.ntasks_global, mb1_0.nfiles, mb1_0.mapping_kind, mb1_0.mapping_table
+        )
+        files: list[_PhysFile] = []
+        for f in range(mb1_0.nfiles):
+            fpath = physical_path(path, f)
+            raw = raw0 if f == 0 else backend.open(fpath, "rb")
+            mb1 = mb1_0 if f == 0 else Metablock1.decode_from(raw)
+            pf = _PhysFile(f, fpath, raw, mb1, ChunkLayout.from_metablock1(mb1))
+            pf.mb2 = Metablock2.decode_from(raw, mb1.metablock2_offset)
+            files.append(pf)
+        return cls("r", backend, path, files, tmap)
+
+    @classmethod
+    def _open_write(
+        cls,
+        path: str,
+        backend: Backend,
+        chunksizes: list[int],
+        fsblksize: int | None,
+        nfiles: int,
+        mapping: str | list[int],
+    ) -> "SionSerialFile":
+        ntasks = len(chunksizes)
+        tmap = TaskMapping.create(ntasks, nfiles, mapping)
+        if fsblksize is None:
+            fsblksize = backend.stat_blocksize(path)
+        files: list[_PhysFile] = []
+        for f in range(tmap.nfiles):
+            members = tmap.tasks_of_file(f)
+            local_chunks = [chunksizes[r] for r in members]
+            mb1 = Metablock1(
+                fsblksize=fsblksize,
+                ntasks_local=len(members),
+                nfiles=tmap.nfiles,
+                filenum=f,
+                ntasks_global=ntasks,
+                start_of_data=0,
+                metablock2_offset=0,
+                globalranks=list(members),
+                chunksizes=local_chunks,
+                flags=0,
+                mapping_kind=tmap.kind,
+                mapping_table=list(tmap.table) if f == 0 else [],
+            )
+            layout = ChunkLayout(fsblksize, local_chunks, mb1.encoded_size)
+            mb1.start_of_data = layout.start_of_data
+            fpath = physical_path(path, f)
+            raw = backend.open(fpath, "w+b")
+            raw.write(mb1.encode())
+            files.append(_PhysFile(f, fpath, raw, mb1, layout))
+        return cls("w", backend, path, files, tmap)
+
+    # -- metadata (Listing 5) ------------------------------------------------
+
+    def get_locations(self) -> Locations:
+        """Return the full multifile geometry (``sion_get_locations``)."""
+        self._check_open()
+        ntasks = self.mapping.ntasks
+        chunks = [0] * ntasks
+        nblocks = [0] * ntasks
+        blocksizes: list[list[int]] = [[] for _ in range(ntasks)]
+        for pf in self._files:
+            for lrank, grank in enumerate(pf.mb1.globalranks):
+                chunks[grank] = pf.mb1.chunksizes[lrank]
+                if pf.mb2 is not None:
+                    blocksizes[grank] = list(pf.mb2.blocksizes[lrank])
+                    nblocks[grank] = len(blocksizes[grank])
+        return Locations(
+            ntasks=ntasks,
+            nfiles=self.mapping.nfiles,
+            fsblksize=self._files[0].mb1.fsblksize,
+            chunksizes=chunks,
+            nblocks=nblocks,
+            blocksizes=blocksizes,
+            file_of_task=[self.mapping.file_of(r) for r in range(ntasks)],
+            compressed=bool(self._files[0].mb1.flags & FLAG_COMPRESS),
+        )
+
+    @property
+    def ntasks(self) -> int:
+        """Number of logical task-local files in the multifile."""
+        return self.mapping.ntasks
+
+    @property
+    def nfiles(self) -> int:
+        """Number of physical files backing it."""
+        return self.mapping.nfiles
+
+    @property
+    def fsblksize(self) -> int:
+        """Alignment granularity recorded at creation."""
+        return self._files[0].mb1.fsblksize
+
+    @property
+    def compressed(self) -> bool:
+        """True if task streams are transparently zlib-compressed."""
+        return bool(self._files[0].mb1.flags & FLAG_COMPRESS)
+
+    # -- cursor ------------------------------------------------------------------
+
+    def seek(self, rank: int, block: int = 0, pos: int = 0) -> None:
+        """Position at ``pos`` within ``rank``'s chunk of ``block``.
+
+        This is ``sion_seek``: the navigation primitive for both global-view
+        reading and serial writing.
+        """
+        self._check_open()
+        if not 0 <= rank < self.mapping.ntasks:
+            raise SionUsageError(f"rank {rank} out of range ({self.mapping.ntasks})")
+        pf = self._phys_of(rank)
+        lrank = self.mapping.local_rank(rank)
+        if self.mode == "r":
+            assert pf.mb2 is not None
+            stream = TaskStream(
+                pf.raw,
+                pf.layout,
+                lrank,
+                "r",
+                blocksizes=pf.mb2.blocksizes[lrank],
+                shadow=bool(pf.mb1.flags & FLAG_SHADOW),
+            )
+            stream.seek_logical(block, pos)
+            self._read_stream = stream
+        else:
+            capacity = pf.layout.capacity(lrank)
+            if block < 0 or pos < 0:
+                raise SionUsageError("block and pos must be non-negative")
+            if pos > capacity:
+                raise SionUsageError(
+                    f"pos {pos} beyond chunk capacity {capacity} of rank {rank}"
+                )
+            pf.raw.seek(pf.layout.chunk_start(lrank, block) + pos)
+        self._cur_rank = rank
+        self._cur_block = block
+        self._cur_pos = pos
+
+    # -- reading --------------------------------------------------------------------
+
+    def bytes_avail_in_chunk(self) -> int:
+        """Unread data bytes in the chunk under the cursor."""
+        self._check_mode("r")
+        assert self._read_stream is not None
+        return self._read_stream.bytes_avail_in_chunk()
+
+    def feof(self) -> bool:
+        """True when the cursor's task has no data left."""
+        self._check_mode("r")
+        assert self._read_stream is not None
+        return self._read_stream.feof()
+
+    def read(self, n: int) -> bytes:
+        """Read within the current chunk."""
+        self._check_mode("r")
+        self._no_compress("read")
+        assert self._read_stream is not None
+        return self._read_stream.read(n)
+
+    def fread(self, n: int) -> bytes:
+        """Read across chunk boundaries of the current task."""
+        self._check_mode("r")
+        self._no_compress("fread")
+        assert self._read_stream is not None
+        return self._read_stream.fread(n)
+
+    def read_task(self, rank: int) -> bytes:
+        """Entire logical content of ``rank``'s task-local file.
+
+        Transparently decompresses if the multifile was written with
+        ``compress=True``.
+        """
+        self._check_mode("r")
+        self.seek(rank, 0, 0)
+        assert self._read_stream is not None
+        raw = self._read_stream.read_all()
+        if self.compressed:
+            zr = ZlibReader()
+            zr.feed(raw)
+            zr.source_exhausted()
+            return zr.take(zr.available())
+        return raw
+
+    # -- serial writing (Listing 3) -----------------------------------------------------
+
+    def ensure_free_space(self, nbytes: int) -> bool:
+        """Advance the cursor to a fresh chunk if ``nbytes`` don't fit."""
+        self._check_mode("w")
+        pf = self._phys_of(self._cur_rank)
+        capacity = pf.layout.capacity(self.mapping.local_rank(self._cur_rank))
+        if nbytes < 0:
+            raise SionUsageError("nbytes must be non-negative")
+        if nbytes > capacity:
+            raise SionUsageError(
+                f"request of {nbytes} bytes exceeds chunk capacity {capacity}; "
+                "use fwrite() to span chunks"
+            )
+        if self._cur_pos + nbytes > capacity:
+            self.seek(self._cur_rank, self._cur_block + 1, 0)
+            return True
+        return False
+
+    def write(self, data: bytes) -> int:
+        """Write at the cursor; must stay inside the current chunk."""
+        self._check_mode("w")
+        pf = self._phys_of(self._cur_rank)
+        lrank = self.mapping.local_rank(self._cur_rank)
+        capacity = pf.layout.capacity(lrank)
+        n = len(data)
+        if self._cur_pos + n > capacity:
+            raise SionUsageError(
+                f"write of {n} bytes overflows chunk capacity {capacity} "
+                f"at pos {self._cur_pos}; call ensure_free_space first"
+            )
+        pf.raw.write(bytes(data))
+        self._record_written(self._cur_rank, self._cur_block, self._cur_pos + n)
+        self._cur_pos += n
+        return n
+
+    def fwrite(self, data: bytes) -> int:
+        """Write at the cursor, spanning blocks of the current task."""
+        self._check_mode("w")
+        view = memoryview(bytes(data))
+        total = len(view)
+        pf = self._phys_of(self._cur_rank)
+        capacity = pf.layout.capacity(self.mapping.local_rank(self._cur_rank))
+        while len(view) > 0:
+            avail = capacity - self._cur_pos
+            if avail == 0:
+                self.seek(self._cur_rank, self._cur_block + 1, 0)
+                avail = capacity
+            piece = view[:avail]
+            self.write(bytes(piece))
+            view = view[len(piece):]
+        return total
+
+    # -- lifecycle -------------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Close; in write mode this appends metablock 2 to every file."""
+        if self._closed:
+            return
+        if self.mode == "w":
+            for pf in self._files:
+                blocksizes: list[list[int]] = []
+                for grank in pf.mb1.globalranks:
+                    per_block = self._written.get(grank, {})
+                    nblocks = max(per_block) + 1 if per_block else 1
+                    blocksizes.append(
+                        [per_block.get(b, 0) for b in range(nblocks)]
+                    )
+                mb2 = Metablock2(blocksizes=blocksizes)
+                offset = pf.layout.end_of_blocks(mb2.maxblocks)
+                pf.raw.seek(offset)
+                pf.raw.write(mb2.encode())
+                pf.mb1.patch_metablock2_offset(pf.raw, offset)
+                pf.raw.flush()
+        for pf in self._files:
+            pf.raw.close()
+        self._closed = True
+
+    def __enter__(self) -> "SionSerialFile":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # -- internals ------------------------------------------------------------------------
+
+    def _phys_of(self, rank: int) -> _PhysFile:
+        return self._files[self.mapping.file_of(rank)]
+
+    def _record_written(self, rank: int, block: int, end_pos: int) -> None:
+        per_block = self._written.setdefault(rank, {})
+        per_block[block] = max(per_block.get(block, 0), end_pos)
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise SionUsageError("multifile is closed")
+
+    def _check_mode(self, mode: str) -> None:
+        self._check_open()
+        if self.mode != mode:
+            raise SionUsageError(
+                f"operation requires mode {mode!r}, file is open {self.mode!r}"
+            )
+
+    def _no_compress(self, op: str) -> None:
+        if self.compressed:
+            raise SionUsageError(
+                f"{op} returns raw chunk bytes, which are compressed in this "
+                "multifile; use read_task for transparent decompression"
+            )
+
+
+class SionRankFile:
+    """Task-local read view of one rank (Listing 4)."""
+
+    def __init__(self, path: str, rank: int, backend: Backend) -> None:
+        raw0 = backend.open(path, "rb")
+        mb1_0 = Metablock1.decode_from(raw0)
+        tmap = TaskMapping.from_kind_code(
+            mb1_0.ntasks_global, mb1_0.nfiles, mb1_0.mapping_kind, mb1_0.mapping_table
+        )
+        if not 0 <= rank < tmap.ntasks:
+            raw0.close()
+            raise SionUsageError(f"rank {rank} out of range ({tmap.ntasks} tasks)")
+        filenum = tmap.file_of(rank)
+        lrank = tmap.local_rank(rank)
+        if filenum == 0:
+            raw, mb1 = raw0, mb1_0
+        else:
+            raw0.close()
+            raw = backend.open(physical_path(path, filenum), "rb")
+            mb1 = Metablock1.decode_from(raw)
+        mb2 = Metablock2.decode_from(raw, mb1.metablock2_offset)
+        self.rank = rank
+        self.path = path
+        self._raw = raw
+        self.mb1 = mb1
+        self.compressed = bool(mb1.flags & FLAG_COMPRESS)
+        self._stream = TaskStream(
+            raw,
+            ChunkLayout.from_metablock1(mb1),
+            lrank,
+            "r",
+            blocksizes=mb2.blocksizes[lrank],
+            shadow=bool(mb1.flags & FLAG_SHADOW),
+        )
+        self._zr = ZlibReader() if self.compressed else None
+        self._closed = False
+
+    def bytes_avail_in_chunk(self) -> int:
+        """Unread data bytes in the current chunk (raw stream)."""
+        self._check_open()
+        return self._stream.bytes_avail_in_chunk()
+
+    def get_current_location(self) -> tuple[int, int]:
+        """``sion_get_current_location``: ``(block, pos_in_chunk)``."""
+        self._check_open()
+        return self._stream.cur_block, self._stream.pos
+
+    def tell_logical(self) -> int:
+        """Raw chunk-stream bytes consumed so far for this rank."""
+        self._check_open()
+        return self._stream.tell_logical()
+
+    def feof(self) -> bool:
+        """True when this rank's logical stream is exhausted."""
+        self._check_open()
+        if self._zr is not None:
+            self._pump(1)
+            return self._zr.exhausted
+        return self._stream.feof()
+
+    def read(self, n: int) -> bytes:
+        """Read within the current chunk (raw bytes; no decompression)."""
+        self._check_open()
+        if self.compressed:
+            raise SionUsageError("compressed multifile: use fread/read_all")
+        return self._stream.read(n)
+
+    def fread(self, n: int) -> bytes:
+        """Read up to ``n`` logical bytes, crossing chunk boundaries."""
+        self._check_open()
+        if self._zr is not None:
+            self._pump(n)
+            return self._zr.take(n)
+        return self._stream.fread(n)
+
+    def read_all(self) -> bytes:
+        """Everything that remains of this rank's logical file."""
+        self._check_open()
+        if self._zr is not None:
+            parts = []
+            while not self.feof():
+                self._pump(1 << 20)
+                parts.append(self._zr.take(self._zr.available()))
+            return b"".join(parts)
+        return self._stream.read_all()
+
+    def close(self) -> None:
+        """Release the underlying physical-file handle."""
+        if not self._closed:
+            self._raw.close()
+            self._closed = True
+
+    def __enter__(self) -> "SionRankFile":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def _pump(self, want: int) -> None:
+        assert self._zr is not None
+        while self._zr.available() < want and not self._stream.feof():
+            piece = self._stream.fread(64 * 1024)
+            if not piece:
+                break
+            self._zr.feed(piece)
+        if self._stream.feof():
+            self._zr.source_exhausted()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise SionUsageError("rank file is closed")

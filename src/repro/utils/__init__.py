@@ -1,0 +1,28 @@
+"""Serial command-line utilities for multifiles (paper §3.3).
+
+* :mod:`repro.utils.dump` — print multifile metadata (``siondump``).
+* :mod:`repro.utils.split` — extract logical files back into physical ones
+  (``sionsplit``).
+* :mod:`repro.utils.defrag` — contract all blocks into one and drop gaps
+  (``siondefrag``).
+* :mod:`repro.utils.verify` — set-wide consistency checks (``sionverify``).
+* :mod:`repro.utils.cat` — stream one logical file (``sioncat``).
+* :mod:`repro.utils.cli` — argparse entry points wired up in
+  ``pyproject.toml``.
+"""
+
+from repro.utils.cat import cat_rank
+from repro.utils.defrag import defragment
+from repro.utils.dump import dump_multifile, format_dump
+from repro.utils.split import split_multifile
+from repro.utils.verify import format_report, verify_multifile
+
+__all__ = [
+    "cat_rank",
+    "defragment",
+    "dump_multifile",
+    "format_dump",
+    "format_report",
+    "split_multifile",
+    "verify_multifile",
+]

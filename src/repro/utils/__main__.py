@@ -1,0 +1,50 @@
+"""``python -m repro.utils <tool> ...`` — offline-friendly CLI dispatch.
+
+The console scripts in pyproject.toml require a pip install; this module
+exposes the same tools without one:
+
+    python -m repro.utils dump    out.sion -v
+    python -m repro.utils split   out.sion 'task_{rank}.dat'
+    python -m repro.utils defrag  out.sion out_dense.sion
+    python -m repro.utils recover out.sion
+    python -m repro.utils verify  out.sion --deep
+    python -m repro.utils cat     out.sion 3
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.utils.cli import (
+    main_cat,
+    main_defrag,
+    main_dump,
+    main_recover,
+    main_split,
+    main_verify,
+)
+
+_TOOLS = {
+    "dump": main_dump,
+    "split": main_split,
+    "defrag": main_defrag,
+    "recover": main_recover,
+    "verify": main_verify,
+    "cat": main_cat,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    if not args or args[0] in ("-h", "--help") or args[0] not in _TOOLS:
+        print(
+            "usage: python -m repro.utils "
+            f"{{{','.join(sorted(_TOOLS))}}} [tool options]",
+            file=sys.stderr,
+        )
+        return 0 if args and args[0] in ("-h", "--help") else 2
+    return _TOOLS[args[0]](args[1:])
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

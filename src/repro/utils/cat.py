@@ -1,0 +1,41 @@
+"""``sioncat``: stream one logical task-local file to a file object.
+
+The moral equivalent of ``cat`` for a logical file inside a multifile —
+useful for piping a single task's log or trace into other tools without
+extracting the whole set.
+"""
+
+from __future__ import annotations
+
+import io
+import sys
+
+from repro.backends.base import Backend
+from repro.sion.serial import open_rank
+
+#: Read granularity; small enough to stream, large enough to be cheap.
+_PIECE = 256 * 1024
+
+
+def cat_rank(
+    path: str,
+    rank: int,
+    out: io.RawIOBase | io.BufferedIOBase | None = None,
+    backend: Backend | None = None,
+) -> int:
+    """Copy rank ``rank``'s logical bytes to ``out`` (default: stdout).
+
+    Streams in bounded pieces (never materializes the whole logical file);
+    transparently decompresses compressed multifiles.  Returns the number
+    of bytes written.
+    """
+    sink = out if out is not None else sys.stdout.buffer
+    total = 0
+    with open_rank(path, rank, backend=backend) as rf:
+        while True:
+            piece = rf.fread(_PIECE)
+            if not piece:
+                break
+            sink.write(piece)
+            total += len(piece)
+    return total

@@ -1,0 +1,149 @@
+"""Argparse entry points for the multifile command-line utilities.
+
+Installed as ``siondump``, ``sionsplit``, ``siondefrag`` and
+``sionrecover`` (see ``pyproject.toml``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.errors import ReproError
+from repro.sion.recovery import recover_multifile
+from repro.utils.cat import cat_rank
+from repro.utils.defrag import defragment
+from repro.utils.dump import dump_multifile, format_dump
+from repro.utils.split import split_multifile
+from repro.utils.verify import format_report, verify_multifile
+
+
+def main_dump(argv: list[str] | None = None) -> int:
+    """``siondump [-v] MULTIFILE``"""
+    p = argparse.ArgumentParser(
+        prog="siondump", description="Print SION multifile metadata."
+    )
+    p.add_argument("multifile", help="path of physical file 0")
+    p.add_argument(
+        "-v", "--verbose", action="store_true", help="one line per task"
+    )
+    args = p.parse_args(argv)
+    return _run(lambda: print(format_dump(dump_multifile(args.multifile), args.verbose)))
+
+
+def main_split(argv: list[str] | None = None) -> int:
+    """``sionsplit MULTIFILE OUT_PATTERN [--ranks 0 1 2]``"""
+    p = argparse.ArgumentParser(
+        prog="sionsplit",
+        description="Extract logical task-local files from a SION multifile.",
+    )
+    p.add_argument("multifile", help="path of physical file 0")
+    p.add_argument(
+        "out_pattern",
+        help="output path containing '{rank}', e.g. 'task_{rank:06d}.dat'",
+    )
+    p.add_argument(
+        "--ranks", type=int, nargs="+", default=None, help="extract only these ranks"
+    )
+    args = p.parse_args(argv)
+
+    def run() -> None:
+        paths = split_multifile(args.multifile, args.out_pattern, args.ranks)
+        print(f"extracted {len(paths)} logical file(s)")
+
+    return _run(run)
+
+
+def main_defrag(argv: list[str] | None = None) -> int:
+    """``siondefrag IN OUT [--nfiles N] [--fsblksize B]``"""
+    p = argparse.ArgumentParser(
+        prog="siondefrag",
+        description="Contract a SION multifile into a dense single-block one.",
+    )
+    p.add_argument("input", help="path of physical file 0")
+    p.add_argument("output", help="path of the defragmented multifile")
+    p.add_argument("--nfiles", type=int, default=1, help="output physical files")
+    p.add_argument(
+        "--fsblksize", type=int, default=None, help="output alignment granularity"
+    )
+    args = p.parse_args(argv)
+
+    def run() -> None:
+        out = defragment(args.input, args.output, args.nfiles, args.fsblksize)
+        print(f"defragmented into {out}")
+
+    return _run(run)
+
+
+def main_recover(argv: list[str] | None = None) -> int:
+    """``sionrecover MULTIFILE [--force]``"""
+    p = argparse.ArgumentParser(
+        prog="sionrecover",
+        description="Rebuild a lost metablock 2 from per-chunk shadow headers.",
+    )
+    p.add_argument("multifile", help="path of physical file 0")
+    p.add_argument(
+        "--force",
+        action="store_true",
+        help="rebuild even if metablock 2 looks intact",
+    )
+    args = p.parse_args(argv)
+
+    def run() -> None:
+        report = recover_multifile(args.multifile, force=args.force)
+        for line in report.details:
+            print(line)
+        print(
+            f"files: {report.nfiles} intact: {report.files_intact} "
+            f"recovered: {report.files_recovered} "
+            f"bytes: {report.bytes_recovered}"
+        )
+
+    return _run(run)
+
+
+def main_verify(argv: list[str] | None = None) -> int:
+    """``sionverify [--deep] MULTIFILE``"""
+    p = argparse.ArgumentParser(
+        prog="sionverify",
+        description="Check the consistency of a SION multifile set.",
+    )
+    p.add_argument("multifile", help="path of physical file 0")
+    p.add_argument(
+        "--deep",
+        action="store_true",
+        help="also validate shadow headers against metablock 2",
+    )
+    args = p.parse_args(argv)
+
+    def run() -> None:
+        report = verify_multifile(args.multifile, deep=args.deep)
+        print(format_report(report))
+        if not report.ok:
+            raise SystemExit(2)
+
+    try:
+        return _run(run)
+    except SystemExit as exc:
+        return int(exc.code or 0)
+
+
+def main_cat(argv: list[str] | None = None) -> int:
+    """``sioncat MULTIFILE RANK``"""
+    p = argparse.ArgumentParser(
+        prog="sioncat",
+        description="Stream one logical task-local file to stdout.",
+    )
+    p.add_argument("multifile", help="path of physical file 0")
+    p.add_argument("rank", type=int, help="logical file (global rank) to print")
+    args = p.parse_args(argv)
+    return _run(lambda: cat_rank(args.multifile, args.rank))
+
+
+def _run(fn) -> int:
+    try:
+        fn()
+        return 0
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1

@@ -1,0 +1,51 @@
+"""``siondefrag``: contract a multifile into a single dense block.
+
+"The defragment tool generates a new multifile from an existing one with
+all the blocks contracted into a single block, that is, the new file
+contains only one chunk per task with the data from all chunks of this
+task found in the input file.  In addition, all gaps in the form of unused
+file-system blocks are removed" (paper §3.3).
+"""
+
+from __future__ import annotations
+
+from repro.backends.base import Backend
+from repro.backends.localfs import LocalBackend
+from repro.errors import SionUsageError
+from repro.sion import serial
+
+
+def defragment(
+    in_path: str,
+    out_path: str,
+    nfiles: int = 1,
+    fsblksize: int | None = None,
+    backend: Backend | None = None,
+) -> str:
+    """Rewrite ``in_path`` as a dense single-block multifile at ``out_path``.
+
+    Each task's chunks are concatenated into exactly one chunk sized to its
+    total data, so the output has no inter-block gaps.  ``fsblksize``
+    defaults to the input's alignment.  Returns ``out_path``.
+    """
+    if in_path == out_path:
+        raise SionUsageError("defragment cannot rewrite a multifile in place")
+    backend = backend if backend is not None else LocalBackend()
+    with serial.open(in_path, "r", backend=backend) as src:
+        loc = src.get_locations()
+        payloads = [src.read_task(rank) for rank in range(loc.ntasks)]
+    chunksizes = [max(len(p), 1) for p in payloads]
+    out_blk = fsblksize if fsblksize is not None else loc.fsblksize
+    with serial.open(
+        out_path,
+        "w",
+        chunksizes=chunksizes,
+        fsblksize=out_blk,
+        nfiles=nfiles,
+        backend=backend,
+    ) as dst:
+        for rank, payload in enumerate(payloads):
+            if payload:
+                dst.seek(rank, 0, 0)
+                dst.write(payload)
+    return out_path

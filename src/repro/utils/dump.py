@@ -1,0 +1,71 @@
+"""``siondump``: print the metadata of a multifile set.
+
+"A convenient way to learn more about the structure of the multifile to
+see, for example, how many logical files it contains and how large they
+are" (paper §3.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.backends.base import Backend
+from repro.sion import serial
+
+
+@dataclass
+class MultifileSummary:
+    """Structured result of a dump, convenient for programmatic use."""
+
+    path: str
+    ntasks: int
+    nfiles: int
+    fsblksize: int
+    compressed: bool
+    chunksizes: list[int]
+    nblocks: list[int]
+    bytes_per_task: list[int]
+    total_bytes: int
+
+    @property
+    def maxblocks(self) -> int:
+        """Largest block count over all tasks."""
+        return max(self.nblocks, default=0)
+
+
+def dump_multifile(path: str, backend: Backend | None = None) -> MultifileSummary:
+    """Read every metablock of the set and summarize it."""
+    with serial.open(path, "r", backend=backend) as sf:
+        loc = sf.get_locations()
+        return MultifileSummary(
+            path=path,
+            ntasks=loc.ntasks,
+            nfiles=loc.nfiles,
+            fsblksize=loc.fsblksize,
+            compressed=loc.compressed,
+            chunksizes=list(loc.chunksizes),
+            nblocks=list(loc.nblocks),
+            bytes_per_task=[sum(b) for b in loc.blocksizes],
+            total_bytes=loc.total_bytes(),
+        )
+
+
+def format_dump(summary: MultifileSummary, verbose: bool = False) -> str:
+    """Human-readable rendering, one task per line in verbose mode."""
+    lines = [
+        f"multifile:   {summary.path}",
+        f"tasks:       {summary.ntasks}",
+        f"phys. files: {summary.nfiles}",
+        f"fsblksize:   {summary.fsblksize}",
+        f"compressed:  {'yes' if summary.compressed else 'no'}",
+        f"max blocks:  {summary.maxblocks}",
+        f"total bytes: {summary.total_bytes}",
+    ]
+    if verbose:
+        lines.append("task  chunksize  blocks  bytes")
+        for t in range(summary.ntasks):
+            lines.append(
+                f"{t:>4}  {summary.chunksizes[t]:>9}  "
+                f"{summary.nblocks[t]:>6}  {summary.bytes_per_task[t]}"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,19 @@
+"""Experiment scenario generators for every table and figure of the paper.
+
+Each module reproduces one evaluation artifact by driving the simulated
+file system (:mod:`repro.fs`) with the same operation pattern the paper's
+measurements generated:
+
+========================  =============================================
+:mod:`~repro.workloads.filecreate`   Fig. 3a/3b — parallel create/open of task-local files vs. SION multifile creation
+:mod:`~repro.workloads.bandwidth`    Fig. 4a/4b — bandwidth vs. number of physical files (and striping)
+:mod:`~repro.workloads.alignment`    Table 1    — FS-block alignment vs. false sharing
+:mod:`~repro.workloads.taskbw`       Fig. 5a/5b — SION vs. task-local bandwidth over task counts
+:mod:`~repro.workloads.mp2c_io`      Fig. 6     — MP2C restart I/O: single-file-sequential vs. SION
+:mod:`~repro.workloads.scalasca_io`  Table 2    — Scalasca measurement activation and write bandwidth
+========================  =============================================
+"""
+
+from repro.workloads.common import IOResult, parallel_io
+
+__all__ = ["IOResult", "parallel_io"]

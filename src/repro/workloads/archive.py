@@ -1,0 +1,65 @@
+"""File-management scenario: tape archival of a run's output (paper §1).
+
+Prices the paper's operational motivation — "copying files to a tape
+archive may be significantly slowed down ... different files of the same
+directory may end up on different tapes" — for a 32K-task run's output,
+comparing one-file-per-task against a SION multifile set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.fs.archive import ArchiveComparison, TapeLibrary, compare_archival
+
+GB = 10**9
+TB = 10**12
+
+#: Default scenario: a 32K-task run's 1470 GB trace directory (Table 2's
+#: data volume) archived while three other users stream to the library.
+NTASKS = 32768
+DATA_BYTES = 1470 * GB
+NFILES_MULTIFILE = 16
+INTERLEAVED_USERS = 4
+
+
+@dataclass
+class ArchiveSweepPoint:
+    """One task count of the archival comparison."""
+
+    ntasks: int
+    comparison: ArchiveComparison
+
+
+def run_archive_comparison(
+    library: TapeLibrary | None = None,
+    ntasks: int = NTASKS,
+    data_bytes: float = DATA_BYTES,
+    nfiles: int = NFILES_MULTIFILE,
+    users: int = INTERLEAVED_USERS,
+) -> ArchiveComparison:
+    """The headline comparison at one scale."""
+    lib = library if library is not None else TapeLibrary()
+    return compare_archival(lib, ntasks, data_bytes, nfiles, users)
+
+
+def sweep_task_counts(
+    task_counts: list[int],
+    bytes_per_task: float = 45 * 10**6,
+    library: TapeLibrary | None = None,
+    nfiles: int = NFILES_MULTIFILE,
+    users: int = INTERLEAVED_USERS,
+) -> list[ArchiveSweepPoint]:
+    """Archival cost growth as the job scales (fixed bytes per task)."""
+    lib = library if library is not None else TapeLibrary()
+    out = []
+    for n in task_counts:
+        out.append(
+            ArchiveSweepPoint(
+                ntasks=n,
+                comparison=compare_archival(
+                    lib, n, n * bytes_per_task, min(nfiles, n), users
+                ),
+            )
+        )
+    return out

@@ -1,0 +1,99 @@
+"""Fig. 4 — bandwidth as a function of the number of physical files.
+
+Jugene (Fig. 4a): 64K tasks write/read 1 TB through 1..128 physical files;
+the per-file GPFS token path caps a single file well below the backplane,
+so spreading over ~8-32 files saturates the ~6 GB/s scratch file system,
+with a mild decline at very large file counts from token traffic.
+
+Jaguar (Fig. 4b): 2K tasks move 1 TB under two striping configurations —
+the default (4 OSTs, 1 MB stripes) and an optimized one (64 OSTs, 8 MB) —
+showing that striping choice matters as much as file count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.fs.striping import StripingPolicy
+from repro.fs.systems import SystemProfile
+from repro.workloads.common import IOResult, parallel_io
+
+TB = 10**12
+
+#: Paper sweep points.
+JUGENE_NFILES = [1, 2, 4, 8, 16, 32, 64, 128]
+JAGUAR_NFILES = [1, 2, 4, 8, 16, 32, 64]
+
+JUGENE_NTASKS = 65536
+JAGUAR_NTASKS = 2048
+
+
+@dataclass
+class NfilesPoint:
+    """One x-position of Fig. 4."""
+
+    nfiles: int
+    write_mb_s: float
+    read_mb_s: float
+
+
+def sweep_nfiles(
+    profile: SystemProfile,
+    ntasks: int,
+    total_bytes: float,
+    nfiles_list: list[int],
+    striping: StripingPolicy | None = None,
+    seeds: int = 3,
+) -> list[NfilesPoint]:
+    """Write/read bandwidth over a sweep of physical-file counts.
+
+    On Lustre the OST sets are drawn randomly per file (like the real
+    allocator under load), so each point is averaged over ``seeds``
+    placements; GPFS placement is deterministic and needs one run.
+    """
+    n_seeds = seeds if profile.fs_type == "lustre" else 1
+    out = []
+    for nf in nfiles_list:
+        w_bw = r_bw = 0.0
+        for s in range(n_seeds):
+            w = parallel_io(
+                profile, ntasks, total_bytes, "write", nfiles=nf, striping=striping, seed=s
+            )
+            r = parallel_io(
+                profile, ntasks, total_bytes, "read", nfiles=nf, striping=striping, seed=s
+            )
+            w_bw += w.bandwidth_mb_s
+            r_bw += r.bandwidth_mb_s
+        out.append(
+            NfilesPoint(nfiles=nf, write_mb_s=w_bw / n_seeds, read_mb_s=r_bw / n_seeds)
+        )
+    return out
+
+
+def run_fig4a(profile: SystemProfile) -> list[NfilesPoint]:
+    """Jugene: 64K tasks, 1 TB, 1-128 physical files."""
+    return sweep_nfiles(profile, JUGENE_NTASKS, 1 * TB, JUGENE_NFILES)
+
+
+@dataclass
+class Fig4bResult:
+    """Jaguar sweep under both striping configurations."""
+
+    default: list[NfilesPoint]
+    optimized: list[NfilesPoint]
+
+
+def run_fig4b(profile: SystemProfile) -> Fig4bResult:
+    """Jaguar: 2K tasks, 1 TB, default vs. optimized striping."""
+    default = sweep_nfiles(
+        profile, JAGUAR_NTASKS, 1 * TB, JAGUAR_NFILES, striping=profile.default_striping
+    )
+    assert profile.optimized_striping is not None
+    optimized = sweep_nfiles(
+        profile,
+        JAGUAR_NTASKS,
+        1 * TB,
+        JAGUAR_NFILES,
+        striping=profile.optimized_striping,
+    )
+    return Fig4bResult(default=default, optimized=optimized)

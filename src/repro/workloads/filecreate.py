@@ -1,0 +1,108 @@
+"""Fig. 3 — parallel creation/opening of task-local files vs. SION.
+
+The task-local curves come from a discrete-event simulation of the
+metadata service: ``N`` clients each submit one ``create`` (or ``open``)
+against the shared directory at t=0 and the makespan is the completion of
+the last one.  The SION curve is the collective multifile creation: a
+handful of physical-file creates, a gather of chunk sizes, the metablock
+write, and the serialized per-client grant on the shared files.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+from repro.fs.events import Engine
+from repro.fs.metadata import FifoMetadataService, MetadataOp
+from repro.fs.systems import SystemProfile
+
+#: Virtual seconds for the master to write one metablock.
+_METABLOCK_WRITE_TIME = 0.01
+
+#: Paper sweep points (Fig. 3a and 3b).
+JUGENE_TASK_COUNTS = [4096, 8192, 16384, 32768, 65536]
+JAGUAR_TASK_COUNTS = [256, 1024, 2048, 4096, 8192, 12288]
+
+
+@dataclass
+class CreateResult:
+    """Timing of one file-creation scenario."""
+
+    ntasks: int
+    create_files_s: float
+    open_existing_s: float
+    sion_create_s: float
+
+    @property
+    def create_speedup(self) -> float:
+        """How much faster SION multifile creation is than N creates."""
+        return self.create_files_s / self.sion_create_s
+
+
+def tasklocal_metadata_time(
+    profile: SystemProfile, ntasks: int, kind: str = "create"
+) -> float:
+    """Makespan of ``ntasks`` simultaneous metadata ops in one directory."""
+    if ntasks < 0:
+        raise ReproError("ntasks must be non-negative")
+    engine = Engine()
+    service = FifoMetadataService(engine, profile.metadata_costs, name="dir")
+    if kind == "open":
+        # Opening *existing* files: the directory already holds them.
+        service.dir_entries = ntasks
+    done: list[float] = []
+    for t in range(ntasks):
+        service.submit(
+            MetadataOp(kind, f"/scratch/run/task{t:06d}", task=t),
+            callback=lambda ts, op: done.append(ts),
+        )
+    engine.run()
+    if len(done) != ntasks:
+        raise ReproError("metadata simulation lost operations")
+    return max(done, default=0.0)
+
+
+def sion_create_time(
+    profile: SystemProfile, ntasks: int, nfiles: int = 1
+) -> float:
+    """Collective multifile creation time.
+
+    Components: ``nfiles`` creates through the (serialized) metadata
+    service, the chunk-size gather over the task tree, the metablock-1
+    writes, and one serialized open grant per client on its shared file.
+    """
+    if ntasks < 1 or nfiles < 1 or nfiles > ntasks:
+        raise ReproError(f"bad scenario: ntasks={ntasks} nfiles={nfiles}")
+    engine = Engine()
+    service = FifoMetadataService(engine, profile.metadata_costs, name="dir")
+    done: list[float] = []
+    for f in range(nfiles):
+        service.submit(
+            MetadataOp("create", f"/scratch/run/data.sion.{f:06d}", task=f),
+            callback=lambda ts, op: done.append(ts),
+        )
+    engine.run()
+    create_time = max(done, default=0.0)
+    gather_time = profile.collective_time(ntasks)
+    grant_time = ntasks * profile.shared_open_time
+    return create_time + gather_time + _METABLOCK_WRITE_TIME * nfiles + grant_time
+
+
+def run_fig3(
+    profile: SystemProfile,
+    task_counts: list[int],
+    sion_nfiles: int = 1,
+) -> list[CreateResult]:
+    """Produce the three curves of Fig. 3 for one machine."""
+    out = []
+    for n in task_counts:
+        out.append(
+            CreateResult(
+                ntasks=n,
+                create_files_s=tasklocal_metadata_time(profile, n, "create"),
+                open_existing_s=tasklocal_metadata_time(profile, n, "open"),
+                sion_create_s=sion_create_time(profile, n, sion_nfiles),
+            )
+        )
+    return out

@@ -1,0 +1,118 @@
+"""Table 2 — Scalasca measurement activation time and trace write bandwidth.
+
+32K tasks on Jugene trace an SMG2000 run producing 1470 GB of event data,
+written through 16 physical files.  *Activation* is trace-file creation
+plus tracing-library initialization; the paper measured 369.1 s with
+task-local files against 28.1 s with SIONlib (13.1x), with "the pure file
+creation consuming roughly 1 s" in the SION case.
+
+Trace writing itself is throttled by each task's zlib-compression and
+buffer-management throughput, not by the file system — which is why the
+measured bandwidths (≈2.15 vs ≈2.19 GB/s) sit far under the 6 GB/s peak
+and differ only by the metadata interference the 32K open files add.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.fs.systems import SystemProfile
+from repro.workloads.common import parallel_io
+from repro.workloads.filecreate import sion_create_time, tasklocal_metadata_time
+
+GB = 10**9
+
+#: Paper scenario (Table 2).
+NTASKS = 32768
+NFILES = 16
+TRACE_BYTES = 1470 * GB
+
+#: Tracing-library initialization independent of the I/O method
+#: (buffer allocation, definitions, clock sync) — seconds.
+TRACER_INIT_TIME = 25.0
+
+#: Per-task sustained trace-write throughput (MB/s): zlib compression and
+#: buffer drainage on one 850 MHz PowerPC core, calibrated to the paper's
+#: measured aggregate (2153-2194 MB/s over 32K tasks).
+COMPRESS_WRITE_RATE = 0.067
+
+#: Relative efficiency of the task-local write phase: 32K open files keep
+#: the metadata subsystem busy, shaving ~2% off the achievable rate.
+TASKLOCAL_WRITE_EFFICIENCY = 0.981
+
+
+@dataclass
+class ScalascaRow:
+    """One row of Table 2."""
+
+    io_type: str
+    ntasks: int
+    trace_bytes: float
+    activation_s: float
+    write_bw_mb_s: float
+
+
+@dataclass
+class ScalascaResult:
+    """Both rows plus the headline speedup."""
+
+    tasklocal: ScalascaRow
+    sion: ScalascaRow
+
+    @property
+    def activation_speedup(self) -> float:
+        """Paper: 13.1x."""
+        return self.tasklocal.activation_s / self.sion.activation_s
+
+
+def activation_time(
+    profile: SystemProfile, ntasks: int, method: str, nfiles: int = NFILES
+) -> float:
+    """Measurement-activation time for one method."""
+    if method == "tasklocal":
+        create = tasklocal_metadata_time(profile, ntasks, "create")
+    elif method == "sion":
+        create = sion_create_time(profile, ntasks, nfiles)
+    else:
+        raise ValueError(f"unknown method {method!r}")
+    return create + TRACER_INIT_TIME
+
+
+def trace_write_bandwidth(
+    profile: SystemProfile, ntasks: int, trace_bytes: float, method: str, nfiles: int = NFILES
+) -> float:
+    """Aggregate trace-write bandwidth for one method (MB/s)."""
+    rate = COMPRESS_WRITE_RATE
+    if method == "tasklocal":
+        rate *= TASKLOCAL_WRITE_EFFICIENCY
+    res = parallel_io(
+        profile,
+        ntasks,
+        trace_bytes,
+        "write",
+        nfiles=nfiles,
+        tasklocal=(method == "tasklocal"),
+        rate_cap_per_task=rate,
+    )
+    return res.bandwidth_mb_s
+
+
+def run_table2(
+    profile: SystemProfile,
+    ntasks: int = NTASKS,
+    trace_bytes: float = TRACE_BYTES,
+    nfiles: int = NFILES,
+) -> ScalascaResult:
+    """Reproduce Table 2 on ``profile`` (the paper used Jugene)."""
+    rows = {}
+    for method in ("tasklocal", "sion"):
+        rows[method] = ScalascaRow(
+            io_type="Task-local" if method == "tasklocal" else "SIONlib",
+            ntasks=ntasks,
+            trace_bytes=trace_bytes,
+            activation_s=activation_time(profile, ntasks, method, nfiles),
+            write_bw_mb_s=trace_write_bandwidth(
+                profile, ntasks, trace_bytes, method, nfiles
+            ),
+        )
+    return ScalascaResult(tasklocal=rows["tasklocal"], sion=rows["sion"])

@@ -1,0 +1,136 @@
+"""Physical observables and the thermostat."""
+
+import numpy as np
+import pytest
+
+from repro.apps.mp2c.observables import (
+    com_velocity,
+    maxwell_boltzmann_speed_pdf,
+    maxwellian_deviation,
+    mean_squared_displacement,
+    rescale_to_temperature,
+    speed_histogram,
+    temperature,
+)
+from repro.apps.mp2c.particles import ParticleState
+from repro.apps.mp2c.srd import srd_step
+from repro.errors import ReproError
+
+
+def _state(n=2000, temp=1.0, seed=0):
+    return ParticleState.random(n, (16.0, 16.0, 16.0), temperature=temp, seed=seed)
+
+
+class TestTemperature:
+    def test_matches_generation_temperature(self):
+        for target in (0.5, 1.0, 2.0):
+            s = _state(5000, temp=target, seed=3)
+            assert temperature(s) == pytest.approx(target, rel=0.1)
+
+    def test_com_motion_excluded(self):
+        s = _state(1000, temp=1.0)
+        boosted = ParticleState(s.ids, s.pos, s.vel + np.array([10.0, 0.0, 0.0]))
+        assert temperature(boosted) == pytest.approx(temperature(s))
+        assert com_velocity(boosted)[0] == pytest.approx(10.0)
+
+    def test_empty_state(self):
+        e = ParticleState.empty()
+        assert temperature(e) == 0.0
+        assert np.allclose(com_velocity(e), 0.0)
+
+
+class TestThermostat:
+    def test_rescales_exactly(self):
+        s = _state(500, temp=2.0, seed=1)
+        out = rescale_to_temperature(s, 0.75)
+        assert temperature(out) == pytest.approx(0.75, rel=1e-12)
+
+    def test_preserves_momentum(self):
+        s = _state(500, temp=1.5, seed=2)
+        boosted = ParticleState(s.ids, s.pos, s.vel + np.array([1.0, -2.0, 0.5]))
+        out = rescale_to_temperature(boosted, 3.0)
+        assert np.allclose(out.momentum, boosted.momentum, atol=1e-9)
+
+    def test_zero_temperature_freezes_thermal_motion(self):
+        s = _state(100, temp=1.0, seed=3)
+        out = rescale_to_temperature(s, 0.0)
+        assert temperature(out) == pytest.approx(0.0, abs=1e-24)
+
+    def test_cold_state_unchanged(self):
+        frozen = ParticleState(
+            np.arange(4), np.random.default_rng(0).random((4, 3)), np.zeros((4, 3))
+        )
+        out = rescale_to_temperature(frozen, 1.0)
+        assert np.array_equal(out.vel, frozen.vel)
+
+    def test_negative_target_rejected(self):
+        with pytest.raises(ReproError):
+            rescale_to_temperature(_state(10), -1.0)
+
+
+class TestMSD:
+    def test_static_particles_zero(self):
+        s = _state(100)
+        assert mean_squared_displacement(s, s) == 0.0
+
+    def test_uniform_shift(self):
+        s = _state(100)
+        moved = ParticleState(s.ids, s.pos + np.array([3.0, 4.0, 0.0]), s.vel)
+        assert mean_squared_displacement(s, moved) == pytest.approx(25.0)
+
+    def test_order_independent(self):
+        s = _state(50, seed=5)
+        perm = np.random.default_rng(1).permutation(50)
+        shuffled = ParticleState(s.ids[perm], s.pos[perm] + 1.0, s.vel[perm])
+        assert mean_squared_displacement(s, shuffled) == pytest.approx(3.0)
+
+    def test_mismatched_snapshots_rejected(self):
+        with pytest.raises(ReproError):
+            mean_squared_displacement(_state(10), _state(20))
+        a = _state(10, seed=1)
+        b = ParticleState(a.ids + 100, a.pos, a.vel)
+        with pytest.raises(ReproError):
+            mean_squared_displacement(a, b)
+
+    def test_ballistic_growth_under_streaming(self):
+        from repro.apps.mp2c.srd import stream
+
+        s = _state(500, temp=1.0, seed=7)
+        msd1 = mean_squared_displacement(s, stream(s, 1.0))
+        msd2 = mean_squared_displacement(s, stream(s, 2.0))
+        assert msd2 == pytest.approx(4.0 * msd1, rel=1e-9)  # ~ t^2 ballistic
+
+
+class TestMaxwellian:
+    def test_pdf_normalized(self):
+        v = np.linspace(0, 12, 4000)
+        pdf = maxwell_boltzmann_speed_pdf(v, temp=1.7)
+        integral = float(((pdf[1:] + pdf[:-1]) / 2 * np.diff(v)).sum())
+        assert integral == pytest.approx(1.0, rel=1e-3)
+
+    def test_histogram_matches_pdf_for_gaussian_velocities(self):
+        s = _state(40000, temp=1.0, seed=9)
+        assert maxwellian_deviation(s) < 0.1
+
+    def test_non_thermal_distribution_deviates(self):
+        n = 4000
+        vel = np.ones((n, 3))  # everyone identical: far from Maxwellian
+        vel[: n // 2] *= -1.0
+        s = ParticleState(np.arange(n), np.zeros((n, 3)), vel)
+        assert maxwellian_deviation(s) > 0.5
+
+    def test_srd_preserves_thermal_distribution(self):
+        """Collisions keep an equilibrated solvent Maxwellian."""
+        s = _state(20000, temp=1.0, seed=11)
+        cur = s
+        rng = np.random.default_rng(0)
+        for _ in range(3):
+            cur = srd_step(cur, dt=0.1, cell_size=1.0, rng=rng)
+        assert maxwellian_deviation(cur) < 0.15
+        assert temperature(cur) == pytest.approx(temperature(s), rel=1e-9)
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            maxwell_boltzmann_speed_pdf(np.array([1.0]), temp=0.0)
+        with pytest.raises(ReproError):
+            speed_histogram(_state(10), bins=0)

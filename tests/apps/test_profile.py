@@ -1,0 +1,162 @@
+"""Region profiling: nesting arithmetic and cross-rank severities."""
+
+import pytest
+
+from repro.apps.scalasca.events import Event, EventKind
+from repro.apps.scalasca.profile import profile_events, profile_traces
+from repro.apps.scalasca.smg2000 import (
+    REGION_MAIN,
+    REGION_RELAX,
+    SMG2000Config,
+    generate_smg2000_trace,
+    is_imbalanced,
+)
+from repro.apps.scalasca.tracer import TraceExperiment
+from repro.errors import ReproError
+from repro.simmpi import run_spmd
+
+
+def _enter(region, ts):
+    return Event(EventKind.ENTER, region, timestamp=ts)
+
+
+def _exit(region, ts):
+    return Event(EventKind.EXIT, region, timestamp=ts)
+
+
+class TestProfileEvents:
+    def test_flat_region(self):
+        stats = profile_events([_enter(1, 0.0), _exit(1, 2.5)])
+        assert stats[1].visits == 1
+        assert stats[1].inclusive == pytest.approx(2.5)
+        assert stats[1].exclusive == pytest.approx(2.5)
+
+    def test_nested_child_subtracted_from_parent(self):
+        events = [
+            _enter(1, 0.0),
+            _enter(2, 1.0),
+            _exit(2, 3.0),
+            _exit(1, 4.0),
+        ]
+        stats = profile_events(events)
+        assert stats[1].inclusive == pytest.approx(4.0)
+        assert stats[1].exclusive == pytest.approx(2.0)
+        assert stats[2].exclusive == pytest.approx(2.0)
+
+    def test_multiple_visits_accumulate(self):
+        events = []
+        for i in range(3):
+            events += [_enter(7, float(i)), _exit(7, i + 0.25)]
+        stats = profile_events(events)
+        assert stats[7].visits == 3
+        assert stats[7].inclusive == pytest.approx(0.75)
+
+    def test_recursive_same_region(self):
+        events = [_enter(1, 0.0), _enter(1, 1.0), _exit(1, 2.0), _exit(1, 3.0)]
+        stats = profile_events(events)
+        assert stats[1].visits == 2
+        # Inner visit: 1s inclusive.  Outer: 3s inclusive, 2s exclusive
+        # (inner subtracted).  Exclusive totals 3s — all of it is genuinely
+        # spent inside region 1, so no time is lost to recursion.
+        assert stats[1].inclusive == pytest.approx(4.0)
+        assert stats[1].exclusive == pytest.approx(3.0)
+
+    def test_sends_recvs_ignored(self):
+        events = [
+            _enter(1, 0.0),
+            Event(EventKind.SEND, 3, timestamp=0.5),
+            Event(EventKind.RECV, 3, timestamp=0.7),
+            _exit(1, 1.0),
+        ]
+        stats = profile_events(events)
+        assert list(stats) == [1]
+
+    def test_exit_without_enter_rejected(self):
+        with pytest.raises(ReproError, match="without a matching ENTER"):
+            profile_events([_exit(1, 1.0)])
+
+    def test_mismatched_nesting_rejected(self):
+        with pytest.raises(ReproError, match="nesting violated"):
+            profile_events([_enter(1, 0.0), _exit(2, 1.0)])
+
+    def test_unclosed_region_rejected(self):
+        with pytest.raises(ReproError, match="unclosed"):
+            profile_events([_enter(1, 0.0)])
+
+    def test_empty_trace(self):
+        assert profile_events([]) == {}
+
+
+class TestProfileTraces:
+    def _run(self, backend, base, imbalance):
+        cfg = SMG2000Config(ntasks=8, iterations=2, imbalance=imbalance)
+        path = f"{base}/prof_{imbalance}.sion"
+
+        def task(comm):
+            exp = TraceExperiment(comm, path, method="sion", backend=backend)
+            exp.activate()
+            generate_smg2000_trace(comm.rank, cfg, exp.tracer)
+            exp.finalize()
+            return profile_traces(comm, path, method="sion", backend=backend)
+
+        return run_spmd(8, task)
+
+    def test_severities_identical_on_all_ranks(self, any_backend):
+        backend, base = any_backend
+        results = self._run(backend, base, imbalance=0.5)
+        first = results[0]
+        for r in results[1:]:
+            assert r.regions.keys() == first.regions.keys()
+            for k in first.regions:
+                assert r.regions[k].sum_exclusive == pytest.approx(
+                    first.regions[k].sum_exclusive
+                )
+
+    def test_balanced_run_has_unit_imbalance_in_relax(self, any_backend):
+        backend, base = any_backend
+        result = self._run(backend, base, imbalance=0.0)[0]
+        relax = result.regions[REGION_RELAX]
+        assert relax.imbalance == pytest.approx(1.0)
+
+    def test_injected_imbalance_shows_in_relax_region(self, any_backend):
+        backend, base = any_backend
+        result = self._run(backend, base, imbalance=0.8)[0]
+        relax = result.regions[REGION_RELAX]
+        assert relax.imbalance > 1.3
+        worst = result.most_imbalanced()
+        assert worst is not None and worst.region == REGION_RELAX
+
+    def test_main_region_covers_everything(self, any_backend):
+        backend, base = any_backend
+        result = self._run(backend, base, imbalance=0.3)[0]
+        assert REGION_MAIN in result.regions
+        assert result.regions[REGION_MAIN].total_visits == 8  # one per rank
+
+    def test_relax_visits_counted(self, any_backend):
+        backend, base = any_backend
+        result = self._run(backend, base, imbalance=0.0)[0]
+        cfg_iter, cfg_levels = 2, 3
+        assert result.regions[REGION_RELAX].total_visits == 8 * cfg_iter * cfg_levels
+
+    def test_profile_consistent_with_imbalance_marking(self, any_backend):
+        """Ranks marked slow must own the max exclusive RELAX time."""
+        backend, base = any_backend
+        cfg = SMG2000Config(ntasks=8, iterations=2, imbalance=0.8)
+        path = f"{base}/prof_mark.sion"
+
+        def task(comm):
+            exp = TraceExperiment(comm, path, method="sion", backend=backend)
+            exp.activate()
+            generate_smg2000_trace(comm.rank, cfg, exp.tracer)
+            exp.finalize()
+            from repro.apps.scalasca.profile import profile_events
+            from repro.apps.scalasca.tracer import read_trace
+
+            events = read_trace(path, comm.rank, method="sion", backend=backend)
+            mine = profile_events(events)[REGION_RELAX].exclusive
+            return mine, is_imbalanced(comm.rank, cfg)
+
+        out = run_spmd(8, task)
+        slow_times = [t for t, slow in out if slow]
+        fast_times = [t for t, slow in out if not slow]
+        assert min(slow_times) > max(fast_times)

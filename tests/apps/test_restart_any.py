@@ -1,0 +1,70 @@
+"""Restarting a SION checkpoint on a different task count."""
+
+import pytest
+
+from repro.apps.mp2c.checkpoint import read_restart_any, write_restart
+from repro.apps.mp2c.decomposition import DomainDecomposition
+from repro.apps.mp2c.particles import ParticleState, equal_states
+from repro.simmpi import run_spmd
+
+BOX = (8.0, 8.0, 8.0)
+
+
+def _write_checkpoint(path, backend, ntasks, per_task=40):
+    def task(comm):
+        state = ParticleState.random(
+            per_task, BOX, seed=comm.rank, id_offset=comm.rank * per_task
+        )
+        write_restart(comm, path, state, method="sion", backend=backend)
+        return state
+
+    return run_spmd(ntasks, task)
+
+
+@pytest.mark.parametrize("readers", [1, 3, 4, 6, 8, 12])
+def test_restart_on_any_task_count(any_backend, readers):
+    backend, base = any_backend
+    path = f"{base}/any{readers}.sion"
+    written = _write_checkpoint(path, backend, ntasks=8)
+
+    def rtask(comm):
+        return read_restart_any(comm, path, backend=backend)
+
+    restored = run_spmd(readers, rtask)
+    assert equal_states(
+        ParticleState.concatenate(list(written)),
+        ParticleState.concatenate(list(restored)),
+    )
+
+
+def test_restart_with_redistribution(any_backend):
+    backend, base = any_backend
+    path = f"{base}/anyd.sion"
+    written = _write_checkpoint(path, backend, ntasks=8)
+
+    def rtask(comm):
+        decomp = DomainDecomposition.for_tasks(comm.size, BOX)
+        state = read_restart_any(comm, path, backend=backend, decomp=decomp)
+        owners = decomp.owner_of(state.pos)
+        return state, bool((owners == comm.rank).all())
+
+    out = run_spmd(4, rtask)
+    assert all(ok for _, ok in out)
+    assert equal_states(
+        ParticleState.concatenate(list(written)).sorted_by_id(),
+        ParticleState.concatenate([s for s, _ in out]).sorted_by_id(),
+    )
+
+
+def test_slices_are_balanced(any_backend):
+    backend, base = any_backend
+    path = f"{base}/bal.sion"
+    _write_checkpoint(path, backend, ntasks=10, per_task=10)
+
+    def rtask(comm):
+        return read_restart_any(comm, path, backend=backend).n
+
+    counts = run_spmd(4, rtask)
+    # 10 written ranks over 4 readers: 3,3,2,2 ranks -> 30,30,20,20 particles.
+    assert counts == [30, 30, 20, 20]
+    assert sum(counts) == 100

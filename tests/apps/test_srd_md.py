@@ -1,0 +1,168 @@
+"""Physics invariants of the SRD and MD kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.mp2c.md import BondedSystem, total_energy, velocity_verlet
+from repro.apps.mp2c.particles import ParticleState
+from repro.apps.mp2c.srd import _rotation_matrices, collide, srd_step, stream
+from repro.errors import ReproError
+
+
+def _state(n=200, seed=0, box=8.0):
+    return ParticleState.random(n, (box, box, box), seed=seed)
+
+
+class TestStream:
+    def test_ballistic_motion(self):
+        s = _state(10)
+        out = stream(s, dt=0.5)
+        assert np.allclose(out.pos, s.pos + 0.5 * s.vel)
+        assert np.array_equal(out.vel, s.vel)
+
+    def test_zero_dt_is_identity(self):
+        s = _state(10)
+        out = stream(s, 0.0)
+        assert np.array_equal(out.pos, s.pos)
+
+    def test_negative_dt_rejected(self):
+        with pytest.raises(ReproError):
+            stream(_state(1), -0.1)
+
+
+class TestRotations:
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 10000), angle=st.floats(0.1, 3.0))
+    def test_matrices_are_orthogonal(self, seed, angle):
+        rng = np.random.default_rng(seed)
+        axes = rng.normal(size=(5, 3))
+        axes /= np.linalg.norm(axes, axis=1, keepdims=True)
+        mats = _rotation_matrices(axes, angle)
+        for m in mats:
+            assert np.allclose(m @ m.T, np.eye(3), atol=1e-12)
+            assert np.linalg.det(m) == pytest.approx(1.0)
+
+    def test_rotation_fixes_axis(self):
+        axes = np.array([[0.0, 0.0, 1.0]])
+        (m,) = _rotation_matrices(axes, 1.2)
+        assert np.allclose(m @ axes[0], axes[0])
+
+
+class TestCollide:
+    def test_momentum_conserved_exactly(self):
+        s = _state(500, seed=3)
+        before = s.momentum.copy()
+        out = collide(s, cell_size=1.0, rng=np.random.default_rng(1))
+        assert np.allclose(out.momentum, before, atol=1e-10)
+
+    def test_kinetic_energy_conserved(self):
+        s = _state(500, seed=4)
+        out = collide(s, cell_size=1.0, rng=np.random.default_rng(2))
+        assert out.kinetic_energy == pytest.approx(s.kinetic_energy, rel=1e-12)
+
+    def test_positions_untouched(self):
+        s = _state(100, seed=5)
+        out = collide(s, cell_size=1.0, rng=np.random.default_rng(3))
+        assert np.array_equal(out.pos, s.pos)
+
+    def test_per_cell_momentum_conserved(self):
+        s = _state(400, seed=6)
+        rng = np.random.default_rng(4)
+        out = collide(s, cell_size=2.0, rng=rng)
+        cells = np.floor(s.pos / 2.0).astype(int)
+        keys = [tuple(c) for c in cells]
+        for key in set(keys):
+            mask = np.array([k == key for k in keys])
+            assert np.allclose(
+                out.vel[mask].sum(axis=0), s.vel[mask].sum(axis=0), atol=1e-10
+            )
+
+    def test_velocities_actually_change(self):
+        s = _state(300, seed=7)
+        out = collide(s, cell_size=4.0, rng=np.random.default_rng(5))
+        assert not np.allclose(out.vel, s.vel)
+
+    def test_empty_state_ok(self):
+        e = ParticleState.empty()
+        assert collide(e, 1.0, rng=np.random.default_rng(0)).n == 0
+
+    def test_grid_shift_changes_grouping(self):
+        s = _state(300, seed=8)
+        a = collide(s, 1.0, rng=np.random.default_rng(9), shift=np.zeros(3))
+        b = collide(s, 1.0, rng=np.random.default_rng(9), shift=np.full(3, 0.5))
+        assert not np.allclose(a.vel, b.vel)
+
+    def test_bad_cell_size(self):
+        with pytest.raises(ReproError):
+            collide(_state(1), 0.0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 500), n=st.integers(1, 300))
+    def test_conservation_property(self, seed, n):
+        s = _state(n, seed=seed)
+        out = srd_step(s, dt=0.1, cell_size=1.0, rng=np.random.default_rng(seed))
+        assert np.allclose(out.momentum, s.momentum, atol=1e-9)
+        assert out.kinetic_energy == pytest.approx(s.kinetic_energy, rel=1e-9)
+
+
+class TestMD:
+    def test_chain_topology(self):
+        sys2 = BondedSystem.chains(2, 4)
+        assert sys2.bonds.shape == (6, 2)
+        assert (sys2.bonds[:3] == [[0, 1], [1, 2], [2, 3]]).all()
+        assert (sys2.bonds[3:] == [[4, 5], [5, 6], [6, 7]]).all()
+
+    def test_forces_obey_newtons_third_law(self):
+        sys1 = BondedSystem.chains(3, 5, k=7.0)
+        pos = np.random.default_rng(1).uniform(0, 3, size=(15, 3))
+        f = sys1.forces(pos)
+        assert np.allclose(f.sum(axis=0), 0.0, atol=1e-12)
+
+    def test_force_direction_restores_rest_length(self):
+        sys1 = BondedSystem(bonds=np.array([[0, 1]]), k=1.0, r0=1.0)
+        pos = np.array([[0.0, 0.0, 0.0], [2.0, 0.0, 0.0]])  # stretched
+        f = sys1.forces(pos)
+        assert f[0, 0] > 0 and f[1, 0] < 0  # pulled together
+        pos_close = np.array([[0.0, 0.0, 0.0], [0.5, 0.0, 0.0]])  # compressed
+        f2 = sys1.forces(pos_close)
+        assert f2[0, 0] < 0 and f2[1, 0] > 0  # pushed apart
+
+    def test_energy_at_rest_length_is_zero(self):
+        sys1 = BondedSystem(bonds=np.array([[0, 1]]), k=3.0, r0=1.5)
+        pos = np.array([[0.0, 0.0, 0.0], [1.5, 0.0, 0.0]])
+        assert sys1.potential_energy(pos) == pytest.approx(0.0)
+        assert np.allclose(sys1.forces(pos), 0.0)
+
+    def test_verlet_conserves_momentum(self):
+        sysb = BondedSystem.chains(2, 6)
+        s = _state(12, seed=10, box=3.0)
+        out = velocity_verlet(s, sysb, dt=0.01, nsteps=100)
+        assert np.allclose(out.momentum, s.momentum, atol=1e-10)
+
+    def test_verlet_energy_bounded(self):
+        """Symplectic integration: energy oscillates but does not drift."""
+        sysb = BondedSystem.chains(1, 8, k=5.0)
+        s = _state(8, seed=11, box=2.0)
+        e0 = total_energy(s, sysb)
+        cur = s
+        energies = []
+        for _ in range(20):
+            cur = velocity_verlet(cur, sysb, dt=0.005, nsteps=10)
+            energies.append(total_energy(cur, sysb))
+        assert max(abs(e - e0) for e in energies) < 0.05 * max(abs(e0), 1.0)
+
+    def test_no_bonds_free_flight(self):
+        sysb = BondedSystem(bonds=np.empty((0, 2), dtype=int))
+        s = _state(5, seed=12)
+        out = velocity_verlet(s, sysb, dt=0.1, nsteps=3)
+        assert np.allclose(out.pos, s.pos + 0.3 * s.vel)
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            BondedSystem(bonds=np.zeros((2, 3)))
+        with pytest.raises(ReproError):
+            BondedSystem.chains(-1, 2)
+        sysb = BondedSystem.chains(1, 2)
+        with pytest.raises(ReproError):
+            velocity_verlet(_state(2), sysb, dt=0.0)

@@ -1,0 +1,80 @@
+"""Tape-archive model (the §1 file-management motivation)."""
+
+import pytest
+
+from repro.fs.archive import TapeLibrary, compare_archival
+
+GB = 10**9
+TB = 10**12
+
+
+@pytest.fixture
+def lib():
+    return TapeLibrary()
+
+
+class TestTapeLibrary:
+    def test_tapes_needed(self, lib):
+        assert lib.tapes_needed(0) == 1
+        assert lib.tapes_needed(800e9) == 1
+        assert lib.tapes_needed(800e9 + 1) == 2
+        with pytest.raises(ValueError):
+            lib.tapes_needed(-1)
+
+    def test_archive_time_components(self, lib):
+        t = lib.archive_time(1, 160e6)  # one file, one second of streaming
+        assert t == pytest.approx(lib.mount_time_s + lib.per_file_overhead_s + 1.0)
+
+    def test_per_file_term_dominates_at_scale(self, lib):
+        """The paper's claim: many files slow archival significantly."""
+        data = 100 * GB
+        one = lib.archive_time(1, data)
+        many = lib.archive_time(65536, data)
+        assert many > 10 * one
+
+    def test_archive_time_zero_files(self, lib):
+        assert lib.archive_time(0, 0) == 0.0
+        with pytest.raises(ValueError):
+            lib.archive_time(-1, 0)
+
+    def test_tapes_touched_interleaving_scatters(self, lib):
+        # 1.47 TB fits on 2 tapes packed; 4 users scatter it over 8.
+        assert lib.tapes_touched(32768, 1470 * GB, interleaved_users=1) == 2
+        assert lib.tapes_touched(32768, 1470 * GB, interleaved_users=4) == 8
+
+    def test_scatter_bounded_by_file_count(self, lib):
+        # 3 files can never sit on more than 3 tapes.
+        assert lib.tapes_touched(3, 10 * TB, interleaved_users=100) == 3
+
+    def test_retrieval_pays_mounts_per_touched_tape(self, lib):
+        data = 1470 * GB
+        solo = lib.retrieval_time(16, data, interleaved_users=1)
+        scattered = lib.retrieval_time(16, data, interleaved_users=4)
+        assert scattered > solo
+        with pytest.raises(ValueError):
+            lib.retrieval_time(1, 1, interleaved_users=0)
+
+    def test_retrieval_zero_files(self, lib):
+        assert lib.retrieval_time(0, 0) == 0.0
+
+
+class TestComparison:
+    def test_multifile_wins_both_ways(self, lib):
+        cmp_ = compare_archival(lib, 32768, 1470 * GB, nfiles_multifile=16,
+                                interleaved_users=4)
+        assert cmp_.archive_speedup > 2
+        assert cmp_.retrieve_speedup > 2
+        # The streaming term is identical; only overheads differ.
+        stream = (1470 * GB / 1e6) / lib.stream_bw_mb_s
+        assert cmp_.multifile_archive_s > stream
+        assert cmp_.tasklocal_archive_s > cmp_.multifile_archive_s
+
+    def test_speedup_grows_with_task_count(self, lib):
+        small = compare_archival(lib, 1024, 46 * GB, 16, 4)
+        large = compare_archival(lib, 65536, 2948 * GB, 16, 4)
+        assert large.archive_speedup > small.archive_speedup
+
+    def test_single_user_single_tape_still_favors_multifile(self, lib):
+        cmp_ = compare_archival(lib, 4096, 100 * GB, 1, interleaved_users=1)
+        assert cmp_.archive_speedup > 1
+        assert cmp_.retrieve_speedup > 1

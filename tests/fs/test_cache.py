@@ -1,0 +1,63 @@
+"""Client read-cache model (Fig. 5b's >peak artifact)."""
+
+import pytest
+
+from repro.fs.cache import NO_CACHE, ClientCacheModel
+
+GB = 10**9
+
+
+def test_no_cache_passthrough():
+    assert NO_CACHE.effective_read_bandwidth(6000.0, 1e12, 1000) == pytest.approx(6000.0)
+    assert NO_CACHE.hit_fraction(1e12, 1000) == 0.0
+
+
+def test_warm_cache_exceeds_disk_bandwidth():
+    model = ClientCacheModel(bytes_per_node=6 * GB, cache_bw_per_node=1000.0, hit_efficiency=0.35)
+    eff = model.effective_read_bandwidth(30000.0, 2e12, 3072)
+    assert eff > 40000.0  # the paper's "beyond the 40 GB/s maximum"
+    assert eff < 3072 * 1000.0  # but bounded by the cache path itself
+
+
+def test_cold_cache_matches_disk():
+    model = ClientCacheModel(bytes_per_node=1 * GB, cache_bw_per_node=1000.0, hit_efficiency=0.0)
+    assert model.effective_read_bandwidth(5000.0, 1e12, 100) == pytest.approx(5000.0)
+
+
+def test_hit_fraction_scales_with_nodes():
+    model = ClientCacheModel(bytes_per_node=1 * GB, cache_bw_per_node=100.0, hit_efficiency=1.0)
+    small = model.hit_fraction(100 * GB, 10)
+    large = model.hit_fraction(100 * GB, 100)
+    assert small == pytest.approx(0.1)
+    assert large == pytest.approx(1.0)
+
+
+def test_hit_fraction_capped_at_efficiency():
+    model = ClientCacheModel(bytes_per_node=100 * GB, cache_bw_per_node=100.0, hit_efficiency=0.35)
+    assert model.hit_fraction(1 * GB, 1000) == pytest.approx(0.35)
+
+
+def test_effective_bw_monotonic_in_nodes():
+    model = ClientCacheModel(bytes_per_node=2 * GB, cache_bw_per_node=500.0, hit_efficiency=0.5)
+    prev = 0.0
+    for nodes in (1, 10, 100, 1000):
+        eff = model.effective_read_bandwidth(10000.0, 1e12, nodes)
+        assert eff >= prev - 1e-9
+        prev = eff
+
+
+def test_aggregate_cache_bytes():
+    model = ClientCacheModel(bytes_per_node=4 * GB, cache_bw_per_node=1.0)
+    assert model.aggregate_cache_bytes(8) == pytest.approx(32 * GB)
+    with pytest.raises(ValueError):
+        model.aggregate_cache_bytes(-1)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        ClientCacheModel(bytes_per_node=1.0, cache_bw_per_node=1.0, hit_efficiency=1.5)
+    with pytest.raises(ValueError):
+        ClientCacheModel(bytes_per_node=-1.0, cache_bw_per_node=1.0)
+    model = ClientCacheModel(bytes_per_node=1.0, cache_bw_per_node=1.0)
+    with pytest.raises(ValueError):
+        model.effective_read_bandwidth(0.0, 1.0, 1)

@@ -1,0 +1,92 @@
+"""Striping policies and OST coverage."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fs.striping import (
+    StripingPolicy,
+    aggregate_stripe_bandwidth,
+    assign_osts_roundrobin,
+    expected_coverage,
+)
+
+MiB = 1 << 20
+
+
+def test_policy_validation():
+    with pytest.raises(ValueError):
+        StripingPolicy(0, MiB)
+    with pytest.raises(ValueError):
+        StripingPolicy(4, 0)
+
+
+def test_depth_efficiency_increases_with_depth():
+    shallow = StripingPolicy(4, 1 * MiB).depth_efficiency()
+    deep = StripingPolicy(4, 8 * MiB).depth_efficiency()
+    assert 0 < shallow < deep < 1.0
+
+
+def test_depth_efficiency_paper_gap():
+    """1 MB stripes lose ~20%; 8 MB stripes are nearly free."""
+    assert StripingPolicy(4, 1 * MiB).depth_efficiency() == pytest.approx(0.8, abs=0.02)
+    assert StripingPolicy(64, 8 * MiB).depth_efficiency() > 0.95
+
+
+def test_roundrobin_assignment_is_contiguous_and_wraps():
+    sets = assign_osts_roundrobin(3, stripe_count=4, n_targets=10)
+    assert sets[0] == [0, 1, 2, 3]
+    assert sets[1] == [4, 5, 6, 7]
+    assert sets[2] == [8, 9, 0, 1]
+
+
+def test_roundrobin_stripe_clamped_to_targets():
+    sets = assign_osts_roundrobin(1, stripe_count=10, n_targets=4)
+    assert sets[0] == [0, 1, 2, 3]
+
+
+def test_roundrobin_requires_targets():
+    with pytest.raises(ValueError):
+        assign_osts_roundrobin(1, 1, 0)
+
+
+def test_expected_coverage_bounds():
+    cov = expected_coverage(10, 4, 144)
+    assert 4 <= cov <= 40  # at least one file's stripes, at most all stripes
+    assert expected_coverage(1, 4, 144) == pytest.approx(4.0)
+
+
+def test_expected_coverage_saturates_at_targets():
+    assert expected_coverage(10000, 4, 144) == pytest.approx(144.0, rel=1e-6)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    n=st.integers(1, 500),
+    stripe=st.integers(1, 64),
+    targets=st.integers(1, 200),
+)
+def test_expected_coverage_monotonic_and_bounded(n, stripe, targets):
+    c_n = expected_coverage(n, stripe, targets)
+    c_n1 = expected_coverage(n + 1, stripe, targets)
+    assert 0 < c_n <= targets + 1e-9
+    assert c_n1 >= c_n - 1e-9
+
+
+def test_aggregate_bandwidth_capped_by_system_peak():
+    pol = StripingPolicy(64, 8 * MiB)
+    bw = aggregate_stripe_bandwidth(64, pol, 144, per_target_bw=550.0, system_peak=26000.0)
+    assert bw == pytest.approx(26000.0)
+
+
+def test_aggregate_bandwidth_small_counts_scale_linearly():
+    pol = StripingPolicy(4, 8 * MiB)
+    one = aggregate_stripe_bandwidth(1, pol, 1000, per_target_bw=100.0)
+    two = aggregate_stripe_bandwidth(2, pol, 1000, per_target_bw=100.0)
+    assert two == pytest.approx(2 * one, rel=0.02)  # few collisions at 1000 targets
+
+
+def test_aggregate_bandwidth_uncapped_default():
+    pol = StripingPolicy(4, 8 * MiB)
+    assert aggregate_stripe_bandwidth(4, pol, 144, 550.0) < math.inf

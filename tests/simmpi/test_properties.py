@@ -1,0 +1,63 @@
+"""Property-based tests of collective identities."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.simmpi import run_spmd
+
+_sizes = st.integers(min_value=1, max_value=8)
+_payloads = st.lists(st.integers(-1000, 1000), min_size=1, max_size=8)
+
+
+@settings(max_examples=25, deadline=None)
+@given(nprocs=_sizes, values=_payloads)
+def test_allgather_equals_gather_plus_bcast(nprocs, values):
+    def fn(c):
+        v = values[c.rank % len(values)]
+        ag = c.allgather(v)
+        gb = c.bcast(c.gather(v))
+        return ag == gb
+
+    assert all(run_spmd(nprocs, fn))
+
+
+@settings(max_examples=25, deadline=None)
+@given(nprocs=_sizes, values=_payloads)
+def test_allreduce_sum_matches_python_sum(nprocs, values):
+    def fn(c):
+        return c.allreduce(values[c.rank % len(values)])
+
+    expected = sum(values[r % len(values)] for r in range(nprocs))
+    assert run_spmd(nprocs, fn) == [expected] * nprocs
+
+
+@settings(max_examples=25, deadline=None)
+@given(nprocs=_sizes)
+def test_scatter_inverts_gather(nprocs):
+    def fn(c):
+        gathered = c.gather(c.rank * 7)
+        return c.scatter(gathered)
+
+    assert run_spmd(nprocs, fn) == [r * 7 for r in range(nprocs)]
+
+
+@settings(max_examples=20, deadline=None)
+@given(nprocs=st.integers(min_value=1, max_value=6))
+def test_alltoall_twice_is_identity(nprocs):
+    def fn(c):
+        row = [(c.rank, dst) for dst in range(c.size)]
+        once = c.alltoall(row)
+        twice = c.alltoall(once)
+        return twice == row
+
+    assert all(run_spmd(nprocs, fn))
+
+
+@settings(max_examples=20, deadline=None)
+@given(nprocs=st.integers(min_value=2, max_value=8), root=st.integers(0, 7))
+def test_bcast_from_any_root_reaches_all(nprocs, root):
+    root %= nprocs
+
+    def fn(c):
+        return c.bcast(("origin", c.rank) if c.rank == root else None, root=root)
+
+    assert run_spmd(nprocs, fn) == [("origin", root)] * nprocs

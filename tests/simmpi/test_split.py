@@ -1,0 +1,121 @@
+"""Communicator splitting, duplication, and sub-communicator collectives."""
+
+from repro.simmpi import COMM_NULL, run_spmd
+
+
+def test_split_even_odd():
+    def fn(c):
+        sub = c.split(color=c.rank % 2)
+        return (sub.rank, sub.size, c.rank % 2)
+
+    out = run_spmd(6, fn)
+    for r, (srank, ssize, color) in enumerate(out):
+        assert ssize == 3
+        assert srank == r // 2 if color == 0 else True
+    evens = [out[r][0] for r in (0, 2, 4)]
+    odds = [out[r][0] for r in (1, 3, 5)]
+    assert evens == [0, 1, 2]
+    assert odds == [0, 1, 2]
+
+
+def test_split_with_none_color_gets_comm_null():
+    def fn(c):
+        sub = c.split(color=0 if c.rank < 2 else None)
+        if sub is COMM_NULL:
+            return "null"
+        return (sub.rank, sub.size)
+
+    out = run_spmd(4, fn)
+    assert out[:2] == [(0, 2), (1, 2)]
+    assert out[2:] == ["null", "null"]
+
+
+def test_split_key_reorders_ranks():
+    def fn(c):
+        # Reverse order within the single group.
+        sub = c.split(color=0, key=-c.rank)
+        return sub.rank
+
+    out = run_spmd(4, fn)
+    assert out == [3, 2, 1, 0]
+
+
+def test_split_key_ties_break_by_old_rank():
+    def fn(c):
+        sub = c.split(color=0, key=0)
+        return sub.rank
+
+    assert run_spmd(4, fn) == [0, 1, 2, 3]
+
+
+def test_collectives_on_subcommunicator():
+    def fn(c):
+        sub = c.split(color=c.rank // 2)
+        return sub.allreduce(c.rank)
+
+    out = run_spmd(6, fn)
+    assert out == [1, 1, 5, 5, 9, 9]
+
+
+def test_parent_still_usable_after_split():
+    def fn(c):
+        sub = c.split(color=c.rank % 2)
+        local = sub.allreduce(1)
+        total = c.allreduce(local)
+        return total
+
+    out = run_spmd(4, fn)
+    assert out == [8] * 4  # each rank contributes its subgroup size (2)
+
+
+def test_nested_split():
+    def fn(c):
+        half = c.split(color=c.rank // 4)
+        quarter = half.split(color=half.rank // 2)
+        return (half.size, quarter.size, quarter.rank)
+
+    out = run_spmd(8, fn)
+    for halfsize, qsize, qrank in out:
+        assert halfsize == 4
+        assert qsize == 2
+        assert qrank in (0, 1)
+
+
+def test_dup_preserves_shape_and_isolates_traffic():
+    def fn(c):
+        d = c.dup()
+        assert (d.rank, d.size) == (c.rank, c.size)
+        # Traffic on the dup must not interfere with the parent's.
+        if c.rank == 0:
+            d.send("dup-msg", dest=1)
+            c.send("parent-msg", dest=1)
+            return None
+        return (c.recv(source=0), d.recv(source=0))
+
+    out = run_spmd(2, fn)
+    assert out[1] == ("parent-msg", "dup-msg")
+
+
+def test_p2p_within_split_group_uses_new_ranks():
+    def fn(c):
+        sub = c.split(color=c.rank % 2)
+        if sub.rank == 0:
+            sub.send(f"group{c.rank % 2}", dest=1)
+            return None
+        return sub.recv(source=0)
+
+    out = run_spmd(4, fn)
+    assert out[2] == "group0"
+    assert out[3] == "group1"
+
+
+def test_repeated_splits_are_independent():
+    def fn(c):
+        sizes = []
+        for _ in range(5):
+            sub = c.split(color=c.rank % 2)
+            sizes.append(sub.size)
+        return sizes
+
+    out = run_spmd(4, fn)
+    assert all(s == [2] * 5 for s in out)

@@ -1,0 +1,172 @@
+"""Hybrid MPI+threads support: per-thread multifiles (paper §6)."""
+
+import threading
+
+import pytest
+
+from repro.errors import SionUsageError, SpmdWorkerError
+from repro.sion.hybrid import open_rank_thread, paropen_hybrid, thread_multifile_path
+from repro.sion.mapping import physical_path
+from repro.simmpi import run_spmd
+from tests.conftest import TEST_BLKSIZE
+
+
+def _payload(rank, tid, n=600):
+    return bytes((rank * 17 + tid * 5 + i) % 256 for i in range(n))
+
+
+def test_thread_path_naming():
+    assert thread_multifile_path("/d/trace.sion", 0) == "/d/trace.sion.t00"
+    assert thread_multifile_path("/d/trace.sion", 3) == "/d/trace.sion.t03"
+    with pytest.raises(SionUsageError):
+        thread_multifile_path("x", -1)
+
+
+def test_one_multifile_per_thread_not_per_task(any_backend):
+    """The paper's point: 4 threads -> at most 4 multifiles, at any scale."""
+    backend, base = any_backend
+    path = f"{base}/hy.sion"
+    nthreads = 4
+
+    def task(comm):
+        h = paropen_hybrid(path, "w", comm, nthreads, chunksize=TEST_BLKSIZE,
+                           backend=backend)
+        for t in range(nthreads):
+            h.stream(t).fwrite(_payload(comm.rank, t))
+        h.parclose()
+
+    run_spmd(8, task)  # 8 ranks x 4 threads = 32 logical files
+    for t in range(nthreads):
+        assert backend.exists(thread_multifile_path(path, t))
+    # ... and nothing else: exactly 4 physical files.
+    assert not backend.exists(physical_path(thread_multifile_path(path, 0), 1))
+
+
+def test_roundtrip_all_rank_thread_pairs(any_backend):
+    backend, base = any_backend
+    path = f"{base}/hy2.sion"
+    nthreads = 3
+
+    def wtask(comm):
+        with paropen_hybrid(path, "w", comm, nthreads, chunksize=TEST_BLKSIZE,
+                            backend=backend) as h:
+            for t in range(nthreads):
+                h.stream(t).fwrite(_payload(comm.rank, t))
+
+    run_spmd(4, wtask)
+    for rank in range(4):
+        for t in range(nthreads):
+            with open_rank_thread(path, rank, t, backend=backend) as rf:
+                assert rf.read_all() == _payload(rank, t)
+
+
+def test_streams_driven_by_real_concurrent_threads(any_backend):
+    """Each handle owns its cursor: true thread-parallel writes are safe."""
+    backend, base = any_backend
+    path = f"{base}/hy3.sion"
+    nthreads = 4
+
+    def task(comm):
+        h = paropen_hybrid(path, "w", comm, nthreads, chunksize=TEST_BLKSIZE,
+                           backend=backend)
+
+        def worker(t):
+            for _ in range(5):
+                h.stream(t).fwrite(_payload(comm.rank, t, 200))
+
+        threads = [threading.Thread(target=worker, args=(t,)) for t in range(nthreads)]
+        for th in threads:
+            th.start()
+        for th in threads:
+            th.join()
+        h.parclose()
+
+    run_spmd(3, task)
+    for rank in range(3):
+        for t in range(nthreads):
+            with open_rank_thread(path, rank, t, backend=backend) as rf:
+                assert rf.read_all() == _payload(rank, t, 200) * 5
+
+
+def test_parallel_read_mode(any_backend):
+    backend, base = any_backend
+    path = f"{base}/hy4.sion"
+
+    def wtask(comm):
+        with paropen_hybrid(path, "w", comm, 2, chunksize=256, backend=backend) as h:
+            for t in range(2):
+                h.stream(t).fwrite(_payload(comm.rank, t, 100))
+
+    run_spmd(2, wtask)
+
+    def rtask(comm):
+        with paropen_hybrid(path, "r", comm, 2, backend=backend) as h:
+            return [h.stream(t).read_all() for t in range(2)]
+
+    out = run_spmd(2, rtask)
+    for rank in range(2):
+        assert out[rank] == [_payload(rank, t, 100) for t in range(2)]
+
+
+def test_per_thread_chunk_sizes(any_backend):
+    backend, base = any_backend
+    path = f"{base}/hy5.sion"
+
+    def task(comm):
+        h = paropen_hybrid(path, "w", comm, 2, chunksize=[128, 4096],
+                           backend=backend)
+        caps = [h.stream(t).chunksize for t in range(2)]
+        h.parclose()
+        return caps
+
+    caps = run_spmd(2, task)
+    # 128 rounds up to one 512-byte test block; 4096 is 8 blocks.
+    assert caps == [[512, 4096], [512, 4096]]
+
+
+def test_validation(any_backend):
+    backend, base = any_backend
+
+    def no_threads(comm):
+        paropen_hybrid(f"{base}/x", "w", comm, 0, chunksize=64, backend=backend)
+
+    with pytest.raises(SpmdWorkerError):
+        run_spmd(1, no_threads)
+
+    def no_chunksize(comm):
+        paropen_hybrid(f"{base}/x", "w", comm, 2, backend=backend)
+
+    with pytest.raises(SpmdWorkerError):
+        run_spmd(1, no_chunksize)
+
+    def wrong_sizes(comm):
+        paropen_hybrid(f"{base}/x", "w", comm, 3, chunksize=[1, 2], backend=backend)
+
+    with pytest.raises(SpmdWorkerError):
+        run_spmd(1, wrong_sizes)
+
+
+def test_stream_bounds_and_close(any_backend):
+    backend, base = any_backend
+    path = f"{base}/hy6.sion"
+
+    def task(comm):
+        h = paropen_hybrid(path, "w", comm, 2, chunksize=64, backend=backend)
+        caught = []
+        try:
+            h.stream(5)
+        except SionUsageError:
+            caught.append("oob")
+        h.parclose()
+        try:
+            h.stream(0)
+        except SionUsageError:
+            caught.append("closed")
+        try:
+            h.parclose()
+        except SionUsageError:
+            caught.append("double-close")
+        return caught
+
+    out = run_spmd(2, task)
+    assert all(c == ["oob", "closed", "double-close"] for c in out)

@@ -1,0 +1,76 @@
+"""get_current_location / tell_logical introspection."""
+
+import pytest
+
+from repro.sion import paropen, serial
+from repro.simmpi import run_spmd
+from tests.conftest import TEST_BLKSIZE
+
+
+def test_location_tracks_writes(any_backend):
+    backend, base = any_backend
+    path = f"{base}/loc.sion"
+
+    def task(comm):
+        f = paropen(path, "w", comm, chunksize=TEST_BLKSIZE, backend=backend)
+        locs = [f.get_current_location()]
+        f.fwrite(b"x" * 100)
+        locs.append(f.get_current_location())
+        f.fwrite(b"y" * TEST_BLKSIZE)  # crosses into block 1
+        locs.append(f.get_current_location())
+        told = f.tell_logical()
+        f.parclose()
+        return locs, told
+
+    out = run_spmd(2, task)
+    for locs, told in out:
+        assert locs[0] == (0, 0)
+        assert locs[1] == (0, 100)
+        assert locs[2] == (1, 100)  # 512 bytes wrapped into the next chunk
+        assert told == 100 + TEST_BLKSIZE
+
+
+def test_location_tracks_reads(any_backend):
+    backend, base = any_backend
+    path = f"{base}/locr.sion"
+
+    def wtask(comm):
+        f = paropen(path, "w", comm, chunksize=TEST_BLKSIZE, backend=backend)
+        f.fwrite(b"z" * 800)
+        f.parclose()
+
+    run_spmd(2, wtask)
+
+    def rtask(comm):
+        f = paropen(path, "r", comm, backend=backend)
+        a = f.get_current_location()
+        f.fread(600)
+        b = f.get_current_location()
+        t = f.tell_logical()
+        f.parclose()
+        return a, b, t
+
+    for a, b, t in run_spmd(2, rtask):
+        assert a == (0, 0)
+        assert b == (1, 600 - TEST_BLKSIZE)
+        assert t == 600
+
+
+def test_rank_view_location(any_backend):
+    backend, base = any_backend
+    path = f"{base}/locrank.sion"
+
+    def wtask(comm):
+        f = paropen(path, "w", comm, chunksize=TEST_BLKSIZE, backend=backend)
+        f.fwrite(bytes([comm.rank]) * 700)
+        f.parclose()
+
+    run_spmd(2, wtask)
+    from repro.sion import open_rank
+
+    with open_rank(path, 1, backend=backend) as rf:
+        assert rf.get_current_location() == (0, 0)
+        rf.fread(550)
+        block, pos = rf.get_current_location()
+        assert (block, pos) == (1, 550 - TEST_BLKSIZE)
+        assert rf.tell_logical() == 550

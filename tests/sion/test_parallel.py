@@ -1,0 +1,370 @@
+"""Collective parallel write/read of multifiles (paper Listings 1-2)."""
+
+import pytest
+
+from repro.errors import (
+    SionChunkOverflowError,
+    SionUsageError,
+    SpmdWorkerError,
+)
+from repro.sion import paropen
+from repro.sion.mapping import physical_path
+from repro.simmpi import run_spmd
+from tests.conftest import TEST_BLKSIZE
+
+
+def _payload(rank, n):
+    return bytes((rank * 31 + i) % 256 for i in range(n))
+
+
+def _write(path, backend, ntasks, sizes, chunksize=1024, nfiles=1, **kw):
+    def task(comm):
+        f = paropen(path, "w", comm, chunksize=chunksize, nfiles=nfiles,
+                    backend=backend, **kw)
+        f.fwrite(_payload(comm.rank, sizes[comm.rank]))
+        f.parclose()
+
+    run_spmd(ntasks, task)
+
+
+def _read_all(path, backend, ntasks):
+    def task(comm):
+        f = paropen(path, "r", comm, backend=backend)
+        data = f.read_all()
+        f.parclose()
+        return data
+
+    return run_spmd(ntasks, task)
+
+
+@pytest.mark.parametrize("ntasks,nfiles", [(1, 1), (2, 1), (4, 2), (7, 3), (8, 8)])
+def test_roundtrip_shapes(any_backend, ntasks, nfiles):
+    backend, base = any_backend
+    path = f"{base}/rt.sion"
+    sizes = [100 + 37 * r for r in range(ntasks)]
+    _write(path, backend, ntasks, sizes, nfiles=nfiles)
+    out = _read_all(path, backend, ntasks)
+    for r in range(ntasks):
+        assert out[r] == _payload(r, sizes[r])
+
+
+def test_physical_files_created(any_backend):
+    backend, base = any_backend
+    path = f"{base}/phys.sion"
+    _write(path, backend, 6, [10] * 6, nfiles=3)
+    for f in range(3):
+        assert backend.exists(physical_path(path, f))
+    assert not backend.exists(physical_path(path, 3))
+
+
+def test_multi_block_growth(any_backend):
+    backend, base = any_backend
+    path = f"{base}/grow.sion"
+    # Chunk 512 (one test block); 2500 bytes per task -> 5 blocks.
+    _write(path, backend, 3, [2500] * 3, chunksize=TEST_BLKSIZE)
+    out = _read_all(path, backend, 3)
+    assert all(out[r] == _payload(r, 2500) for r in range(3))
+
+
+def test_per_task_chunk_sizes(any_backend):
+    backend, base = any_backend
+    path = f"{base}/varchunk.sion"
+
+    def task(comm):
+        f = paropen(path, "w", comm, chunksize=100 * (comm.rank + 1), backend=backend)
+        f.fwrite(_payload(comm.rank, 5000))
+        f.parclose()
+
+    run_spmd(4, task)
+    out = _read_all(path, backend, 4)
+    assert all(out[r] == _payload(r, 5000) for r in range(4))
+
+
+def test_ensure_free_space_then_plain_write(any_backend):
+    backend, base = any_backend
+    path = f"{base}/ansi.sion"
+
+    def task(comm):
+        f = paropen(path, "w", comm, chunksize=TEST_BLKSIZE, backend=backend)
+        grew = []
+        for _ in range(5):
+            data = _payload(comm.rank, 400)
+            grew.append(f.ensure_free_space(len(data)))
+            f.write(data)
+        f.parclose()
+        return grew
+
+    grew = run_spmd(2, task)
+    # 512-byte chunks, 400-byte writes: every write after the first grows.
+    assert grew[0] == [False, True, True, True, True]
+    out = _read_all(path, backend, 2)
+    assert all(out[r] == _payload(r, 400) * 5 for r in range(2))
+
+
+def test_plain_write_overflow_raises(any_backend):
+    backend, base = any_backend
+    path = f"{base}/overflow.sion"
+
+    def task(comm):
+        f = paropen(path, "w", comm, chunksize=TEST_BLKSIZE, backend=backend)
+        f.write(b"x" * (TEST_BLKSIZE + 1))
+
+    with pytest.raises(SpmdWorkerError) as exc_info:
+        run_spmd(2, task)
+    assert any(
+        isinstance(e, SionChunkOverflowError) for e in exc_info.value.failures.values()
+    )
+
+
+def test_ensure_free_space_larger_than_chunk_raises(any_backend):
+    backend, base = any_backend
+    path = f"{base}/toolarge.sion"
+
+    def task(comm):
+        f = paropen(path, "w", comm, chunksize=100, backend=backend)
+        f.ensure_free_space(10**6)
+
+    with pytest.raises(SpmdWorkerError):
+        run_spmd(2, task)
+
+
+def test_bytes_left_and_avail(any_backend):
+    backend, base = any_backend
+    path = f"{base}/avail.sion"
+
+    def wtask(comm):
+        f = paropen(path, "w", comm, chunksize=TEST_BLKSIZE, backend=backend)
+        assert f.bytes_left_in_chunk() == TEST_BLKSIZE
+        f.write(b"ab")
+        assert f.bytes_left_in_chunk() == TEST_BLKSIZE - 2
+        f.parclose()
+
+    run_spmd(2, wtask)
+
+    def rtask(comm):
+        f = paropen(path, "r", comm, backend=backend)
+        avail = f.bytes_avail_in_chunk()
+        first = f.read(1)
+        rest_avail = f.bytes_avail_in_chunk()
+        rest = f.read(100)
+        eof = f.feof()
+        f.parclose()
+        return avail, first, rest_avail, rest, eof
+
+    out = run_spmd(2, rtask)
+    for avail, first, rest_avail, rest, eof in out:
+        assert avail == 2
+        assert first == b"a"
+        assert rest_avail == 1
+        assert rest == b"b"
+        assert eof
+
+
+def test_feof_loop_reads_everything(any_backend):
+    """The paper's Listing 2 read loop."""
+    backend, base = any_backend
+    path = f"{base}/listing2.sion"
+    _write(path, backend, 3, [1700] * 3, chunksize=TEST_BLKSIZE)
+
+    def rtask(comm):
+        f = paropen(path, "r", comm, backend=backend)
+        parts = []
+        while not f.feof():
+            btoread = f.bytes_avail_in_chunk()
+            parts.append(f.read(btoread))
+        f.parclose()
+        return b"".join(parts)
+
+    out = run_spmd(3, rtask)
+    assert all(out[r] == _payload(r, 1700) for r in range(3))
+
+
+def test_fread_crosses_chunks(any_backend):
+    backend, base = any_backend
+    path = f"{base}/fread.sion"
+    _write(path, backend, 2, [1500] * 2, chunksize=TEST_BLKSIZE)
+
+    def rtask(comm):
+        f = paropen(path, "r", comm, backend=backend)
+        head = f.fread(1000)  # crosses the 512-byte chunk boundary
+        tail = f.fread(10**6)
+        assert f.feof()
+        f.parclose()
+        return head + tail
+
+    out = run_spmd(2, rtask)
+    assert all(out[r] == _payload(r, 1500) for r in range(2))
+
+
+def test_task_writing_nothing(any_backend):
+    backend, base = any_backend
+    path = f"{base}/empty.sion"
+
+    def wtask(comm):
+        f = paropen(path, "w", comm, chunksize=100, backend=backend)
+        if comm.rank != 1:
+            f.fwrite(_payload(comm.rank, 50))
+        f.parclose()
+
+    run_spmd(3, wtask)
+    out = _read_all(path, backend, 3)
+    assert out[0] == _payload(0, 50)
+    assert out[1] == b""
+    assert out[2] == _payload(2, 50)
+
+
+def test_zero_byte_multifile(any_backend):
+    backend, base = any_backend
+    path = f"{base}/allempty.sion"
+
+    def wtask(comm):
+        paropen(path, "w", comm, chunksize=64, backend=backend).parclose()
+
+    run_spmd(4, wtask)
+    assert _read_all(path, backend, 4) == [b""] * 4
+
+
+def test_mode_mismatch_operations_raise(any_backend):
+    backend, base = any_backend
+    path = f"{base}/modes.sion"
+
+    def task(comm):
+        f = paropen(path, "w", comm, chunksize=64, backend=backend)
+        errors = []
+        for op in (lambda: f.fread(1), lambda: f.feof(), lambda: f.bytes_avail_in_chunk()):
+            try:
+                op()
+            except SionUsageError:
+                errors.append(True)
+        f.parclose()
+        try:
+            f.fwrite(b"late")
+        except SionUsageError:
+            errors.append(True)
+        return errors
+
+    out = run_spmd(2, task)
+    assert all(e == [True, True, True, True] for e in out)
+
+
+def test_write_requires_chunksize(any_backend):
+    backend, base = any_backend
+
+    def task(comm):
+        paropen(f"{base}/x.sion", "w", comm, backend=backend)
+
+    with pytest.raises(SpmdWorkerError):
+        run_spmd(2, task)
+
+
+def test_invalid_mode_rejected(any_backend):
+    backend, base = any_backend
+
+    def task(comm):
+        paropen(f"{base}/x.sion", "a", comm, chunksize=10, backend=backend)
+
+    with pytest.raises(SpmdWorkerError):
+        run_spmd(1, task)
+
+
+def test_read_with_wrong_world_size_raises(any_backend):
+    backend, base = any_backend
+    path = f"{base}/wrongsize.sion"
+    _write(path, backend, 4, [10] * 4)
+
+    def rtask(comm):
+        paropen(path, "r", comm, backend=backend)
+
+    with pytest.raises(SpmdWorkerError):
+        run_spmd(3, rtask)
+
+
+def test_context_manager_closes_collectively(any_backend):
+    backend, base = any_backend
+    path = f"{base}/ctx.sion"
+
+    def task(comm):
+        with paropen(path, "w", comm, chunksize=64, backend=backend) as f:
+            f.fwrite(b"ctx")
+        return True
+
+    assert run_spmd(2, task) == [True, True]
+    assert _read_all(path, backend, 2) == [b"ctx", b"ctx"]
+
+
+def test_double_close_raises(any_backend):
+    backend, base = any_backend
+    path = f"{base}/dbl.sion"
+
+    def task(comm):
+        f = paropen(path, "w", comm, chunksize=64, backend=backend)
+        f.parclose()
+        f.parclose()
+
+    with pytest.raises(SpmdWorkerError):
+        run_spmd(2, task)
+
+
+def test_roundrobin_mapping_roundtrip(any_backend):
+    backend, base = any_backend
+    path = f"{base}/rr.sion"
+    sizes = [64 * (r + 1) for r in range(6)]
+
+    def wtask(comm):
+        f = paropen(path, "w", comm, chunksize=256, nfiles=3,
+                    mapping="roundrobin", backend=backend)
+        f.fwrite(_payload(comm.rank, sizes[comm.rank]))
+        f.parclose()
+        return f.filenum
+
+    filenums = run_spmd(6, wtask)
+    assert filenums == [0, 1, 2, 0, 1, 2]
+    out = _read_all(path, backend, 6)
+    assert all(out[r] == _payload(r, sizes[r]) for r in range(6))
+
+
+def test_custom_mapping_roundtrip(any_backend):
+    backend, base = any_backend
+    path = f"{base}/custom.sion"
+    file_of_task = [1, 1, 0, 0]
+
+    def wtask(comm):
+        f = paropen(path, "w", comm, chunksize=128, nfiles=2,
+                    mapping=file_of_task, backend=backend)
+        f.fwrite(_payload(comm.rank, 99))
+        f.parclose()
+        return f.filenum
+
+    assert run_spmd(4, wtask) == file_of_task
+    out = _read_all(path, backend, 4)
+    assert all(out[r] == _payload(r, 99) for r in range(4))
+
+
+def test_explicit_fsblksize_recorded(any_backend):
+    backend, base = any_backend
+    path = f"{base}/blk.sion"
+
+    def wtask(comm):
+        f = paropen(path, "w", comm, chunksize=100, fsblksize=256, backend=backend)
+        f.fwrite(b"z" * 300)
+        f.parclose()
+        return f.fsblksize, f.chunksize
+
+    out = run_spmd(2, wtask)
+    # Capacity = chunk rounded up to the configured 256-byte granularity.
+    assert out == [(256, 256), (256, 256)]
+
+
+def test_handle_introspection(any_backend):
+    backend, base = any_backend
+    path = f"{base}/intro.sion"
+
+    def wtask(comm):
+        f = paropen(path, "w", comm, chunksize=100, nfiles=2, backend=backend)
+        info = (f.filenum, f.local_rank, f.closed)
+        f.parclose()
+        return (*info, f.closed)
+
+    out = run_spmd(4, wtask)
+    assert out == [(0, 0, False, True), (0, 1, False, True),
+                   (1, 0, False, True), (1, 1, False, True)]

@@ -1,0 +1,163 @@
+"""Crash recovery via per-chunk shadow headers (paper §6 roadmap)."""
+
+import pytest
+
+from repro.errors import SionMetadataLostError, SpmdWorkerError
+from repro.sion import open_rank, paropen, recover_multifile, serial
+from repro.simmpi import run_spmd
+from tests.conftest import TEST_BLKSIZE
+
+
+def _payload(rank, n):
+    return bytes((rank * 7 + i) % 256 for i in range(n))
+
+
+def _crash_write(path, backend, ntasks, size, nfiles=1, shadow=True, flush=True):
+    """Write without the collective close, simulating a dying application."""
+
+    def task(comm):
+        f = paropen(path, "w", comm, chunksize=TEST_BLKSIZE, nfiles=nfiles,
+                    shadow=shadow, backend=backend)
+        f.fwrite(_payload(comm.rank, size))
+        if flush:
+            f.flush_shadow()
+        f._raw.close()  # the process dies here; no parclose
+
+    run_spmd(ntasks, task)
+
+
+def test_recover_single_file(any_backend):
+    backend, base = any_backend
+    path = f"{base}/c1.sion"
+    _crash_write(path, backend, 3, 1300)
+    report = recover_multifile(path, backend=backend)
+    assert report.files_recovered == 1
+    assert report.tasks_recovered == 3
+    assert report.bytes_recovered == 3 * 1300
+    with serial.open(path, "r", backend=backend) as sf:
+        for r in range(3):
+            assert sf.read_task(r) == _payload(r, 1300)
+
+
+def test_recover_multiple_physical_files(any_backend):
+    backend, base = any_backend
+    path = f"{base}/c2.sion"
+    _crash_write(path, backend, 4, 900, nfiles=2)
+    report = recover_multifile(path, backend=backend)
+    assert report.nfiles == 2
+    assert report.files_recovered == 2
+    with serial.open(path, "r", backend=backend) as sf:
+        for r in range(4):
+            assert sf.read_task(r) == _payload(r, 900)
+
+
+def test_unflushed_tail_lost_but_finalized_blocks_survive(any_backend):
+    """Without a final flush, only block-boundary shadows exist."""
+    backend, base = any_backend
+    path = f"{base}/c3.sion"
+    # Shadow chunks hold 512-32=480 usable bytes.  1300 bytes = 2 full
+    # chunks (flushed at block advance) + 340 in the third (never
+    # flushed -> lost).
+    usable = TEST_BLKSIZE - 32
+    _crash_write(path, backend, 2, 1300, flush=False)
+    recover_multifile(path, backend=backend)
+    with serial.open(path, "r", backend=backend) as sf:
+        for r in range(2):
+            data = sf.read_task(r)
+            assert data == _payload(r, 1300)[: 2 * usable]
+
+
+def test_no_shadow_headers_is_unrecoverable(any_backend):
+    backend, base = any_backend
+    path = f"{base}/c4.sion"
+    _crash_write(path, backend, 2, 100, shadow=False, flush=False)
+    with pytest.raises(SionMetadataLostError):
+        recover_multifile(path, backend=backend)
+
+
+def test_intact_file_left_alone(any_backend):
+    backend, base = any_backend
+    path = f"{base}/c5.sion"
+
+    def task(comm):
+        f = paropen(path, "w", comm, chunksize=TEST_BLKSIZE, shadow=True, backend=backend)
+        f.fwrite(_payload(comm.rank, 700))
+        f.parclose()
+
+    run_spmd(2, task)
+    report = recover_multifile(path, backend=backend)
+    assert report.files_intact == 1
+    assert report.files_recovered == 0
+
+
+def test_force_rebuild_matches_clean_close(any_backend):
+    backend, base = any_backend
+    path = f"{base}/c6.sion"
+
+    def task(comm):
+        f = paropen(path, "w", comm, chunksize=TEST_BLKSIZE, shadow=True, backend=backend)
+        f.fwrite(_payload(comm.rank, 1100))
+        f.parclose()
+
+    run_spmd(2, task)
+    before = serial.open(path, "r", backend=backend)
+    loc_before = before.get_locations()
+    before.close()
+    report = recover_multifile(path, backend=backend, force=True)
+    assert report.files_recovered == 1
+    after = serial.open(path, "r", backend=backend)
+    loc_after = after.get_locations()
+    after.close()
+    assert loc_before.blocksizes == loc_after.blocksizes
+
+
+def test_recovered_file_readable_by_rank_view(any_backend):
+    backend, base = any_backend
+    path = f"{base}/c7.sion"
+    _crash_write(path, backend, 3, 2000)
+    recover_multifile(path, backend=backend)
+    with open_rank(path, 1, backend=backend) as rf:
+        assert rf.read_all() == _payload(1, 2000)
+
+
+def test_partial_writers_recovered_individually(any_backend):
+    """Tasks that wrote different amounts each recover their own extent."""
+    backend, base = any_backend
+    path = f"{base}/c8.sion"
+    sizes = [100, 1500, 0]
+
+    def task(comm):
+        f = paropen(path, "w", comm, chunksize=TEST_BLKSIZE, shadow=True, backend=backend)
+        if sizes[comm.rank]:
+            f.fwrite(_payload(comm.rank, sizes[comm.rank]))
+        f.flush_shadow()
+        f._raw.close()
+
+    run_spmd(3, task)
+    recover_multifile(path, backend=backend)
+    with serial.open(path, "r", backend=backend) as sf:
+        for r, n in enumerate(sizes):
+            assert sf.read_task(r) == _payload(r, n)
+
+
+def test_shadow_reduces_usable_capacity(any_backend):
+    backend, base = any_backend
+    path = f"{base}/c9.sion"
+
+    def task(comm):
+        f = paropen(path, "w", comm, chunksize=TEST_BLKSIZE, shadow=True, backend=backend)
+        cap = f.chunksize
+        f.parclose()
+        return cap
+
+    caps = run_spmd(2, task)
+    assert all(c == TEST_BLKSIZE - 32 for c in caps)
+
+
+def test_recovery_report_details(any_backend):
+    backend, base = any_backend
+    path = f"{base}/c10.sion"
+    _crash_write(path, backend, 2, 600)
+    report = recover_multifile(path, backend=backend)
+    assert report.details
+    assert any("rebuilt" in line for line in report.details)

@@ -1,0 +1,249 @@
+"""Serial access: global view, task-local view, serial write (Listings 3-5)."""
+
+import pytest
+
+from repro.errors import SionUsageError
+from repro.sion import paropen, serial
+from repro.sion import open_rank
+from repro.simmpi import run_spmd
+from tests.conftest import TEST_BLKSIZE
+
+
+def _payload(rank, n):
+    return bytes((rank * 13 + i) % 256 for i in range(n))
+
+
+def _make_multifile(path, backend, ntasks=4, nfiles=2, size=1300, chunksize=TEST_BLKSIZE):
+    def task(comm):
+        f = paropen(path, "w", comm, chunksize=chunksize, nfiles=nfiles, backend=backend)
+        f.fwrite(_payload(comm.rank, size))
+        f.parclose()
+
+    run_spmd(ntasks, task)
+
+
+class TestGlobalView:
+    def test_get_locations(self, any_backend):
+        backend, base = any_backend
+        path = f"{base}/loc.sion"
+        _make_multifile(path, backend, ntasks=4, nfiles=2, size=1300)
+        with serial.open(path, "r", backend=backend) as sf:
+            loc = sf.get_locations()
+        assert loc.ntasks == 4
+        assert loc.nfiles == 2
+        assert loc.fsblksize == TEST_BLKSIZE
+        assert loc.chunksizes == [TEST_BLKSIZE] * 4
+        # 1300 bytes over 512-byte chunks -> 3 blocks of 512/512/276.
+        assert loc.nblocks == [3] * 4
+        assert all(sum(b) == 1300 for b in loc.blocksizes)
+        assert loc.total_bytes() == 4 * 1300
+        assert loc.total_bytes(2) == 1300
+        assert loc.file_of_task == [0, 0, 1, 1]
+
+    def test_total_bytes_validates_rank(self, any_backend):
+        backend, base = any_backend
+        path = f"{base}/tb.sion"
+        _make_multifile(path, backend)
+        with serial.open(path, "r", backend=backend) as sf:
+            with pytest.raises(SionUsageError):
+                sf.get_locations().total_bytes(99)
+
+    def test_read_task_returns_full_stream(self, any_backend):
+        backend, base = any_backend
+        path = f"{base}/rt.sion"
+        _make_multifile(path, backend, ntasks=3, size=900)
+        with serial.open(path, "r", backend=backend) as sf:
+            for r in range(3):
+                assert sf.read_task(r) == _payload(r, 900)
+
+    def test_seek_and_chunkwise_read(self, any_backend):
+        backend, base = any_backend
+        path = f"{base}/seek.sion"
+        _make_multifile(path, backend, ntasks=2, size=1300)
+        with serial.open(path, "r", backend=backend) as sf:
+            sf.seek(rank=1, block=1, pos=10)
+            expected = _payload(1, 1300)[TEST_BLKSIZE + 10 :]
+            got = sf.fread(len(expected) + 50)
+            assert got == expected
+
+    def test_seek_validation(self, any_backend):
+        backend, base = any_backend
+        path = f"{base}/sv.sion"
+        _make_multifile(path, backend, ntasks=2, size=100)
+        with serial.open(path, "r", backend=backend) as sf:
+            with pytest.raises(SionUsageError):
+                sf.seek(rank=9)
+            with pytest.raises(SionUsageError):
+                sf.seek(0, block=5)
+            with pytest.raises(SionUsageError):
+                sf.seek(0, block=0, pos=10**9)
+
+    def test_read_within_chunk_and_feof(self, any_backend):
+        backend, base = any_backend
+        path = f"{base}/chunkread.sion"
+        _make_multifile(path, backend, ntasks=2, size=700)
+        with serial.open(path, "r", backend=backend) as sf:
+            sf.seek(0)
+            assert sf.bytes_avail_in_chunk() == TEST_BLKSIZE
+            first = sf.read(TEST_BLKSIZE)
+            assert sf.bytes_avail_in_chunk() == 700 - TEST_BLKSIZE
+            rest = sf.read(10**6)
+            assert sf.feof()
+            assert first + rest == _payload(0, 700)
+
+    def test_write_ops_rejected_in_read_mode(self, any_backend):
+        backend, base = any_backend
+        path = f"{base}/ro.sion"
+        _make_multifile(path, backend)
+        with serial.open(path, "r", backend=backend) as sf:
+            with pytest.raises(SionUsageError):
+                sf.write(b"x")
+            with pytest.raises(SionUsageError):
+                sf.ensure_free_space(1)
+
+    def test_closed_file_rejects_everything(self, any_backend):
+        backend, base = any_backend
+        path = f"{base}/closed.sion"
+        _make_multifile(path, backend)
+        sf = serial.open(path, "r", backend=backend)
+        sf.close()
+        sf.close()  # idempotent
+        with pytest.raises(SionUsageError):
+            sf.get_locations()
+
+    def test_invalid_mode(self, any_backend):
+        backend, base = any_backend
+        with pytest.raises(SionUsageError):
+            serial.open(f"{base}/x.sion", "a", backend=backend)
+
+
+class TestSerialWrite:
+    def test_listing3_pattern(self, any_backend):
+        """seek + ensure_free_space + write, then read back in parallel."""
+        backend, base = any_backend
+        path = f"{base}/sw.sion"
+        sizes = [700, 300, 1200]
+        sf = serial.open(
+            path, "w", chunksizes=[TEST_BLKSIZE] * 3, fsblksize=TEST_BLKSIZE,
+            backend=backend,
+        )
+        for rank, n in enumerate(sizes):
+            sf.seek(rank, 0, 0)
+            sf.fwrite(_payload(rank, n))
+        sf.close()
+
+        def rtask(comm):
+            f = paropen(path, "r", comm, backend=backend)
+            data = f.read_all()
+            f.parclose()
+            return data
+
+        out = run_spmd(3, rtask)
+        assert all(out[r] == _payload(r, sizes[r]) for r in range(3))
+
+    def test_ensure_free_space_advances_block(self, any_backend):
+        backend, base = any_backend
+        path = f"{base}/efs.sion"
+        sf = serial.open(
+            path, "w", chunksizes=[100], fsblksize=TEST_BLKSIZE, backend=backend
+        )
+        sf.seek(0, 0, 0)
+        sf.write(b"x" * 500)
+        grew = sf.ensure_free_space(100)
+        assert grew
+        sf.write(b"y" * 100)
+        sf.close()
+        with serial.open(path, "r", backend=backend) as back:
+            assert back.read_task(0) == b"x" * 500 + b"y" * 100
+            assert back.get_locations().nblocks == [2]
+
+    def test_plain_write_overflow_rejected(self, any_backend):
+        backend, base = any_backend
+        path = f"{base}/ofl.sion"
+        sf = serial.open(
+            path, "w", chunksizes=[10], fsblksize=TEST_BLKSIZE, backend=backend
+        )
+        with pytest.raises(SionUsageError):
+            sf.write(b"z" * (TEST_BLKSIZE + 1))
+        sf.close()
+
+    def test_requires_chunksizes(self, any_backend):
+        backend, base = any_backend
+        with pytest.raises(SionUsageError):
+            serial.open(f"{base}/x.sion", "w", backend=backend)
+
+    def test_multifile_serial_write(self, any_backend):
+        backend, base = any_backend
+        path = f"{base}/swm.sion"
+        sf = serial.open(
+            path, "w", chunksizes=[64] * 4, nfiles=2, fsblksize=TEST_BLKSIZE,
+            backend=backend,
+        )
+        for rank in range(4):
+            sf.seek(rank)
+            sf.write(_payload(rank, 60))
+        sf.close()
+        with serial.open(path, "r", backend=backend) as back:
+            assert back.nfiles == 2
+            for rank in range(4):
+                assert back.read_task(rank) == _payload(rank, 60)
+
+    def test_sparse_task_left_empty(self, any_backend):
+        backend, base = any_backend
+        path = f"{base}/sparse.sion"
+        sf = serial.open(
+            path, "w", chunksizes=[64] * 3, fsblksize=TEST_BLKSIZE, backend=backend
+        )
+        sf.seek(2)
+        sf.write(b"only-two")
+        sf.close()
+        with serial.open(path, "r", backend=backend) as back:
+            assert back.read_task(0) == b""
+            assert back.read_task(1) == b""
+            assert back.read_task(2) == b"only-two"
+
+
+class TestRankView:
+    def test_open_rank_reads_single_task(self, any_backend):
+        backend, base = any_backend
+        path = f"{base}/rank.sion"
+        _make_multifile(path, backend, ntasks=5, nfiles=2, size=800)
+        for r in (0, 2, 4):
+            with open_rank(path, r, backend=backend) as rf:
+                assert rf.read_all() == _payload(r, 800)
+
+    def test_open_rank_streaming_api(self, any_backend):
+        backend, base = any_backend
+        path = f"{base}/rankstream.sion"
+        _make_multifile(path, backend, ntasks=2, size=1200)
+        with open_rank(path, 1, backend=backend) as rf:
+            parts = []
+            while not rf.feof():
+                avail = rf.bytes_avail_in_chunk()
+                parts.append(rf.read(avail))
+            assert b"".join(parts) == _payload(1, 1200)
+
+    def test_open_rank_fread(self, any_backend):
+        backend, base = any_backend
+        path = f"{base}/rankfread.sion"
+        _make_multifile(path, backend, ntasks=2, size=1200)
+        with open_rank(path, 0, backend=backend) as rf:
+            a = rf.fread(700)
+            b = rf.fread(9999)
+            assert a + b == _payload(0, 1200)
+
+    def test_open_rank_out_of_range(self, any_backend):
+        backend, base = any_backend
+        path = f"{base}/rankoor.sion"
+        _make_multifile(path, backend, ntasks=2)
+        with pytest.raises(SionUsageError):
+            open_rank(path, 7, backend=backend)
+
+    def test_closed_rank_file_rejects_reads(self, any_backend):
+        backend, base = any_backend
+        path = f"{base}/rankclosed.sion"
+        _make_multifile(path, backend, ntasks=2)
+        rf = open_rank(path, 0, backend=backend)
+        rf.close()
+        with pytest.raises(SionUsageError):
+            rf.read_all()

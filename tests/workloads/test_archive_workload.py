@@ -1,0 +1,41 @@
+"""Archive workload scenarios (§1 file-management)."""
+
+import pytest
+
+from repro.fs.archive import TapeLibrary
+from repro.workloads.archive import run_archive_comparison, sweep_task_counts
+
+
+def test_headline_comparison_defaults():
+    cmp_ = run_archive_comparison()
+    assert cmp_.ntasks == 32768
+    assert cmp_.archive_speedup > 2
+    assert cmp_.retrieve_speedup > 2
+
+
+def test_custom_library_parameters():
+    fast = TapeLibrary(per_file_overhead_s=0.01)
+    slow = TapeLibrary(per_file_overhead_s=2.0)
+    fast_cmp = run_archive_comparison(library=fast)
+    slow_cmp = run_archive_comparison(library=slow)
+    # Per-file overhead is the discriminating term.
+    assert slow_cmp.archive_speedup > fast_cmp.archive_speedup
+
+
+def test_sweep_shapes():
+    points = sweep_task_counts([1024, 4096, 16384])
+    assert [p.ntasks for p in points] == [1024, 4096, 16384]
+    speedups = [p.comparison.archive_speedup for p in points]
+    assert speedups == sorted(speedups)  # worsens with scale
+
+
+def test_sweep_multifile_clamped_to_tasks():
+    (point,) = sweep_task_counts([4], nfiles=16)
+    assert point.comparison.nfiles_multifile == 4
+
+
+def test_archive_time_dominated_by_streaming_for_multifile():
+    cmp_ = run_archive_comparison()
+    lib = TapeLibrary()
+    stream_s = (cmp_.total_bytes / 1e6) / lib.stream_bw_mb_s
+    assert cmp_.multifile_archive_s == pytest.approx(stream_s, rel=0.05)

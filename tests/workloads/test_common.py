@@ -1,0 +1,111 @@
+"""The shared parallel-I/O simulation: resource limits, penalties, caching."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.fs.systems import jaguar, jugene
+from repro.workloads.common import parallel_io
+
+GB = 10**9
+TB = 10**12
+
+
+class TestBasics:
+    def test_bandwidth_definition(self):
+        res = parallel_io(jugene(), 1024, 100 * GB, "write", nfiles=4)
+        assert res.bandwidth_mb_s == pytest.approx(res.total_mb / res.time_s)
+
+    def test_bandwidth_independent_of_data_size(self):
+        a = parallel_io(jugene(), 4096, 100 * GB, "write", nfiles=8)
+        b = parallel_io(jugene(), 4096, 1 * TB, "write", nfiles=8)
+        assert a.bandwidth_mb_s == pytest.approx(b.bandwidth_mb_s, rel=1e-6)
+
+    def test_never_exceeds_backplane(self):
+        for op in ("write", "read"):
+            res = parallel_io(jugene(), 65536, 1 * TB, op, nfiles=32)
+            assert res.bandwidth_mb_s <= jugene().peak_bw(op) + 1e-6
+
+    def test_never_exceeds_client_side(self):
+        ju = jugene()
+        res = parallel_io(ju, 256, 1 * GB, "write", nfiles=8)
+        assert res.bandwidth_mb_s <= ju.aggregate_client_bw(256) + 1e-6
+
+    def test_single_shared_file_hits_token_cap(self):
+        ju = jugene()
+        res = parallel_io(ju, 65536, 1 * TB, "write", nfiles=1)
+        assert res.bandwidth_mb_s == pytest.approx(ju.per_file_bw("write"), rel=0.01)
+
+    def test_more_files_more_bandwidth_until_saturation(self):
+        ju = jugene()
+        bws = [
+            parallel_io(ju, 65536, 1 * TB, "write", nfiles=n).bandwidth_mb_s
+            for n in (1, 2, 4)
+        ]
+        assert bws[0] < bws[1] < bws[2]
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            parallel_io(jugene(), 0, 1, "write")
+        with pytest.raises(ReproError):
+            parallel_io(jugene(), 4, 1, "append")
+        with pytest.raises(ReproError):
+            parallel_io(jugene(), 4, 1, "write", nfiles=8)
+
+
+class TestTaskLocal:
+    def test_tasklocal_ignores_nfiles(self):
+        res = parallel_io(jugene(), 1024, 1 * GB, "write", tasklocal=True)
+        assert res.nfiles == 1024
+
+    def test_tasklocal_pays_backplane_overhead_at_scale(self):
+        ju = jugene()
+        sion = parallel_io(ju, 65536, 1 * TB, "write", nfiles=32)
+        tl = parallel_io(ju, 65536, 1 * TB, "write", tasklocal=True)
+        assert tl.bandwidth_mb_s < sion.bandwidth_mb_s
+
+
+class TestAlignment:
+    def test_misalignment_halves_gpfs_write(self):
+        ju = jugene()
+        good = parallel_io(ju, 32768, 256 * GB, "write", nfiles=16,
+                           chunk_align_bytes=2 * (1 << 20))
+        bad = parallel_io(ju, 32768, 256 * GB, "write", nfiles=16,
+                          chunk_align_bytes=16 * 1024)
+        assert good.bandwidth_mb_s / bad.bandwidth_mb_s > 2.0
+
+    def test_lustre_unaffected_by_alignment(self):
+        ja = jaguar()
+        good = parallel_io(ja, 2048, 100 * GB, "write", nfiles=16,
+                           chunk_align_bytes=2 * (1 << 20))
+        bad = parallel_io(ja, 2048, 100 * GB, "write", nfiles=16,
+                          chunk_align_bytes=16 * 1024)
+        assert good.bandwidth_mb_s == pytest.approx(bad.bandwidth_mb_s, rel=1e-6)
+
+
+class TestStripingAndCache:
+    def test_optimized_striping_beats_default_at_one_file(self):
+        ja = jaguar()
+        default = parallel_io(ja, 2048, 1 * TB, "write", nfiles=1,
+                              striping=ja.default_striping)
+        optimized = parallel_io(ja, 2048, 1 * TB, "write", nfiles=1,
+                                striping=ja.optimized_striping)
+        assert optimized.bandwidth_mb_s > 5 * default.bandwidth_mb_s
+
+    def test_cache_only_affects_reads(self):
+        ja = jaguar()
+        w = parallel_io(ja, 8192, 2 * TB, "write", nfiles=32, use_cache=True)
+        assert w.cached_bandwidth_mb_s is None
+        r = parallel_io(ja, 8192, 2 * TB, "read", nfiles=32, use_cache=True)
+        assert r.cached_bandwidth_mb_s is not None
+        assert r.effective_bandwidth > r.bandwidth_mb_s
+
+    def test_cached_read_exceeds_nominal_peak_at_scale(self):
+        ja = jaguar()
+        r = parallel_io(ja, 12288, 2 * TB, "read", tasklocal=True, use_cache=True)
+        assert r.effective_bandwidth > ja.nominal_peak_bw
+
+    def test_rate_cap_override(self):
+        ju = jugene()
+        res = parallel_io(ju, 32768, 1 * TB, "write", nfiles=16,
+                          rate_cap_per_task=0.067)
+        assert res.bandwidth_mb_s == pytest.approx(32768 * 0.067, rel=0.01)

@@ -1,0 +1,53 @@
+"""Weak-scaling and analyzer-load scenarios."""
+
+import pytest
+
+from repro.fs.systems import jugene
+from repro.workloads.scaling import analyzer_load_times, mp2c_weak_scaling
+
+JU = jugene()
+
+
+class TestWeakScaling:
+    def test_single_file_time_scales_with_total_data(self):
+        pts = mp2c_weak_scaling(JU, [1024, 2048, 4096])
+        assert pts[1].single_write_s == pytest.approx(2 * pts[0].single_write_s)
+        assert pts[2].single_write_s == pytest.approx(4 * pts[0].single_write_s)
+
+    def test_sion_time_bounded_by_fs_bandwidth(self):
+        pts = mp2c_weak_scaling(JU, [8192, 65536])
+        # 8x the data, but the saturated FS absorbs it in ~8x/1 ratio of
+        # transfer time bounded by peak; SION time grows far slower than
+        # the baseline's.
+        sion_growth = pts[1].sion_write_s / pts[0].sion_write_s
+        single_growth = pts[1].single_write_s / pts[0].single_write_s
+        assert single_growth == pytest.approx(8.0, rel=1e-6)
+        assert sion_growth < single_growth + 1e-9
+
+    def test_speedup_grows_with_scale(self):
+        pts = mp2c_weak_scaling(JU, [1024, 16384, 65536])
+        speedups = [p.speedup for p in pts]
+        assert speedups == sorted(speedups)
+
+    def test_data_accounting(self):
+        (pt,) = mp2c_weak_scaling(JU, [100], particles_per_task=1000)
+        assert pt.data_bytes == 100 * 1000 * 52
+
+
+class TestAnalyzerLoad:
+    def test_sion_always_cheaper(self):
+        for p in analyzer_load_times(JU, [256, 4096, 65536]):
+            assert p.sion_open_s < p.tasklocal_open_s
+            assert p.speedup > 1
+
+    def test_tasklocal_open_matches_fig3_curve(self):
+        from repro.workloads.filecreate import tasklocal_metadata_time
+
+        (p,) = analyzer_load_times(JU, [16384])
+        assert p.tasklocal_open_s == pytest.approx(
+            tasklocal_metadata_time(JU, 16384, "open")
+        )
+
+    def test_speedup_meaningful_at_scale(self):
+        (p,) = analyzer_load_times(JU, [65536])
+        assert p.speedup > 10
