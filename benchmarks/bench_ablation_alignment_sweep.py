@@ -3,25 +3,21 @@ size shrinks below the true 2 MB GPFS block.
 
 Extends Table 1 from two points to a sweep, exposing the saturating shape
 of the lock-contention model (penalty -> 1 + c as sharers -> inf).
+
+Thin wrapper over the registered ``ablation/alignment-sweep`` scenario.
 """
 
-from repro.analysis.results import Series, format_table
-from repro.workloads.alignment import alignment_sweep
+from repro.bench import get_scenario
 
 from conftest import emit, once
 
-KiB = 1024
-SWEEP = [2048 * KiB, 1024 * KiB, 512 * KiB, 128 * KiB, 64 * KiB, 16 * KiB, 4 * KiB]
 
-
-def test_ablation_alignment_sweep(benchmark, jugene_profile):
-    rows = once(benchmark, alignment_sweep, jugene_profile, SWEEP)
-    s = Series("alignment-sweep", "blk KiB", "MB/s", xs=[r.blksize // KiB for r in rows])
-    s.add_curve("write", [r.write_mb_s for r in rows])
-    s.add_curve("read", [r.read_mb_s for r in rows])
+def test_ablation_alignment_sweep(benchmark):
+    sc = get_scenario("ablation/alignment-sweep")
+    out = once(benchmark, sc.execute)
+    emit("ablation_alignment_sweep", out.text, scenario=sc.name)
+    rows = out.raw
     base_w = rows[0].write_mb_s
-    s.add_curve("write penalty", [base_w / r.write_mb_s for r in rows])
-    emit("ablation_alignment_sweep", format_table(s))
     penalties = [base_w / r.write_mb_s for r in rows]
     assert penalties == sorted(penalties)  # monotone as alignment degrades
     assert penalties[-1] < 2.6  # saturates near 1 + write_coeff

@@ -4,32 +4,19 @@ Not a paper figure (the paper argues this qualitatively in its
 introduction); this bench quantifies it for Table 2's data volume: 32K
 task-local trace files vs. a 16-file SION multifile set, archived while
 other users interleave, then retrieved.
+
+Thin wrapper over the registered ``ablation/tape-archive`` scenario.
 """
 
-from repro.analysis.results import Series, format_table
-from repro.workloads.archive import run_archive_comparison, sweep_task_counts
+from repro.bench import get_scenario
 
 from conftest import emit, once
 
 
 def test_ablation_tape_archive(benchmark):
-    cmp_ = once(benchmark, run_archive_comparison)
-    lines = [
-        "scenario: 1470 GB of traces, 32K tasks, 4 interleaved archive users",
-        "",
-        f"archive   task-local: {cmp_.tasklocal_archive_s:>9.0f} s   "
-        f"multifile (16): {cmp_.multifile_archive_s:>7.0f} s   "
-        f"speedup {cmp_.archive_speedup:.1f}x",
-        f"retrieve  task-local: {cmp_.tasklocal_retrieve_s:>9.0f} s   "
-        f"multifile (16): {cmp_.multifile_retrieve_s:>7.0f} s   "
-        f"speedup {cmp_.retrieve_speedup:.1f}x",
-    ]
-    sweep = sweep_task_counts([1024, 4096, 16384, 65536])
-    s = Series("archive-sweep", "#tasks", "seconds", xs=[p.ntasks for p in sweep])
-    s.add_curve("archive task-local", [p.comparison.tasklocal_archive_s for p in sweep])
-    s.add_curve("archive multifile", [p.comparison.multifile_archive_s for p in sweep])
-    s.add_curve("retrieve task-local", [p.comparison.tasklocal_retrieve_s for p in sweep])
-    s.add_curve("retrieve multifile", [p.comparison.multifile_retrieve_s for p in sweep])
-    emit("ablation_tape_archive", "\n".join(lines) + "\n\n" + format_table(s))
+    sc = get_scenario("ablation/tape-archive")
+    out = once(benchmark, sc.execute)
+    emit("ablation_tape_archive", out.text, scenario=sc.name)
+    cmp_, _sweep = out.raw
     assert cmp_.archive_speedup > 2
     assert cmp_.retrieve_speedup > 2

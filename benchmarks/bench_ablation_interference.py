@@ -4,31 +4,19 @@ Prices "temporary service disruptions noticeable by arbitrary users": the
 latency of one innocent user's ``stat`` while another job creates its
 task-local files, for storm sizes up to 64K — against the same bystander
 during a SION multifile creation (a handful of creates).
+
+Thin wrapper over the registered ``ablation/interference`` scenario.
 """
 
-from repro.analysis.results import Series, format_table
-from repro.fs.interference import bystander_latency
+from repro.bench import get_scenario
 
 from conftest import emit, once
 
-STORM_SIZES = [0, 1024, 4096, 16384, 65536]
 
-
-def _sweep(profile):
-    return [bystander_latency(profile.metadata_costs, n) for n in STORM_SIZES]
-
-
-def test_ablation_bystander_interference(benchmark, jugene_profile):
-    rows = once(benchmark, _sweep, jugene_profile)
-    s = Series("interference", "storm ops", "seconds", xs=[r.storm_ops for r in rows])
-    s.add_curve("bystander latency", [r.storm_latency_s for r in rows])
-    s.add_curve("slowdown", [r.slowdown for r in rows])
-    sion_like = bystander_latency(jugene_profile.metadata_costs, 16)
-    text = format_table(s) + (
-        f"\n\nduring a SION creation (16 creates) the same bystander waits "
-        f"{sion_like.storm_latency_s * 1e3:.1f} ms — the disruption simply "
-        "does not happen"
-    )
-    emit("ablation_interference", text)
+def test_ablation_bystander_interference(benchmark):
+    sc = get_scenario("ablation/interference")
+    out = once(benchmark, sc.execute)
+    emit("ablation_interference", out.text, scenario=sc.name)
+    rows, sion_like = out.raw
     assert rows[-1].storm_latency_s > 60  # minutes of collateral at 64K
     assert sion_like.storm_latency_s < 0.1

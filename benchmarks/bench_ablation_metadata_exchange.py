@@ -2,8 +2,9 @@
 
 SIONlib's design has the per-file master gather chunk sizes and write one
 metablock (collective close avoids "the inefficiency of having all tasks
-write to the metadata block concurrently", paper §3.1).  This bench prices
-the alternatives on the simulated metadata service:
+write to the metadata block concurrently", paper §3.1).  The registered
+``ablation/metadata-exchange`` scenario prices the alternatives on the
+simulated metadata service:
 
 * ``collective``  — gather + one metablock write (SIONlib's choice);
 * ``per-task metadata writes`` — every task updates the metablock itself,
@@ -11,51 +12,14 @@ the alternatives on the simulated metadata service:
 * ``per-task files`` — the task-local baseline, for scale.
 """
 
-from repro.analysis.results import Series, format_table
-from repro.fs.events import Engine
-from repro.fs.metadata import FifoMetadataService, MetadataCosts, MetadataOp
-from repro.workloads.filecreate import sion_create_time, tasklocal_metadata_time
+from repro.bench import get_scenario
 
 from conftest import emit, once
 
-TASK_COUNTS = [1024, 4096, 16384, 65536]
 
-#: Serialized per-task metablock update (lock grab + small write).
-_PER_TASK_UPDATE = 2.0e-4
-
-
-def _naive_metadata_time(profile, ntasks):
-    """Every task appends its own entry to the shared metablock."""
-    engine = Engine()
-    costs = MetadataCosts(create=_PER_TASK_UPDATE)
-    svc = FifoMetadataService(engine, costs, name="metablock")
-    done = []
-    for t in range(ntasks):
-        svc.submit(MetadataOp("create", f"meta{t}"), lambda ts, op: done.append(ts))
-    engine.run()
-    return max(done)
-
-
-def _sweep(profile):
-    rows = []
-    for n in TASK_COUNTS:
-        rows.append(
-            (
-                n,
-                sion_create_time(profile, n, 1),
-                _naive_metadata_time(profile, n) + sion_create_time(profile, n, 1),
-                tasklocal_metadata_time(profile, n, "create"),
-            )
-        )
-    return rows
-
-
-def test_ablation_metadata_exchange(benchmark, jugene_profile):
-    rows = once(benchmark, _sweep, jugene_profile)
-    s = Series("metadata-exchange", "#tasks", "seconds", xs=[r[0] for r in rows])
-    s.add_curve("collective (SION)", [r[1] for r in rows])
-    s.add_curve("per-task metablock writes", [r[2] for r in rows])
-    s.add_curve("per-task files", [r[3] for r in rows])
-    emit("ablation_metadata_exchange", format_table(s))
-    for _, collective, naive, tasklocal in rows:
+def test_ablation_metadata_exchange(benchmark):
+    sc = get_scenario("ablation/metadata-exchange")
+    out = once(benchmark, sc.execute)
+    emit("ablation_metadata_exchange", out.text, scenario=sc.name)
+    for _, collective, naive, tasklocal in out.raw:
         assert collective < naive < tasklocal

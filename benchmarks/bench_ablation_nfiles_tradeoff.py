@@ -1,39 +1,22 @@
 """Ablation — choosing the number of physical files.
 
 More files buy bandwidth (until the backplane saturates) but every file
-costs a serialized create and adds token traffic.  This bench combines
-both effects into total checkpoint time for a 1 TB write at 64K tasks,
-locating the paper's "at least 16 files on both systems" sweet spot.
+costs a serialized create and adds token traffic.  The registered
+``ablation/nfiles-tradeoff`` scenario combines both effects into total
+checkpoint time for a 1 TB write at 64K tasks, locating the paper's "at
+least 16 files on both systems" sweet spot.
 """
 
-from repro.analysis.results import Series, format_table
-from repro.workloads.common import parallel_io
-from repro.workloads.filecreate import sion_create_time
+from repro.bench import get_scenario
 
 from conftest import emit, once
 
-TB = 10**12
-NTASKS = 65536
-NFILES = [1, 2, 4, 8, 16, 32, 64, 128]
 
-
-def _total_times(profile):
-    out = []
-    for nf in NFILES:
-        create = sion_create_time(profile, NTASKS, nf)
-        io = parallel_io(profile, NTASKS, 1 * TB, "write", nfiles=nf)
-        out.append((nf, create, io.time_s, create + io.time_s))
-    return out
-
-
-def test_ablation_nfiles_tradeoff(benchmark, jugene_profile):
-    rows = once(benchmark, _total_times, jugene_profile)
-    s = Series("nfiles-tradeoff", "#files", "seconds", xs=[r[0] for r in rows])
-    s.add_curve("create", [r[1] for r in rows])
-    s.add_curve("write 1TB", [r[2] for r in rows])
-    s.add_curve("total", [r[3] for r in rows])
-    emit("ablation_nfiles_tradeoff", format_table(s))
-    totals = {r[0]: r[3] for r in rows}
+def test_ablation_nfiles_tradeoff(benchmark):
+    sc = get_scenario("ablation/nfiles-tradeoff")
+    out = once(benchmark, sc.execute)
+    emit("ablation_nfiles_tradeoff", out.text, scenario=sc.name)
+    totals = {r[0]: r[3] for r in out.raw}
     # The optimum sits in the middle: both extremes are worse than 16.
     assert totals[16] < totals[1]
     assert totals[16] <= totals[128]

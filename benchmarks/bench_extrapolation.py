@@ -5,54 +5,30 @@ demonstrates the scalability limits of using multiple task-local files in
 parallel — even if the files already exist."  The analytic model (cross-
 validated against the simulator in the test suite) prices task counts the
 2009 testbeds couldn't reach.
+
+Thin wrapper over the grid-registered ``extrapolation/create[system=*]``
+scenarios.
 """
 
-from repro.analysis.model import (
-    predict_create_time,
-    predict_sion_create_time,
-)
-from repro.analysis.results import Series, format_table, human_count
+from repro.analysis.results import human_count
+from repro.bench import get_scenario
 
 from conftest import emit, once
 
-TASK_COUNTS = [65536, 131072, 262144, 524288, 1048576]
 
-
-def _sweep(profile):
-    rows = []
-    for n in TASK_COUNTS:
-        rows.append(
-            (
-                n,
-                predict_create_time(profile, n, "create"),
-                predict_create_time(profile, n, "open"),
-                predict_sion_create_time(profile, n, 32),
-            )
-        )
-    return rows
-
-
-def test_extrapolation_to_million_tasks(benchmark, jugene_profile):
-    rows = once(benchmark, _sweep, jugene_profile)
-    s = Series("extrapolation", "#tasks", "seconds", xs=[r[0] for r in rows])
-    s.add_curve("create files", [r[1] for r in rows])
-    s.add_curve("open existing", [r[2] for r in rows])
-    s.add_curve("SION create (32 files)", [r[3] for r in rows])
-    table = format_table(s)
-    per_m = {n: c for n, c, _, _ in rows}
-    table += (
-        f"\n\nat 1M tasks: {per_m[1048576] / 60:.0f} minutes just to create the "
-        f"task-local files — even *opening* existing ones costs "
-        f"{rows[-1][2] / 60:.0f} minutes per run; the SION multifile stays at "
-        f"{rows[-1][3]:.0f} s"
-    )
-    emit("extrapolation_million_tasks", table)
+def test_extrapolation_to_million_tasks(benchmark):
+    sc = get_scenario("extrapolation/create[system=jugene]")
+    out = once(benchmark, sc.execute)
+    emit("extrapolation_million_tasks", out.text, scenario=sc.name)
+    rows = out.raw
     assert rows[-1][1] > 3600  # an hour-plus of pure creates at 1M tasks
     assert rows[-1][3] < 60
 
 
-def test_extrapolation_speedup_grows(benchmark, jaguar_profile):
-    rows = once(benchmark, _sweep, jaguar_profile)
+def test_extrapolation_speedup_grows(benchmark):
+    sc = get_scenario("extrapolation/create[system=jaguar]")
+    out = once(benchmark, sc.execute)
+    rows = out.raw
     speedups = [c / s for _, c, _, s in rows]
     emit(
         "extrapolation_jaguar_speedups",
@@ -60,5 +36,6 @@ def test_extrapolation_speedup_grows(benchmark, jaguar_profile):
         + "  ".join(
             f"{human_count(n)}:{sp:.0f}x" for (n, _, _, _), sp in zip(rows, speedups)
         ),
+        scenario=sc.name,
     )
     assert all(b >= a * 0.9 for a, b in zip(speedups, speedups[1:]))

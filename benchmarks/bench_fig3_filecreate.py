@@ -4,37 +4,25 @@ files in parallel in the same directory, vs. SION multifile creation.
 Paper reference points: 64K creates ≈ 6 min and 64K opens ≈ 1 min on
 Jugene; 12K creates ≈ 5 min and opens ≈ 20 s on Jaguar; SION multifile
 creation < 3 s / < 10 s.
+
+Thin wrapper over the registered ``fig3/*`` scenarios — run them outside
+pytest with ``python -m repro.bench run --filter 'fig3/*'``.
 """
 
-from repro.analysis.results import Series, format_table, human_count
-from repro.workloads.filecreate import (
-    JAGUAR_TASK_COUNTS,
-    JUGENE_TASK_COUNTS,
-    run_fig3,
-)
+from repro.bench import get_scenario
 
 from conftest import emit, once
 
 
-def _render(name, rows):
-    series = Series(name, "#tasks", "time (s)", xs=[r.ntasks for r in rows])
-    series.add_curve("create files", [r.create_files_s for r in rows])
-    series.add_curve("open existing", [r.open_existing_s for r in rows])
-    series.add_curve("SION create", [r.sion_create_s for r in rows])
-    table = format_table(series)
-    table += "\n\nspeedup (create/SION): " + "  ".join(
-        f"{human_count(r.ntasks)}:{r.create_speedup:.0f}x" for r in rows
-    )
-    return table
+def test_fig3a_jugene(benchmark):
+    sc = get_scenario("fig3/filecreate-jugene")
+    out = once(benchmark, sc.execute)
+    emit("fig3a_jugene", out.text, scenario=sc.name)
+    assert out.raw[-1].sion_create_s < 3.0
 
 
-def test_fig3a_jugene(benchmark, jugene_profile):
-    rows = once(benchmark, run_fig3, jugene_profile, JUGENE_TASK_COUNTS)
-    emit("fig3a_jugene", _render("fig3a", rows))
-    assert rows[-1].sion_create_s < 3.0
-
-
-def test_fig3b_jaguar(benchmark, jaguar_profile):
-    rows = once(benchmark, run_fig3, jaguar_profile, JAGUAR_TASK_COUNTS, 16)
-    emit("fig3b_jaguar", _render("fig3b", rows))
-    assert rows[-1].sion_create_s < 10.0
+def test_fig3b_jaguar(benchmark):
+    sc = get_scenario("fig3/filecreate-jaguar")
+    out = once(benchmark, sc.execute)
+    emit("fig3b_jaguar", out.text, scenario=sc.name)
+    assert out.raw[-1].sion_create_s < 10.0

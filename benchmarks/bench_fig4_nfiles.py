@@ -4,32 +4,29 @@ Paper reference points: Jugene saturates its ~6 GB/s scratch FS between 8
 and 32 files with a mild decline at 128; on Jaguar the default striping
 rises steadily while the optimized (64 OSTs, 8 MB) configuration delivers
 good performance from two files and is always superior.
+
+Thin wrapper over the registered ``fig4/*`` scenarios — run them outside
+pytest with ``python -m repro.bench run --filter 'fig4/*'``.
 """
 
-from repro.analysis.results import Series, format_table
-from repro.workloads.bandwidth import run_fig4a, run_fig4b
+from repro.bench import get_scenario
 
 from conftest import emit, once
 
 
-def test_fig4a_jugene(benchmark, jugene_profile):
-    pts = once(benchmark, run_fig4a, jugene_profile)
-    series = Series("fig4a", "#files", "MB/s", xs=[p.nfiles for p in pts])
-    series.add_curve("write", [p.write_mb_s for p in pts])
-    series.add_curve("read", [p.read_mb_s for p in pts])
-    emit("fig4a_jugene", format_table(series))
-    by_n = {p.nfiles: p for p in pts}
+def test_fig4a_jugene(benchmark):
+    sc = get_scenario("fig4/nfiles-jugene")
+    out = once(benchmark, sc.execute)
+    emit("fig4a_jugene", out.text, scenario=sc.name)
+    by_n = {p.nfiles: p for p in out.raw}
     assert by_n[16].write_mb_s > by_n[1].write_mb_s * 2
     assert by_n[128].write_mb_s < by_n[16].write_mb_s
 
 
-def test_fig4b_jaguar(benchmark, jaguar_profile):
-    res = once(benchmark, run_fig4b, jaguar_profile)
-    series = Series("fig4b", "#files", "MB/s", xs=[p.nfiles for p in res.default])
-    series.add_curve("write (default)", [p.write_mb_s for p in res.default])
-    series.add_curve("read (default)", [p.read_mb_s for p in res.default])
-    series.add_curve("write (optimized)", [p.write_mb_s for p in res.optimized])
-    series.add_curve("read (optimized)", [p.read_mb_s for p in res.optimized])
-    emit("fig4b_jaguar", format_table(series))
+def test_fig4b_jaguar(benchmark):
+    sc = get_scenario("fig4/nfiles-jaguar")
+    out = once(benchmark, sc.execute)
+    emit("fig4b_jaguar", out.text, scenario=sc.name)
+    res = out.raw
     for d, o in zip(res.default, res.optimized):
         assert o.write_mb_s >= d.write_mb_s - 1e-6

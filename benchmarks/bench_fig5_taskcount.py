@@ -3,33 +3,24 @@
 Paper: both approaches saturate Jugene's ~6 GB/s at >= 8K tasks with SION
 marginally ahead; on Jaguar SION's write bandwidth is better in most cases
 and reads exceed the nominal 40 GB/s at scale (client caching).
+
+Thin wrapper over the registered ``fig5/*`` scenarios.
 """
 
-from repro.analysis.plots import ascii_chart
-from repro.analysis.results import Series, format_table
-from repro.workloads.taskbw import run_fig5a, run_fig5b
+from repro.bench import get_scenario
 
 from conftest import emit, once
 
 
-def _series(name, pts):
-    s = Series(name, "#tasks", "MB/s", xs=[p.ntasks for p in pts])
-    s.add_curve("SION write", [p.sion_write for p in pts])
-    s.add_curve("SION read", [p.sion_read for p in pts])
-    s.add_curve("task-local write", [p.tasklocal_write for p in pts])
-    s.add_curve("task-local read", [p.tasklocal_read for p in pts])
-    return s
-
-
-def test_fig5a_jugene(benchmark, jugene_profile):
-    pts = once(benchmark, run_fig5a, jugene_profile)
-    s = _series("fig5a", pts)
-    emit("fig5a_jugene", format_table(s) + "\n\n" + ascii_chart(s, log_x=True))
-    assert all(p.sion_write >= p.tasklocal_write - 1e-6 for p in pts)
+def test_fig5a_jugene(benchmark):
+    sc = get_scenario("fig5/taskbw-jugene")
+    out = once(benchmark, sc.execute)
+    emit("fig5a_jugene", out.text, scenario=sc.name)
+    assert all(p.sion_write >= p.tasklocal_write - 1e-6 for p in out.raw)
 
 
 def test_fig5b_jaguar(benchmark, jaguar_profile):
-    pts = once(benchmark, run_fig5b, jaguar_profile)
-    s = _series("fig5b", pts)
-    emit("fig5b_jaguar", format_table(s) + "\n\n" + ascii_chart(s, log_x=True))
-    assert pts[-1].sion_read > jaguar_profile.nominal_peak_bw
+    sc = get_scenario("fig5/taskbw-jaguar")
+    out = once(benchmark, sc.execute)
+    emit("fig5b_jaguar", out.text, scenario=sc.name)
+    assert out.raw[-1].sion_read > jaguar_profile.nominal_peak_bw

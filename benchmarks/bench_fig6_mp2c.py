@@ -4,31 +4,20 @@ Paper: the single-file-sequential baseline grows linearly with particle
 count while SION stays flat until the one-FS-block-per-task floor; at 33 M
 particles the improvement is 1-2 orders of magnitude, and billion-particle
 problems become feasible.
+
+Thin wrapper over the registered ``fig6/mp2c-restart`` scenario.
 """
 
-from repro.analysis.plots import ascii_chart
-from repro.analysis.results import Series, format_table
-from repro.workloads.mp2c_io import crossover_particles_m, run_fig6
+from repro.bench import get_scenario
+from repro.workloads.mp2c_io import crossover_particles_m
 
 from conftest import emit, once
 
 
-def test_fig6_mp2c_restart(benchmark, jugene_profile):
-    pts = once(benchmark, run_fig6, jugene_profile)
-    s = Series("fig6", "Mio. particles", "time (s)", xs=[p.particles_m for p in pts])
-    s.add_curve("write, SION", [p.sion_write_s for p in pts])
-    s.add_curve("read, SION", [p.sion_read_s for p in pts])
-    s.add_curve("write", [p.single_write_s for p in pts])
-    s.add_curve("read", [p.single_read_s for p in pts])
-    text = format_table(s)
-    text += "\n\n" + ascii_chart(s, log_x=True, log_y=True)
-    cross = crossover_particles_m(pts)
-    by_m = {p.particles_m: p for p in pts}
-    text += (
-        f"\n\ncrossover at ~{cross} M particles; "
-        f"speedup at 33 M: write {by_m[33.0].write_speedup:.0f}x, "
-        f"read {by_m[33.0].read_speedup:.0f}x (paper: 1-2 orders of magnitude)"
-    )
-    emit("fig6_mp2c", text)
-    assert cross is not None
+def test_fig6_mp2c_restart(benchmark):
+    sc = get_scenario("fig6/mp2c-restart")
+    out = once(benchmark, sc.execute)
+    emit("fig6_mp2c", out.text, scenario=sc.name)
+    by_m = {p.particles_m: p for p in out.raw}
+    assert crossover_particles_m(out.raw) is not None
     assert by_m[33.0].write_speedup >= 10

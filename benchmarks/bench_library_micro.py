@@ -4,6 +4,10 @@ Unlike the figure benches (which measure *virtual* time on the simulated
 machines), these measure actual wall-clock performance of the Python
 implementation on local files: collective open/close latency, streaming
 write/read throughput, and the serial tool path.
+
+The registry's ``micro/*`` scenarios (suite ``full``) record one-shot
+versions of these paths into ``BENCH_full.json`` as ungated ``info``
+metrics; this file keeps the multi-round pytest-benchmark variants.
 """
 
 import os
@@ -11,6 +15,12 @@ import os
 import pytest
 
 from repro.backends.localfs import LocalBackend
+from repro.bench import get_scenario
+from repro.bench.scenarios import (
+    build_metablock,
+    metablock_roundtrip,
+    micro_paropen_roundtrip,
+)
 from repro.sion import paropen, serial
 from repro.simmpi import run_spmd
 
@@ -103,28 +113,20 @@ def test_micro_compressed_write(benchmark, backend, tmp_path):
 
 def test_micro_metablock_roundtrip(benchmark):
     """Encode+decode of a 4096-task metablock 1 (open/close hot path)."""
-    import io
-
-    from repro.sion.format import Metablock1
-
-    mb1 = Metablock1(
-        fsblksize=2 << 20,
-        ntasks_local=4096,
-        nfiles=1,
-        filenum=0,
-        ntasks_global=4096,
-        start_of_data=2 << 20,
-        metablock2_offset=0,
-        globalranks=list(range(4096)),
-        chunksizes=[1 << 20] * 4096,
-    )
-
-    class _F(io.BytesIO):
-        pass
-
-    def roundtrip():
-        raw = mb1.encode()
-        return Metablock1.decode_from(_F(raw))
-
-    out = benchmark(roundtrip)
+    mb1 = build_metablock(4096)
+    out = benchmark(metablock_roundtrip, mb1)
     assert out.ntasks_local == 4096
+
+
+def test_micro_paropen_roundtrip(benchmark, tmp_path):
+    """The registered micro scenario's write+read path, timed per round."""
+    times = benchmark(micro_paropen_roundtrip, str(tmp_path))
+    assert times["write_s"] > 0 and times["read_s"] > 0
+
+
+def test_micro_scenarios_registered():
+    """The wall-clock scenarios exist in the full suite and execute."""
+    sc = get_scenario("micro/metablock-roundtrip")
+    assert sc.suite == "full"
+    out = sc.execute()
+    assert out.metrics["best_roundtrip_s"].better == "info"

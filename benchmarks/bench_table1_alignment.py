@@ -3,28 +3,19 @@
 Paper: 32K tasks, 256 GB, 16 physical files on Jugene; aligned (2 MB)
 5381.8 / 4630.6 MB/s write/read vs unaligned (16 KB) 2125.8 / 2603.0 —
 factors of 2.53x and 1.78x.
+
+Thin wrapper over the registered ``table1/alignment`` scenario.
 """
 
-from repro.workloads.alignment import run_table1
+from repro.bench import get_scenario
 
 from conftest import emit, once
 
 
-def test_table1_alignment_jugene(benchmark, jugene_profile):
-    res = once(benchmark, run_table1, jugene_profile)
-    rows = [
-        "#tasks  data      blksize  write MB/s  read MB/s",
-        "------  --------  -------  ----------  ---------",
-        f"{res.aligned.ntasks:>6}  {res.aligned.data_bytes // 10**9:>5} GB  "
-        f"{res.aligned.blksize // 1024:>4} KB  {res.aligned.write_mb_s:>10.1f}  "
-        f"{res.aligned.read_mb_s:>9.1f}",
-        f"{res.unaligned.ntasks:>6}  {res.unaligned.data_bytes // 10**9:>5} GB  "
-        f"{res.unaligned.blksize // 1024:>4} KB  {res.unaligned.write_mb_s:>10.1f}  "
-        f"{res.unaligned.read_mb_s:>9.1f}",
-        "",
-        f"factors: write {res.write_factor:.2f}x (paper 2.53x)   "
-        f"read {res.read_factor:.2f}x (paper 1.78x)",
-    ]
-    emit("table1_alignment", "\n".join(rows))
+def test_table1_alignment_jugene(benchmark):
+    sc = get_scenario("table1/alignment")
+    out = once(benchmark, sc.execute)
+    emit("table1_alignment", out.text, scenario=sc.name)
+    res = out.raw
     assert 2.2 < res.write_factor < 2.9
     assert 1.5 < res.read_factor < 2.1

@@ -3,31 +3,19 @@
 Paper: 32K-core SMG2000 run, 1470 GB of traces through 16 physical files;
 activation 369.1 s (task-local) vs 28.1 s (SIONlib) — 13.1x — with write
 bandwidth slightly improved (2153 -> 2194 MB/s).
+
+Thin wrapper over the registered ``table2/scalasca`` scenario.
 """
 
-from repro.workloads.scalasca_io import run_table2
+from repro.bench import get_scenario
 
 from conftest import emit, once
 
 
-def test_table2_scalasca_activation(benchmark, jugene_profile):
-    res = once(benchmark, run_table2, jugene_profile)
-    rows = [
-        "I/O type    #tasks  trace size  activation  write BW",
-        "----------  ------  ----------  ----------  ---------",
-    ]
-    for row in (res.tasklocal, res.sion):
-        rows.append(
-            f"{row.io_type:<10}  {row.ntasks:>6}  "
-            f"{row.trace_bytes / 10**9:>7.0f} GB  {row.activation_s:>8.1f} s  "
-            f"{row.write_bw_mb_s:>6.0f} MB/s"
-        )
-    rows.append("")
-    rows.append(
-        f"activation speedup: {res.activation_speedup:.1f}x (paper: 13.1x; "
-        "the paper's own Fig. 3a implies ~8x at 32K under the conditions it "
-        "reports — production-run variance, see EXPERIMENTS.md)"
-    )
-    emit("table2_scalasca", "\n".join(rows))
+def test_table2_scalasca_activation(benchmark):
+    sc = get_scenario("table2/scalasca")
+    out = once(benchmark, sc.execute)
+    emit("table2_scalasca", out.text, scenario=sc.name)
+    res = out.raw
     assert res.activation_speedup > 5
     assert res.sion.write_bw_mb_s > res.tasklocal.write_bw_mb_s

@@ -3,36 +3,27 @@
 Grows the MP2C problem with the machine (fixed particles per task) and
 prices the analyzer's trace-load pass, complementing the paper's
 fixed-core Fig. 6 and fixed-size Table 2.
+
+Thin wrapper over the registered ``weak-scaling/*`` scenarios.
 """
 
-from repro.analysis.results import Series, format_table, human_count
-from repro.workloads.scaling import analyzer_load_times, mp2c_weak_scaling
+from repro.bench import get_scenario
 
 from conftest import emit, once
 
-TASK_COUNTS = [1024, 4096, 16384, 65536]
 
-
-def test_mp2c_weak_scaling(benchmark, jugene_profile):
-    pts = once(benchmark, mp2c_weak_scaling, jugene_profile, TASK_COUNTS)
-    s = Series("weak-scaling", "#tasks", "seconds", xs=[p.ntasks for p in pts])
-    s.add_curve("SION write", [p.sion_write_s for p in pts])
-    s.add_curve("single-file write", [p.single_write_s for p in pts])
-    s.add_curve("speedup", [p.speedup for p in pts])
-    emit("weak_scaling_mp2c", format_table(s))
-    speedups = [p.speedup for p in pts]
+def test_mp2c_weak_scaling(benchmark):
+    sc = get_scenario("weak-scaling/mp2c")
+    out = once(benchmark, sc.execute)
+    emit("weak_scaling_mp2c", out.text, scenario=sc.name)
+    speedups = [p.speedup for p in out.raw]
     # The baseline degrades with total data; SION is bounded by the FS.
     assert speedups == sorted(speedups)
     assert speedups[-1] > 100
 
 
-def test_analyzer_trace_load(benchmark, jugene_profile):
-    pts = once(benchmark, analyzer_load_times, jugene_profile, TASK_COUNTS)
-    s = Series("analyzer-load", "#tasks", "seconds", xs=[p.ntasks for p in pts])
-    s.add_curve("task-local open", [p.tasklocal_open_s for p in pts])
-    s.add_curve("SION open", [p.sion_open_s for p in pts])
-    text = format_table(s) + "\n\nspeedup: " + "  ".join(
-        f"{human_count(p.ntasks)}:{p.speedup:.0f}x" for p in pts
-    )
-    emit("analyzer_trace_load", text)
-    assert all(p.sion_open_s < p.tasklocal_open_s for p in pts)
+def test_analyzer_trace_load(benchmark):
+    sc = get_scenario("weak-scaling/analyzer-load")
+    out = once(benchmark, sc.execute)
+    emit("analyzer_trace_load", out.text, scenario=sc.name)
+    assert all(p.sion_open_s < p.tasklocal_open_s for p in out.raw)

@@ -2,22 +2,49 @@
 
 from __future__ import annotations
 
+import functools
+import json
 import pathlib
 
 import pytest
 
+from repro.bench.results import git_sha, utc_now_iso
 from repro.fs.systems import jaguar, jugene
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
-def emit(name: str, text: str) -> None:
+@functools.lru_cache(maxsize=1)
+def _session_git_sha() -> str:
+    """One ``git rev-parse`` per session, not one per emitted artifact.
+
+    Anchored to this file's directory: the artifacts describe *this*
+    checkout regardless of where pytest was launched from.
+    """
+    return git_sha(cwd=pathlib.Path(__file__).parent)
+
+
+def emit(name: str, text: str, scenario: str | None = None) -> None:
     """Print a reproduced table/figure and persist it under results/.
 
-    The saved files are the source material for EXPERIMENTS.md.
+    The saved files are the source material for EXPERIMENTS.md.  Next to
+    each ``<name>.txt`` a ``<name>.meta.json`` sidecar stamps the artifact
+    name, the registered ``repro.bench`` scenario that produced it (when
+    one did — rerun it with ``python -m repro.bench run --filter <scenario>``),
+    the git SHA, and an ISO timestamp, so every persisted table carries
+    its provenance.
     """
-    RESULTS_DIR.mkdir(exist_ok=True)
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    sidecar = {
+        "artifact": name,
+        "scenario": scenario,
+        "git_sha": _session_git_sha(),
+        "created": utc_now_iso(),
+    }
+    (RESULTS_DIR / f"{name}.meta.json").write_text(
+        json.dumps(sidecar, indent=2, sort_keys=True) + "\n"
+    )
     print(f"\n=== {name} ===\n{text}")
 
 

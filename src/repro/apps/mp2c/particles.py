@@ -8,7 +8,7 @@ velocity = 4 + 24 + 24 = 52 bytes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -1,0 +1,66 @@
+"""Benchmark orchestration: scenario registry, runner, results, gating.
+
+The figure/table benchmarks under ``benchmarks/`` measure *deterministic*
+simulated costs (virtual seconds, modelled bandwidths).  This package
+turns them into a checkable contract:
+
+``repro.bench.registry``
+    ``@scenario`` decorator, parameter grids, suites and tags.
+``repro.bench.scenarios``
+    The built-in scenario definitions wrapping ``repro.workloads``.
+``repro.bench.runner`` / ``repro.bench.results``
+    Execute a suite and persist a versioned, machine-readable
+    ``BENCH_<suite>.json`` (schema version, git SHA, environment
+    fingerprint, per-scenario metrics).
+``repro.bench.compare``
+    Diff a fresh run against a committed baseline and fail on
+    regressions beyond a threshold — deterministic metrics make tight
+    thresholds practical.
+``repro.bench.cli``
+    ``python -m repro.bench run|compare|list``.
+"""
+
+from repro.bench.compare import ComparisonResult, MetricDelta, compare_reports
+from repro.bench.registry import (
+    Registry,
+    Scenario,
+    ScenarioContext,
+    get_scenario,
+    iter_scenarios,
+    scenario,
+)
+from repro.bench.results import (
+    BenchReport,
+    Metric,
+    ScenarioOutput,
+    ScenarioResult,
+    environment_fingerprint,
+    git_sha,
+    series_metrics,
+    utc_now_iso,
+)
+from repro.bench.runner import run_suite
+from repro.bench.schema import SCHEMA_VERSION, validate_report
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "BenchReport",
+    "ComparisonResult",
+    "Metric",
+    "MetricDelta",
+    "Registry",
+    "Scenario",
+    "ScenarioContext",
+    "ScenarioOutput",
+    "ScenarioResult",
+    "compare_reports",
+    "environment_fingerprint",
+    "get_scenario",
+    "git_sha",
+    "iter_scenarios",
+    "run_suite",
+    "scenario",
+    "series_metrics",
+    "utc_now_iso",
+    "validate_report",
+]

@@ -1,0 +1,222 @@
+"""Scenario registry: the ``@scenario`` decorator, suites, tags, grids."""
+
+from __future__ import annotations
+
+import fnmatch
+import importlib
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Mapping
+
+from repro.bench.results import ScenarioOutput
+from repro.errors import ReproError
+
+#: Known suites, cheapest first.  ``smoke`` holds the deterministic
+#: simulated scenarios (CI-gated against a committed baseline); ``full``
+#: is a superset adding the wall-clock micro scenarios.
+SUITES = ("smoke", "full")
+
+
+@dataclass
+class ScenarioContext:
+    """What a scenario function receives when executed."""
+
+    params: dict[str, Any] = field(default_factory=dict)
+    profile_name: str | None = None
+
+    @property
+    def profile(self):
+        """The resolved :class:`~repro.fs.systems.SystemProfile` (lazy)."""
+        name = self.params.get("system", self.profile_name)
+        if name is None:
+            raise ReproError("scenario has no machine profile configured")
+        from repro.fs.systems import get_system
+
+        return get_system(name)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One registered benchmark scenario."""
+
+    name: str
+    fn: Callable[[ScenarioContext], ScenarioOutput | Mapping[str, Any]]
+    suite: str = "smoke"
+    tags: tuple[str, ...] = ()
+    params: Mapping[str, Any] = field(default_factory=dict)
+    profile: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.suite not in SUITES:
+            raise ReproError(
+                f"scenario {self.name!r}: unknown suite {self.suite!r}; "
+                f"expected one of {SUITES}"
+            )
+
+    def in_suite(self, suite: str) -> bool:
+        """Suite membership: ``full`` includes every scenario."""
+        if suite not in SUITES:
+            raise ReproError(f"unknown suite {suite!r}; expected one of {SUITES}")
+        return suite == "full" or self.suite == suite
+
+    def execute(self) -> ScenarioOutput:
+        """Run the scenario and normalize its output."""
+        ctx = ScenarioContext(params=dict(self.params), profile_name=self.profile)
+        out = self.fn(ctx)
+        if isinstance(out, ScenarioOutput):
+            return out
+        if isinstance(out, Mapping):
+            return ScenarioOutput(metrics=dict(out))
+        raise ReproError(
+            f"scenario {self.name!r} returned {type(out).__name__}; "
+            "expected ScenarioOutput or a metrics mapping"
+        )
+
+
+class Registry:
+    """Named collection of scenarios with dedup and filtered iteration."""
+
+    def __init__(self) -> None:
+        self._scenarios: dict[str, Scenario] = {}
+
+    def __len__(self) -> int:
+        return len(self._scenarios)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._scenarios
+
+    def register(self, sc: Scenario) -> Scenario:
+        if sc.name in self._scenarios:
+            raise ReproError(f"scenario {sc.name!r} is already registered")
+        self._scenarios[sc.name] = sc
+        return sc
+
+    def get(self, name: str) -> Scenario:
+        try:
+            return self._scenarios[name]
+        except KeyError:
+            close = [n for n in self._scenarios if name in n]
+            hint = f"; close matches: {sorted(close)[:4]}" if close else ""
+            raise ReproError(f"unknown scenario {name!r}{hint}") from None
+
+    def iter(
+        self,
+        suite: str | None = None,
+        tags: tuple[str, ...] = (),
+        pattern: str | None = None,
+    ) -> Iterator[Scenario]:
+        """Scenarios in registration order, optionally filtered.
+
+        ``tags`` requires every listed tag; ``pattern`` is an fnmatch glob
+        over the scenario name, with an exact-match fast path so bracketed
+        grid names (``x[system=jugene]``) select themselves even though
+        fnmatch would read the brackets as a character class.
+        """
+        for sc in self._scenarios.values():
+            if suite is not None and not sc.in_suite(suite):
+                continue
+            if any(t not in sc.tags for t in tags):
+                continue
+            if (
+                pattern is not None
+                and sc.name != pattern
+                and not fnmatch.fnmatch(sc.name, pattern)
+            ):
+                continue
+            yield sc
+
+    def scenario(
+        self,
+        name: str,
+        suite: str = "smoke",
+        tags: tuple[str, ...] = (),
+        params: Mapping[str, Any] | None = None,
+        profile: str | None = None,
+        grid: Mapping[str, list[Any]] | None = None,
+    ) -> Callable:
+        """Decorator registering ``fn`` under ``name``.
+
+        With ``grid``, one scenario is registered per point of the
+        cartesian product, named ``name[k=v,...]`` with the grid values
+        merged into ``params``.
+        """
+
+        def deco(fn: Callable) -> Callable:
+            base = dict(params or {})
+            for combo in _grid_points(grid):
+                merged = {**base, **combo}
+                suffix = (
+                    "[" + ",".join(f"{k}={v}" for k, v in combo.items()) + "]"
+                    if combo
+                    else ""
+                )
+                self.register(
+                    Scenario(
+                        name=name + suffix,
+                        fn=fn,
+                        suite=suite,
+                        tags=tuple(tags),
+                        params=merged,
+                        profile=profile,
+                    )
+                )
+            return fn
+
+        return deco
+
+
+def _grid_points(grid: Mapping[str, list[Any]] | None) -> list[dict[str, Any]]:
+    """Cartesian product of a parameter grid (one empty point if none)."""
+    points: list[dict[str, Any]] = [{}]
+    for key, values in (grid or {}).items():
+        if not values:
+            raise ReproError(f"grid axis {key!r} has no values")
+        points = [{**p, key: v} for p in points for v in values]
+    return points
+
+
+#: The process-wide default registry, populated by ``repro.bench.scenarios``.
+DEFAULT_REGISTRY = Registry()
+
+#: Module-level decorator bound to the default registry.
+scenario = DEFAULT_REGISTRY.scenario
+
+_loaded = False
+
+
+def ensure_builtin_scenarios() -> Registry:
+    """Import the built-in scenario definitions exactly once.
+
+    ``_loaded`` flips only after a successful import: a failed first load
+    (broken dependency, bad registration) would otherwise leave later
+    lookups reporting misleading "unknown scenario" errors instead of
+    retrying and surfacing the real exception.
+    """
+    global _loaded
+    if not _loaded:
+        before = set(DEFAULT_REGISTRY._scenarios)
+        try:
+            importlib.import_module("repro.bench.scenarios")
+        except BaseException:
+            # Python drops the failed module from sys.modules but its
+            # decorators already ran; drop those partial registrations too,
+            # or the retry's re-import dies on "already registered" instead
+            # of surfacing the real error again.
+            for name in set(DEFAULT_REGISTRY._scenarios) - before:
+                del DEFAULT_REGISTRY._scenarios[name]
+            raise
+        _loaded = True
+    return DEFAULT_REGISTRY
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look up a built-in scenario by exact name."""
+    return ensure_builtin_scenarios().get(name)
+
+
+def iter_scenarios(
+    suite: str | None = None,
+    tags: tuple[str, ...] = (),
+    pattern: str | None = None,
+) -> Iterator[Scenario]:
+    """Iterate built-in scenarios with the same filters as Registry.iter."""
+    return ensure_builtin_scenarios().iter(suite=suite, tags=tags, pattern=pattern)

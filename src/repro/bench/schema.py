@@ -1,0 +1,100 @@
+"""Versioned schema for ``BENCH_<suite>.json`` result files.
+
+Hand-rolled validation (no jsonschema dependency): :func:`validate_report`
+returns a list of human-readable problems, empty when the document is a
+valid report.  The schema is intentionally small and append-only — bump
+:data:`SCHEMA_VERSION` when a change would break old comparators.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+#: Current result-file schema version.  Comparators refuse to mix majors.
+SCHEMA_VERSION = 1
+
+#: Allowed values for a metric's ``better`` field.  ``info`` metrics
+#: (wall-clock, speedup annotations) are reported but never gated.
+METRIC_DIRECTIONS = ("lower", "higher", "info")
+
+#: Required top-level keys of a report document.
+REPORT_KEYS = ("schema_version", "suite", "created", "git_sha", "environment", "scenarios")
+
+#: Required keys of one scenario entry.
+SCENARIO_KEYS = ("suite", "tags", "params", "metrics", "wall_s", "error")
+
+#: Required keys of one metric entry.
+METRIC_KEYS = ("value", "unit", "better")
+
+
+def _check_keys(doc: dict, keys: tuple[str, ...], where: str, problems: list[str]) -> bool:
+    missing = [k for k in keys if k not in doc]
+    if missing:
+        problems.append(f"{where}: missing keys {missing}")
+    return not missing
+
+
+def validate_report(doc: Any) -> list[str]:
+    """All schema violations in ``doc`` (empty list == valid)."""
+    problems: list[str] = []
+    if not isinstance(doc, dict):
+        return [f"report must be a JSON object, got {type(doc).__name__}"]
+    if not _check_keys(doc, REPORT_KEYS, "report", problems):
+        return problems
+    version = doc["schema_version"]
+    if not isinstance(version, int) or version < 1:
+        problems.append(f"schema_version must be a positive int, got {version!r}")
+    elif version > SCHEMA_VERSION:
+        problems.append(
+            f"schema_version {version} is newer than supported {SCHEMA_VERSION}"
+        )
+    if not isinstance(doc["suite"], str) or not doc["suite"]:
+        problems.append("suite must be a non-empty string")
+    for key in ("created", "git_sha"):
+        if not isinstance(doc[key], str):
+            problems.append(f"{key} must be a string")
+    if not isinstance(doc["environment"], dict):
+        problems.append("environment must be an object")
+    scenarios = doc["scenarios"]
+    if not isinstance(scenarios, dict):
+        problems.append("scenarios must be an object keyed by scenario name")
+        return problems
+    for name, entry in scenarios.items():
+        where = f"scenario {name!r}"
+        if not isinstance(entry, dict):
+            problems.append(f"{where}: must be an object")
+            continue
+        if not _check_keys(entry, SCENARIO_KEYS, where, problems):
+            continue
+        if not isinstance(entry["tags"], list):
+            problems.append(f"{where}: tags must be a list")
+        if not isinstance(entry["params"], dict):
+            problems.append(f"{where}: params must be an object")
+        if entry["error"] is not None and not isinstance(entry["error"], str):
+            problems.append(f"{where}: error must be null or a string")
+        if not isinstance(entry["wall_s"], (int, float)):
+            problems.append(f"{where}: wall_s must be a number")
+        metrics = entry["metrics"]
+        if not isinstance(metrics, dict):
+            problems.append(f"{where}: metrics must be an object")
+            continue
+        for mname, metric in metrics.items():
+            mwhere = f"{where} metric {mname!r}"
+            if not isinstance(metric, dict):
+                problems.append(f"{mwhere}: must be an object")
+                continue
+            if not _check_keys(metric, METRIC_KEYS, mwhere, problems):
+                continue
+            if not isinstance(metric["value"], (int, float)):
+                problems.append(f"{mwhere}: value must be a number")
+            elif not math.isfinite(metric["value"]):
+                # NaN/inf would both defeat the gate and produce JSON that
+                # strict parsers reject.
+                problems.append(f"{mwhere}: value must be finite")
+            if metric["better"] not in METRIC_DIRECTIONS:
+                problems.append(
+                    f"{mwhere}: better must be one of {METRIC_DIRECTIONS}, "
+                    f"got {metric['better']!r}"
+                )
+    return problems

@@ -15,7 +15,7 @@ from typing import Any
 
 from repro.backends.base import Backend, RawFile
 from repro.backends.localfs import LocalBackend
-from repro.errors import SionFormatError, SionUsageError
+from repro.errors import SionUsageError
 from repro.sion.constants import FLAG_COMPRESS, FLAG_SHADOW
 from repro.sion.compression import ZlibReader, ZlibWriter
 from repro.sion.format import Metablock1, Metablock2

@@ -16,7 +16,7 @@ from dataclasses import dataclass
 
 from repro.fs.striping import StripingPolicy
 from repro.fs.systems import SystemProfile
-from repro.workloads.common import IOResult, parallel_io
+from repro.workloads.common import parallel_io
 
 TB = 10**12
 

@@ -16,7 +16,7 @@ from dataclasses import dataclass
 from repro.apps.mp2c.particles import RECORD_BYTES
 from repro.fs.systems import SystemProfile
 from repro.workloads.common import MB, parallel_io
-from repro.workloads.filecreate import sion_create_time, tasklocal_metadata_time
+from repro.workloads.filecreate import sion_create_time
 
 #: Paper scenario: one rack of Jugene in SMP mode.
 NTASKS = 1000

@@ -17,8 +17,7 @@ from dataclasses import dataclass
 
 from repro.apps.mp2c.particles import RECORD_BYTES
 from repro.fs.systems import SystemProfile
-from repro.workloads.common import parallel_io
-from repro.workloads.filecreate import sion_create_time, tasklocal_metadata_time
+from repro.workloads.filecreate import tasklocal_metadata_time
 from repro.workloads.mp2c_io import single_file_time, sion_restart_time
 
 #: Particles each task owns in the weak-scaling sweep (fills a domain).

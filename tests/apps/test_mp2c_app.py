@@ -1,6 +1,5 @@
 """MP2C driver and checkpoint/restart across all three I/O methods."""
 
-import numpy as np
 import pytest
 
 from repro.apps.mp2c import (

@@ -17,7 +17,7 @@ from repro.apps.scalasca.smg2000 import (
     neighbours,
 )
 from repro.apps.scalasca.tracer import TraceExperiment, Tracer, read_trace
-from repro.errors import ReproError, SionUsageError, SpmdWorkerError
+from repro.errors import ReproError, SionUsageError
 from repro.simmpi import run_spmd
 
 

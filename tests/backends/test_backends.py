@@ -1,7 +1,5 @@
 """Backend conformance: identical behaviour on real and simulated storage."""
 
-import os
-
 import pytest
 
 from repro.backends.localfs import LocalBackend

@@ -1,0 +1,154 @@
+"""Registry: registration, dedup, suites, tags, grids, lookup."""
+
+import pytest
+
+from repro.bench import Metric, Registry, Scenario, ScenarioOutput, iter_scenarios
+from repro.bench.registry import _grid_points
+from repro.errors import ReproError
+
+
+def _noop(ctx):
+    return ScenarioOutput(metrics={"cost": Metric(1.0)})
+
+
+def test_register_and_get():
+    reg = Registry()
+    sc = reg.register(Scenario(name="a/b", fn=_noop))
+    assert reg.get("a/b") is sc
+    assert "a/b" in reg
+    assert len(reg) == 1
+
+
+def test_duplicate_registration_rejected():
+    reg = Registry()
+    reg.register(Scenario(name="a/b", fn=_noop))
+    with pytest.raises(ReproError, match="already registered"):
+        reg.register(Scenario(name="a/b", fn=_noop))
+
+
+def test_unknown_scenario_error_names_close_matches():
+    reg = Registry()
+    reg.register(Scenario(name="fig3/filecreate", fn=_noop))
+    with pytest.raises(ReproError, match="filecreate"):
+        reg.get("filecreate")
+
+
+def test_unknown_suite_rejected():
+    with pytest.raises(ReproError, match="unknown suite"):
+        Scenario(name="x", fn=_noop, suite="nightly")
+
+
+def test_full_suite_includes_smoke():
+    reg = Registry()
+    reg.register(Scenario(name="s", fn=_noop, suite="smoke"))
+    reg.register(Scenario(name="f", fn=_noop, suite="full"))
+    assert [sc.name for sc in reg.iter(suite="smoke")] == ["s"]
+    assert [sc.name for sc in reg.iter(suite="full")] == ["s", "f"]
+
+
+def test_tag_and_pattern_filters():
+    reg = Registry()
+    reg.register(Scenario(name="fig3/a", fn=_noop, tags=("fig3", "jugene")))
+    reg.register(Scenario(name="fig3/b", fn=_noop, tags=("fig3", "jaguar")))
+    reg.register(Scenario(name="table1/x", fn=_noop, tags=("table1",)))
+    assert [s.name for s in reg.iter(tags=("fig3",))] == ["fig3/a", "fig3/b"]
+    assert [s.name for s in reg.iter(tags=("fig3", "jaguar"))] == ["fig3/b"]
+    assert [s.name for s in reg.iter(pattern="table1/*")] == ["table1/x"]
+
+
+def test_decorator_registers_with_params():
+    reg = Registry()
+
+    @reg.scenario("micro/x", suite="full", tags=("micro",), params={"n": 4})
+    def fn(ctx):
+        return {"n_cost": float(ctx.params["n"])}
+
+    sc = reg.get("micro/x")
+    assert sc.suite == "full" and sc.params == {"n": 4}
+    out = sc.execute()
+    assert out.metrics["n_cost"].value == 4.0
+
+
+def test_grid_expansion():
+    reg = Registry()
+
+    @reg.scenario("sweep", grid={"system": ["jugene", "jaguar"], "nfiles": [1, 16]})
+    def fn(ctx):
+        return {"cost": 1.0}
+
+    names = [sc.name for sc in reg.iter()]
+    assert names == [
+        "sweep[system=jugene,nfiles=1]",
+        "sweep[system=jugene,nfiles=16]",
+        "sweep[system=jaguar,nfiles=1]",
+        "sweep[system=jaguar,nfiles=16]",
+    ]
+    assert reg.get("sweep[system=jaguar,nfiles=16]").params == {
+        "system": "jaguar",
+        "nfiles": 16,
+    }
+
+
+def test_grid_points_empty_axis_rejected():
+    with pytest.raises(ReproError, match="no values"):
+        _grid_points({"x": []})
+
+
+def test_execute_rejects_bad_return():
+    reg = Registry()
+    reg.register(Scenario(name="bad", fn=lambda ctx: 42))
+    with pytest.raises(ReproError, match="expected ScenarioOutput"):
+        reg.get("bad").execute()
+
+
+def test_context_profile_resolution():
+    reg = Registry()
+
+    @reg.scenario("p", profile="jugene")
+    def fn(ctx):
+        return {"cores": Metric(float(ctx.profile.total_cores), unit="", better="info")}
+
+    assert reg.get("p").execute().metrics["cores"].value > 0
+
+
+def test_context_profile_missing():
+    reg = Registry()
+    reg.register(Scenario(name="noprof", fn=lambda ctx: {"x": ctx.profile.total_cores}))
+    with pytest.raises(ReproError, match="no machine profile"):
+        reg.get("noprof").execute()
+
+
+def test_failed_builtin_load_retries_with_real_error(monkeypatch):
+    """A partial first load must not poison the retry with dup errors."""
+    import importlib
+
+    from repro.bench import registry as regmod
+
+    monkeypatch.setattr(regmod, "_loaded", False)
+    before = dict(regmod.DEFAULT_REGISTRY._scenarios)
+    monkeypatch.setattr(regmod.DEFAULT_REGISTRY, "_scenarios", dict(before))
+
+    real_import = importlib.import_module
+
+    def partial_then_boom(name, *args, **kwargs):
+        if name == "repro.bench.scenarios":
+            regmod.DEFAULT_REGISTRY.register(Scenario(name="half/done", fn=_noop))
+            raise ImportError("broken dependency")
+        return real_import(name, *args, **kwargs)
+
+    monkeypatch.setattr(regmod.importlib, "import_module", partial_then_boom)
+    for _ in range(2):  # the retry surfaces the real error, not a dup
+        with pytest.raises(ImportError, match="broken dependency"):
+            regmod.ensure_builtin_scenarios()
+    assert "half/done" not in regmod.DEFAULT_REGISTRY
+    assert not regmod._loaded
+
+
+def test_builtin_scenarios_load_and_cover_the_paper():
+    names = {sc.name for sc in iter_scenarios(suite="full")}
+    # every figure/table family of the paper's evaluation is registered
+    for prefix in ("fig3/", "fig4/", "fig5/", "fig6/", "table1/", "table2/"):
+        assert any(n.startswith(prefix) for n in names), prefix
+    smoke = list(iter_scenarios(suite="smoke"))
+    assert all(sc.suite == "smoke" for sc in smoke)
+    assert len(smoke) >= 15

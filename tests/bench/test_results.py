@@ -1,0 +1,183 @@
+"""Result containers: schema validation and JSON round-trips."""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.analysis.results import Series
+from repro.bench import (
+    SCHEMA_VERSION,
+    BenchReport,
+    Metric,
+    ScenarioResult,
+    series_metrics,
+    validate_report,
+)
+from repro.bench.results import ScenarioOutput, coerce_metrics
+from repro.errors import ReproError
+
+
+def _report() -> BenchReport:
+    rep = BenchReport(suite="smoke")
+    rep.add(
+        ScenarioResult(
+            name="fig3/x",
+            suite="smoke",
+            tags=("fig3",),
+            params={"ntasks": [1, 2]},
+            metrics={
+                "create_s": Metric(12.5),
+                "bw": Metric(6000.0, unit="MB/s", better="higher"),
+                "wall_s": Metric(0.1, better="info"),
+            },
+            wall_s=0.1,
+        )
+    )
+    return rep
+
+
+def test_metric_coercion_floats_become_seconds():
+    metrics = coerce_metrics({"a": 1.5, "b": Metric(2.0, "MB/s", "higher")})
+    assert metrics["a"] == Metric(1.5, "s", "lower")
+    assert metrics["b"].better == "higher"
+
+
+def test_scenario_output_coerces_metrics():
+    out = ScenarioOutput(metrics={"x": 3.0})
+    assert out.metrics["x"] == Metric(3.0)
+
+
+def test_series_metrics_flattens_every_point():
+    s = Series("f", "#tasks", "s", xs=[1024, 65536])
+    s.add_curve("create", [1.0, 2.0])
+    metrics = series_metrics(s)
+    assert metrics["create[#tasks=1024]"].value == 1.0
+    assert metrics["create[#tasks=65536]"].value == 2.0
+    assert all(m.better == "lower" for m in metrics.values())
+
+
+def test_series_metrics_keys_keep_full_precision():
+    # ':g' would collapse both xs below to '1.04858e+06', silently merging
+    # two gated points into one key.
+    s = Series("f", "#tasks", "s", xs=[1048576, 1048580, 3.3])
+    s.add_curve("create", [1.0, 2.0, 3.0])
+    metrics = series_metrics(s)
+    assert metrics["create[#tasks=1048576]"].value == 1.0
+    assert metrics["create[#tasks=1048580]"].value == 2.0
+    assert metrics["create[#tasks=3.3]"].value == 3.0
+
+
+def test_series_metrics_per_curve_overrides():
+    s = Series("f", "#tasks", "s", xs=[1024])
+    s.add_curve("write", [6000.0])
+    s.add_curve("speedup", [4.0])
+    metrics = series_metrics(
+        s, unit="MB/s", better="higher", overrides={"speedup": ("x", "info")}
+    )
+    assert metrics["write[#tasks=1024]"] == Metric(6000.0, "MB/s", "higher")
+    assert metrics["speedup[#tasks=1024]"] == Metric(4.0, "x", "info")
+
+
+def test_report_roundtrip_exact(tmp_path):
+    rep = _report()
+    path = rep.save(tmp_path / "nested" / "BENCH_smoke.json")  # parents created
+    loaded = BenchReport.load(path)
+    assert loaded.to_dict() == rep.to_dict()
+    assert loaded.scenarios["fig3/x"].metrics["bw"].unit == "MB/s"
+    assert loaded.schema_version == SCHEMA_VERSION
+
+
+def test_validate_report_accepts_roundtrip():
+    assert validate_report(_report().to_dict()) == []
+
+
+@pytest.mark.parametrize(
+    "mutate, fragment",
+    [
+        (lambda d: d.pop("git_sha"), "missing keys"),
+        (lambda d: d.update(schema_version=SCHEMA_VERSION + 1), "newer than supported"),
+        (lambda d: d.update(suite=""), "non-empty"),
+        (lambda d: d["scenarios"].update(bad=[]), "must be an object"),
+        (
+            lambda d: d["scenarios"]["fig3/x"]["metrics"].update(
+                broken={"value": "high", "unit": "s", "better": "lower"}
+            ),
+            "value must be a number",
+        ),
+        (
+            lambda d: d["scenarios"]["fig3/x"]["metrics"].update(
+                broken={"value": 1.0, "unit": "s", "better": "sideways"}
+            ),
+            "better must be one of",
+        ),
+    ],
+)
+def test_validate_report_rejects(mutate, fragment):
+    doc = _report().to_dict()
+    mutate(doc)
+    problems = validate_report(doc)
+    assert problems and any(fragment in p for p in problems)
+
+
+def test_validate_rejects_non_finite_metric_values():
+    doc = _report().to_dict()
+    doc["scenarios"]["fig3/x"]["metrics"]["create_s"]["value"] = float("nan")
+    assert any("finite" in p for p in validate_report(doc))
+
+
+def test_save_refuses_non_finite_metrics(tmp_path):
+    rep = _report()
+    rep.scenarios["fig3/x"].metrics["create_s"] = Metric(float("inf"))
+    with pytest.raises(ReproError, match="refusing to save"):
+        rep.save(tmp_path / "bad.json")
+
+
+def test_from_dict_raises_on_invalid():
+    doc = _report().to_dict()
+    del doc["scenarios"]["fig3/x"]["metrics"]
+    with pytest.raises(ReproError, match="invalid bench report"):
+        BenchReport.from_dict(doc)
+
+
+def test_load_rejects_missing_and_malformed(tmp_path):
+    with pytest.raises(ReproError, match="no such result file"):
+        BenchReport.load(tmp_path / "absent.json")
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json")
+    with pytest.raises(ReproError, match="not valid JSON"):
+        BenchReport.load(bad)
+
+
+def test_report_rejects_duplicate_scenario():
+    rep = _report()
+    with pytest.raises(ReproError, match="duplicate"):
+        rep.add(rep.scenarios["fig3/x"])
+
+
+def test_git_sha_explicit_cwd_and_fallback(tmp_path, monkeypatch):
+    from repro.bench import results as resmod
+
+    # an explicit non-repo cwd is respected, not silently redirected
+    assert resmod.git_sha(cwd=tmp_path) == "unknown"
+    # package dir outside any repo (site-packages install) falls back to
+    # the process CWD, which here is a checkout
+    monkeypatch.setattr(resmod, "__file__", str(tmp_path / "results.py"))
+    repo_root = pathlib.Path(__file__).resolve().parents[2]
+    monkeypatch.chdir(repo_root)
+    sha = resmod.git_sha()
+    assert sha != "unknown" and len(sha) == 40
+
+
+def test_saved_file_is_stable_json(tmp_path):
+    path = _report().save(tmp_path / "r.json")
+    doc = json.loads(path.read_text())
+    assert list(doc) == [
+        "schema_version",
+        "suite",
+        "created",
+        "git_sha",
+        "environment",
+        "scenarios",
+    ]
+    assert doc["environment"]["python"]

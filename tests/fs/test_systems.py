@@ -1,7 +1,5 @@
 """Machine-profile sanity and derived helpers."""
 
-import math
-
 import pytest
 
 from repro.fs.systems import SystemProfile, get_system, jaguar, jugene

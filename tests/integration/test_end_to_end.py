@@ -1,7 +1,5 @@
 """End-to-end scenarios crossing all layers of the stack."""
 
-import pytest
-
 from repro.apps.mp2c import SimulationConfig, read_restart, run_simulation
 from repro.apps.mp2c.particles import ParticleState, equal_states
 from repro.apps.scalasca.analyzer import analyze_traces

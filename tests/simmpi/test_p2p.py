@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import CommunicatorError, SpmdWorkerError
+from repro.errors import SpmdWorkerError
 from repro.simmpi import ANY_SOURCE, ANY_TAG, run_spmd
 
 

@@ -1,7 +1,5 @@
 """Cross-mode interoperability: every writer's output is every reader's input."""
 
-import pytest
-
 from repro.sion import open_rank, paropen, serial
 from repro.simmpi import run_spmd
 from tests.conftest import TEST_BLKSIZE

@@ -1,8 +1,6 @@
 """get_current_location / tell_logical introspection."""
 
-import pytest
-
-from repro.sion import paropen, serial
+from repro.sion import paropen
 from repro.simmpi import run_spmd
 from tests.conftest import TEST_BLKSIZE
 

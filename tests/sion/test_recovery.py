@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import SionMetadataLostError, SpmdWorkerError
+from repro.errors import SionMetadataLostError
 from repro.sion import open_rank, paropen, recover_multifile, serial
 from repro.simmpi import run_spmd
 from tests.conftest import TEST_BLKSIZE

@@ -1,6 +1,5 @@
 """Scale and randomized-property stress for the parallel layer."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.backends.simfs_backend import SimBackend

@@ -2,8 +2,6 @@
 
 import io
 
-import pytest
-
 from repro.sion import paropen
 from repro.simmpi import run_spmd
 from repro.utils.cat import cat_rank
