@@ -1,0 +1,63 @@
+"""core-io: the vectored data plane's call/copy counts as benchmarks.
+
+Thin pytest wrappers over the registered ``core-io/*`` scenarios, adding
+the qualitative assertions behind ISSUE 2's acceptance criteria: a
+chunk-spanning ``fwrite`` of N fragments issues **one** vectored backend
+call, and a ``memoryview`` payload reaches the backend with **zero**
+intermediate copies.  The pre-refactor counts are preserved under
+``baselines/core_io_prerefactor.json`` for comparison; the current counts
+are gated by the committed smoke baseline.
+"""
+
+from conftest import emit
+
+from repro.bench import get_scenario
+
+
+def _run(name):
+    sc = get_scenario(name)
+    out = sc.execute()
+    emit(name.replace("/", "_").replace("-", "_"), out.text, scenario=name)
+    return out
+
+
+def test_fwrite_span_is_one_vectored_call():
+    out = _run("core-io/fwrite-span")
+    d = out.raw
+    assert d["fragments_written"] == 7  # 104 KiB over 16 KiB chunks
+    assert d["data_write_calls"] == 1, "fwrite must issue ONE vectored call"
+    assert d["copied_fragments"] == 0, "memoryview payload must reach the store uncopied"
+    assert d["seeks"] == 0, "the chunk data path is fully positioned"
+
+
+def test_read_gather_is_one_vectored_call():
+    out = _run("core-io/read-gather")
+    assert out.raw["data_read_calls"] == 1
+    assert out.raw["seeks"] == 0
+
+
+def test_coalesced_flushes_and_bypass():
+    out = _run("core-io/coalesced-flush")
+    coalesced, direct = out.raw
+    # 48 KiB in 16 KiB flushes: one vectored call per flush, not one per
+    # chunk fragment (each flush spans four 4 KiB chunks).
+    assert coalesced["data_write_calls"] == 3
+    assert coalesced["fragments_written"] == 12
+    # The large-write bypass forwards the caller's view untouched.
+    assert direct["data_write_calls"] == 1
+    assert direct["copied_fragments"] == 0
+
+
+def test_parallel_path_is_vectored_per_task():
+    out = _run("core-io/paropen-span")
+    d = out.raw
+    assert d["data_write_calls"] == 2  # one scatter_write per task
+    assert d["fragments_written"] == 10
+    assert d["copied_fragments"] == 0
+    assert d["seeks"] == 0
+
+
+def test_throughput_scenario_executes():
+    out = _run("core-io/throughput")
+    assert out.metrics["write_mb_s"].better == "info"
+    assert out.metrics["cycle_backend_calls"].value == 4

@@ -64,6 +64,8 @@ def ascii_chart(
         " " * (margin + 1) + left + (" " * max(1, width - len(left) - len(right))) + right
     )
     lines.append(" " * (margin + 1) + f"x: {series.x_label}   y: {series.y_label}")
-    for ci, label in enumerate(series.curves):
-        lines.append(" " * (margin + 1) + f"{_MARKS[ci % len(_MARKS)]} {label}")
+    lines.extend(
+        " " * (margin + 1) + f"{_MARKS[ci % len(_MARKS)]} {label}"
+        for ci, label in enumerate(series.curves)
+    )
     return "\n".join(lines)

@@ -54,8 +54,7 @@ def format_table(series: Series, x_format: str = "g") -> str:
     ]
     out = ["  ".join(h.rjust(w) for h, w in zip(headers, widths))]
     out.append("  ".join("-" * w for w in widths))
-    for r in rows:
-        out.append("  ".join(v.rjust(w) for v, w in zip(r, widths)))
+    out.extend("  ".join(v.rjust(w) for v, w in zip(r, widths)) for r in rows)
     return "\n".join(out)
 
 

@@ -44,11 +44,11 @@ class BondedSystem:
         """Linear chains: bead ``i`` bonds to ``i+1`` within each chain."""
         if n_chains < 0 or beads_per_chain < 1:
             raise ReproError("need non-negative chains of >= 1 bead")
-        bonds = []
-        for c in range(n_chains):
-            base = c * beads_per_chain
-            for i in range(beads_per_chain - 1):
-                bonds.append((base + i, base + i + 1))
+        bonds = [
+            (c * beads_per_chain + i, c * beads_per_chain + i + 1)
+            for c in range(n_chains)
+            for i in range(beads_per_chain - 1)
+        ]
         return cls(bonds=np.asarray(bonds, dtype=np.int64).reshape(-1, 2), k=k, r0=r0)
 
     # -- forces and energies --------------------------------------------------

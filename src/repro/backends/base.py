@@ -3,15 +3,33 @@
 Kept deliberately small — exactly what the multifile format needs:
 positioned binary I/O, sparse zero-extension, existence/size/blocksize
 queries, and unlink.  Paths are plain strings interpreted by the backend.
+
+Two families of data calls exist:
+
+* **streaming** — ``read``/``write`` at the implicit file pointer, used
+  only for metadata blocks;
+* **positioned / vectored** — ``pwrite``/``pread`` and the scatter/gather
+  calls ``pwritev``/``preadv``/``scatter_write``/``gather_read``, which
+  never move the file pointer.  The chunk engine uses these exclusively:
+  chunk addresses are computable locally (paper §3.1), so a
+  chunk-spanning write can hand the *entire* fragment list to the
+  backend in one call instead of one seek+write per fragment.
+
+All write-side calls accept any buffer-protocol object (``bytes``,
+``bytearray``, ``memoryview``, NumPy arrays) and must not materialize
+intermediate copies; the one unavoidable copy happens inside the store.
 """
 
 from __future__ import annotations
 
 import abc
+from typing import Iterable, Sequence
+
+from repro.buffers import BufferLike, as_view
 
 
 class RawFile(abc.ABC):
-    """An open file supporting positioned binary I/O."""
+    """An open file supporting positioned, vectored binary I/O."""
 
     @abc.abstractmethod
     def seek(self, offset: int, whence: int = 0) -> int:
@@ -26,7 +44,7 @@ class RawFile(abc.ABC):
         """Read up to ``n`` bytes at the current position."""
 
     @abc.abstractmethod
-    def write(self, data: bytes) -> int:
+    def write(self, data: BufferLike) -> int:
         """Write ``data`` at the current position; returns bytes written."""
 
     @abc.abstractmethod
@@ -49,6 +67,121 @@ class RawFile(abc.ABC):
     @abc.abstractmethod
     def close(self) -> None:
         """Release the handle; subsequent operations are invalid."""
+
+    # -- positioned I/O (file pointer untouched) ---------------------------
+
+    def pwrite(self, offset: int, data: BufferLike) -> int:
+        """Write ``data`` at ``offset`` without moving the file pointer.
+
+        Portable default via seek/write with pointer restore; backends
+        with a native positional call should override.
+        """
+        pos = self.tell()
+        try:
+            self.seek(offset)
+            return self.write(data)
+        finally:
+            self.seek(pos)
+
+    def pread(self, offset: int, n: int) -> bytes:
+        """Read up to ``n`` bytes at ``offset``; file pointer untouched."""
+        pos = self.tell()
+        try:
+            self.seek(offset)
+            return self.read(n)
+        finally:
+            self.seek(pos)
+
+    # -- vectored I/O -------------------------------------------------------
+
+    def pwritev(self, offset: int, views: Sequence[BufferLike]) -> int:
+        """Gather-write ``views`` back to back starting at ``offset``.
+
+        Returns total bytes written.  Default loops :meth:`pwrite`;
+        backends with a native vectored call (``os.pwritev``) override.
+        """
+        total = 0
+        for v in views:
+            view = as_view(v)
+            if view.nbytes:
+                total += self.pwrite(offset + total, view)
+        return total
+
+    def preadv(self, offset: int, sizes: Sequence[int]) -> list[bytes]:
+        """Scatter-read consecutive pieces of ``sizes`` starting at ``offset``.
+
+        Returns one ``bytes`` per requested size.  Pieces shorten (and
+        eventually empty) at end of file, mirroring ``read``.
+        """
+        out: list[bytes] = []
+        pos = offset
+        for size in sizes:
+            if size < 0:
+                raise ValueError(f"negative read size: {size}")
+            piece = self.pread(pos, size) if size else b""
+            out.append(piece)
+            # Advance by the nominal size: a short piece means EOF, and
+            # every later nominal offset lies beyond it (empty reads).
+            pos += size
+        return out
+
+    def scatter_write(self, fragments: Iterable["tuple[int, BufferLike]"]) -> int:
+        """Write a whole fragment list — ``(offset, data)`` pairs — at once.
+
+        This is the single backend call a chunk-spanning ``fwrite`` or a
+        coalesced flush issues per operation.  Fragments must be disjoint;
+        physically contiguous runs are merged into one :meth:`pwritev`
+        each.  Returns total bytes written.
+        """
+        frags = [(off, as_view(d)) for off, d in fragments]
+        frags = [(off, v) for off, v in frags if v.nbytes]
+        if not frags:
+            return 0
+        frags.sort(key=lambda f: f[0])
+        total = 0
+        i = 0
+        while i < len(frags):
+            run_off, view = frags[i]
+            run = [view]
+            end = run_off + view.nbytes
+            i += 1
+            while i < len(frags) and frags[i][0] == end:
+                nxt = frags[i][1]
+                run.append(nxt)
+                end += nxt.nbytes
+                i += 1
+            total += self.pwritev(run_off, run)
+        return total
+
+    def gather_read(self, requests: Sequence["tuple[int, int]"]) -> list[bytes]:
+        """Read a whole request list — ``(offset, size)`` pairs — at once.
+
+        The read-side mirror of :meth:`scatter_write`: one backend call
+        per chunk-spanning ``fread``.  Results come back in request
+        order; contiguous runs collapse into one :meth:`preadv` each.
+        """
+        order = sorted(range(len(requests)), key=lambda k: requests[k][0])
+        out: list[bytes] = [b""] * len(requests)
+        i = 0
+        while i < len(order):
+            first = order[i]
+            run_off, size = requests[first]
+            run_idx = [first]
+            run_sizes = [size]
+            end = run_off + size
+            i += 1
+            while i < len(order):
+                nxt_off, nxt_size = requests[order[i]]
+                if nxt_off != end:
+                    break
+                run_idx.append(order[i])
+                run_sizes.append(nxt_size)
+                end += nxt_size
+                i += 1
+            pieces = self.preadv(run_off, run_sizes)
+            for idx, piece in zip(run_idx, pieces):
+                out[idx] = piece
+        return out
 
     def __enter__(self) -> "RawFile":
         return self

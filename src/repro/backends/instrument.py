@@ -1,0 +1,254 @@
+"""Instrumented backend wrapper: counts calls, fragments, and copies.
+
+:class:`CountingBackend` wraps any other backend and records, at the
+``RawFile`` protocol boundary, exactly what the SION layer asked the
+store to do:
+
+* **backend calls** per method (``write``, ``pwrite``, ``scatter_write``,
+  ``seek``, …) — proving that a chunk-spanning ``fwrite`` of N fragments
+  crosses the boundary *once* (one ``scatter_write``), not N times;
+* **fragments** — individual payload buffers carried by those calls;
+* **copies** — fragments whose memory is *not* part of a tracked source
+  payload.  :meth:`CountingBackend.track_source` registers the
+  application buffer about to be written; every arriving fragment is
+  attributed by walking ``memoryview(...).obj`` back to its exporting
+  object (slices, casts, and re-wraps all preserve it), so a fragment
+  that still lives inside the caller's buffer counts as zero-copy and
+  anything that was materialized on the way down counts as a copy.
+
+The wrapper stores only scalar telemetry — it never retains views of the
+payloads, so upstream ``bytearray`` buffers remain resizable.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.backends.base import Backend, RawFile
+from repro.buffers import BufferLike
+
+#: RawFile methods that deliver payload bytes to the store.
+DATA_WRITE_METHODS = ("write", "pwrite", "pwritev", "scatter_write")
+
+#: RawFile methods that fetch payload bytes from the store.
+DATA_READ_METHODS = ("read", "pread", "preadv", "gather_read")
+
+
+@dataclass
+class IOStats:
+    """Telemetry shared by every handle of one :class:`CountingBackend`.
+
+    Mutations take a lock: the parallel scenarios drive concurrent task
+    threads into one shared stats object, and an unlocked read-modify-
+    write would lose updates — turning the "deterministic counts" promise
+    into a silent undercount.
+    """
+
+    calls: dict[str, int] = field(default_factory=dict)
+    bytes_written: int = 0
+    bytes_read: int = 0
+    fragments_written: int = 0
+    tracked_fragments: int = 0
+    copied_fragments: int = 0
+    _sources: set[int] = field(default_factory=set)
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def count(self, method: str, n: int = 1) -> None:
+        with self._lock:
+            self.calls[method] = self.calls.get(method, 0) + n
+
+    def count_read_bytes(self, n: int) -> None:
+        with self._lock:
+            self.bytes_read += n
+
+    @property
+    def data_write_calls(self) -> int:
+        """Boundary crossings that carried payload toward the store."""
+        return sum(self.calls.get(m, 0) for m in DATA_WRITE_METHODS)
+
+    @property
+    def data_read_calls(self) -> int:
+        """Boundary crossings that fetched payload from the store."""
+        return sum(self.calls.get(m, 0) for m in DATA_READ_METHODS)
+
+    @property
+    def seeks(self) -> int:
+        return self.calls.get("seek", 0)
+
+    def track_source(self, payload: object) -> None:
+        """Register an application buffer; fragments are attributed to it.
+
+        Tracks the *base exporter*: pass the ``bytes``/``bytearray``/array
+        object itself (or a memoryview of it — the underlying exporter is
+        registered either way).
+        """
+        base = payload.obj if isinstance(payload, memoryview) else payload
+        with self._lock:
+            self._sources.add(id(base))
+
+    def clear_sources(self) -> None:
+        with self._lock:
+            self._sources.clear()
+
+    def note_payloads(self, bufs: Iterable[BufferLike]) -> int:
+        """Record the fragments of one write-side call; returns their size."""
+        total = 0
+        fragments = tracked = copied = 0
+        with self._lock:
+            for buf in bufs:
+                view = buf if isinstance(buf, memoryview) else memoryview(buf)
+                total += view.nbytes
+                fragments += 1
+                if self._sources:
+                    tracked += 1
+                    if id(view.obj) not in self._sources:
+                        copied += 1
+                if view is not buf:
+                    view.release()
+            self.fragments_written += fragments
+            self.tracked_fragments += tracked
+            self.copied_fragments += copied
+            self.bytes_written += total
+        return total
+
+    def snapshot(self) -> dict[str, int]:
+        """Plain-dict summary (for metrics and assertions); atomic."""
+        with self._lock:
+            return {
+                "data_write_calls": self.data_write_calls,
+                "data_read_calls": self.data_read_calls,
+                "seeks": self.seeks,
+                "fragments_written": self.fragments_written,
+                "tracked_fragments": self.tracked_fragments,
+                "copied_fragments": self.copied_fragments,
+                "bytes_written": self.bytes_written,
+                "bytes_read": self.bytes_read,
+            }
+
+
+class CountingRawFile(RawFile):
+    """Counts every protocol call, then delegates to the wrapped handle.
+
+    Every method forwards to the *inner* file directly, so an inner
+    ``scatter_write`` that fans out into ``pwritev`` runs does not
+    re-enter this wrapper: the counts measure boundary crossings by the
+    SION layer, not backend internals.
+    """
+
+    def __init__(self, inner: RawFile, stats: IOStats) -> None:
+        self._inner = inner
+        self.stats = stats
+
+    # -- streaming ---------------------------------------------------------
+
+    def seek(self, offset: int, whence: int = 0) -> int:
+        self.stats.count("seek")
+        return self._inner.seek(offset, whence)
+
+    def tell(self) -> int:
+        self.stats.count("tell")
+        return self._inner.tell()
+
+    def read(self, n: int = -1) -> bytes:
+        self.stats.count("read")
+        out = self._inner.read(n)
+        self.stats.count_read_bytes(len(out))
+        return out
+
+    def write(self, data: BufferLike) -> int:
+        self.stats.count("write")
+        self.stats.note_payloads([data])
+        return self._inner.write(data)
+
+    def write_zeros(self, n: int) -> int:
+        self.stats.count("write_zeros")
+        return self._inner.write_zeros(n)
+
+    def truncate(self, size: int) -> None:
+        self.stats.count("truncate")
+        self._inner.truncate(size)
+
+    def flush(self) -> None:
+        self.stats.count("flush")
+        self._inner.flush()
+
+    def close(self) -> None:
+        self.stats.count("close")
+        self._inner.close()
+
+    # -- positioned / vectored ---------------------------------------------
+
+    def pwrite(self, offset: int, data: BufferLike) -> int:
+        self.stats.count("pwrite")
+        self.stats.note_payloads([data])
+        return self._inner.pwrite(offset, data)
+
+    def pread(self, offset: int, n: int) -> bytes:
+        self.stats.count("pread")
+        out = self._inner.pread(offset, n)
+        self.stats.count_read_bytes(len(out))
+        return out
+
+    def pwritev(self, offset: int, views: Sequence[BufferLike]) -> int:
+        views = list(views)
+        self.stats.count("pwritev")
+        self.stats.note_payloads(views)
+        return self._inner.pwritev(offset, views)
+
+    def preadv(self, offset: int, sizes: Sequence[int]) -> list[bytes]:
+        self.stats.count("preadv")
+        out = self._inner.preadv(offset, sizes)
+        self.stats.count_read_bytes(sum(len(p) for p in out))
+        return out
+
+    def scatter_write(self, fragments) -> int:
+        frags = list(fragments)
+        self.stats.count("scatter_write")
+        self.stats.note_payloads([d for _, d in frags])
+        return self._inner.scatter_write(frags)
+
+    def gather_read(self, requests: Sequence["tuple[int, int]"]) -> list[bytes]:
+        self.stats.count("gather_read")
+        out = self._inner.gather_read(requests)
+        self.stats.count_read_bytes(sum(len(p) for p in out))
+        return out
+
+
+class CountingBackend(Backend):
+    """Backend decorator: all handles share one :class:`IOStats`."""
+
+    def __init__(self, inner: Backend) -> None:
+        self.inner = inner
+        self.stats = IOStats()
+
+    # Conveniences so scenarios talk to the backend only.
+
+    def track_source(self, payload: object) -> None:
+        self.stats.track_source(payload)
+
+    def clear_sources(self) -> None:
+        self.stats.clear_sources()
+
+    def snapshot(self) -> dict[str, int]:
+        return self.stats.snapshot()
+
+    def open(self, path: str, mode: str) -> CountingRawFile:
+        self.stats.count("open")
+        return CountingRawFile(self.inner.open(path, mode), self.stats)
+
+    def exists(self, path: str) -> bool:
+        return self.inner.exists(path)
+
+    def unlink(self, path: str) -> None:
+        self.inner.unlink(path)
+
+    def file_size(self, path: str) -> int:
+        return self.inner.file_size(path)
+
+    def stat_blocksize(self, path: str) -> int:
+        return self.inner.stat_blocksize(path)
+
+    def allocated_size(self, path: str) -> int:
+        return self.inner.allocated_size(path)

@@ -1,14 +1,37 @@
-"""Backend over the real (POSIX) file system."""
+"""Backend over the real (POSIX) file system.
+
+Files are opened *unbuffered* (raw ``FileIO``): the chunk engine issues
+positioned and vectored calls (``os.pwrite``/``os.pwritev``/…) directly
+against the file descriptor, and a user-space buffer in between would
+have to be flushed and invalidated around every one of them to stay
+coherent.  Partial reads/writes — legal for raw files — are completed by
+looping, so callers keep the all-or-nothing semantics the buffered layer
+used to provide.
+"""
 
 from __future__ import annotations
 
 import os
+from typing import Sequence
 
 from repro.backends.base import Backend, RawFile
+from repro.buffers import BufferLike, as_view
+
+#: POSIX caps one writev/readv at IOV_MAX iovecs; use the platform's
+#: actual bound (Linux: 1024) rather than assuming it.
+try:
+    _IOV_MAX = os.sysconf("SC_IOV_MAX")
+    if _IOV_MAX <= 0:
+        _IOV_MAX = 1024
+except (AttributeError, OSError, ValueError):  # pragma: no cover - exotic hosts
+    _IOV_MAX = 1024
+
+_HAVE_PWRITEV = hasattr(os, "pwritev")
+_HAVE_PREADV = hasattr(os, "preadv")
 
 
 class LocalRawFile(RawFile):
-    """Thin adapter around a builtin binary file object."""
+    """Adapter around an unbuffered binary file object."""
 
     def __init__(self, fobj) -> None:
         self._f = fobj
@@ -20,10 +43,27 @@ class LocalRawFile(RawFile):
         return self._f.tell()
 
     def read(self, n: int = -1) -> bytes:
-        return self._f.read(n)
+        if n is None or n < 0:
+            return self._f.readall()
+        parts: list[bytes] = []
+        remaining = n
+        while remaining > 0:
+            piece = self._f.read(remaining)
+            if not piece:
+                break
+            parts.append(piece)
+            remaining -= len(piece)
+        if len(parts) == 1:
+            return parts[0]
+        return b"".join(parts)
 
-    def write(self, data: bytes) -> int:
-        return self._f.write(data)
+    def write(self, data: BufferLike) -> int:
+        view = as_view(data)
+        total = view.nbytes
+        done = self._f.write(view)
+        while done < total:  # pragma: no cover - raw partial writes are rare
+            done += self._f.write(view[done:])
+        return total
 
     def write_zeros(self, n: int) -> int:
         # Seek forward and truncate up: leaves a hole on sparse-capable
@@ -46,6 +86,93 @@ class LocalRawFile(RawFile):
     def close(self) -> None:
         self._f.close()
 
+    # -- positioned / vectored (native) ------------------------------------
+
+    def pwrite(self, offset: int, data: BufferLike) -> int:
+        view = as_view(data)
+        fd = self._f.fileno()
+        total = view.nbytes
+        done = os.pwrite(fd, view, offset)
+        while done < total:  # pragma: no cover - raw partial writes are rare
+            done += os.pwrite(fd, view[done:], offset + done)
+        return total
+
+    def pread(self, offset: int, n: int) -> bytes:
+        if n < 0:
+            raise ValueError(f"negative read size: {n}")
+        fd = self._f.fileno()
+        parts: list[bytes] = []
+        remaining = n
+        while remaining > 0:
+            piece = os.pread(fd, remaining, offset)
+            if not piece:
+                break
+            parts.append(piece)
+            offset += len(piece)
+            remaining -= len(piece)
+        if len(parts) == 1:
+            return parts[0]
+        return b"".join(parts)
+
+    def pwritev(self, offset: int, views: Sequence[BufferLike]) -> int:
+        vs = [v for v in (as_view(x) for x in views) if v.nbytes]
+        if not vs:
+            return 0
+        if not _HAVE_PWRITEV:  # pragma: no cover - exercised on exotic hosts
+            return super().pwritev(offset, vs)
+        fd = self._f.fileno()
+        total = 0
+        for start in range(0, len(vs), _IOV_MAX):
+            batch = vs[start : start + _IOV_MAX]
+            need = sum(v.nbytes for v in batch)
+            done = os.pwritev(fd, batch, offset + total)
+            if done < need:  # pragma: no cover - partial vectored write
+                acc = 0
+                for v in batch:
+                    if acc + v.nbytes > done:
+                        cut = max(done - acc, 0)
+                        self.pwrite(offset + total + acc + cut, v[cut:])
+                    acc += v.nbytes
+            total += need
+        return total
+
+    def preadv(self, offset: int, sizes: Sequence[int]) -> list[bytes]:
+        sizes = [int(s) for s in sizes]
+        if any(s < 0 for s in sizes):
+            raise ValueError("read sizes must be non-negative")
+        if not _HAVE_PREADV:  # pragma: no cover - exercised on exotic hosts
+            return super().preadv(offset, sizes)
+        fd = self._f.fileno()
+        out: list[bytes] = [b""] * len(sizes)
+        pos = offset
+        idx = 0
+        while idx < len(sizes):
+            batch_idx = [
+                i for i in range(idx, min(idx + _IOV_MAX, len(sizes))) if sizes[i] > 0
+            ]
+            batch_end = min(idx + _IOV_MAX, len(sizes))
+            if batch_idx:
+                bufs = [bytearray(sizes[i]) for i in batch_idx]
+                need = sum(len(b) for b in bufs)
+                got = os.preadv(fd, bufs, pos)
+                if got < need and self.pread(pos + got, 1):
+                    # A short read that is *not* EOF (signal interruption):
+                    # retake this batch with the loop-until-done scalar path.
+                    for i in batch_idx:
+                        out[i] = self.pread(pos, sizes[i])
+                        pos += sizes[i]
+                    idx = batch_end
+                    continue
+                # Trim at EOF: buffers past ``got`` shrink, then empty.
+                acc = 0
+                for i, buf in zip(batch_idx, bufs):
+                    take = max(0, min(len(buf), got - acc))
+                    out[i] = bytes(buf[:take])
+                    acc += len(buf)
+                pos += need
+            idx = batch_end
+        return out
+
 
 class LocalBackend(Backend):
     """Real files; block size from ``statvfs`` unless overridden.
@@ -62,7 +189,9 @@ class LocalBackend(Backend):
     def open(self, path: str, mode: str) -> LocalRawFile:
         if "b" not in mode:
             mode += "b"
-        return LocalRawFile(open(path, mode))
+        # buffering=0: the vectored fd-level calls stay coherent with the
+        # streaming ones without flush/invalidate gymnastics.
+        return LocalRawFile(open(path, mode, buffering=0))
 
     def exists(self, path: str) -> bool:
         return os.path.exists(path)

@@ -32,6 +32,21 @@ class SimRawFile(RawFile):
     def write_zeros(self, n: int) -> int:
         return self._h.write_zeros(n)
 
+    # Positioned / vectored calls map 1:1 onto the handle's native ones, so
+    # one scatter/gather run costs one simulated data operation.
+
+    def pwrite(self, offset: int, data) -> int:
+        return self._h.pwrite(offset, data)
+
+    def pread(self, offset: int, n: int) -> bytes:
+        return self._h.pread(offset, n)
+
+    def pwritev(self, offset: int, views) -> int:
+        return self._h.pwritev(offset, views)
+
+    def preadv(self, offset: int, sizes) -> list[bytes]:
+        return self._h.preadv(offset, sizes)
+
     def truncate(self, size: int) -> None:
         self._h.truncate(size)
 

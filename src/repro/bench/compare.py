@@ -116,18 +116,19 @@ class ComparisonResult:
         if failures:
             lines.append("")
             lines.append(f"failures ({len(failures)}):")
-            for d in failures[:max_rows]:
-                lines.append(f"  - {d.describe()}")
+            lines.extend(f"  - {d.describe()}" for d in failures[:max_rows])
             if len(failures) > max_rows:
                 lines.append(f"  ... and {len(failures) - max_rows} more")
         improvements = [d for d in self.deltas if d.status == "improvement"]
         if improvements:
             lines.append("")
             lines.append(f"improvements ({len(improvements)}):")
-            for d in sorted(
-                improvements, key=lambda d: abs(d.rel_change or 0), reverse=True
-            )[:10]:
-                lines.append(f"  + {d.describe()}")
+            lines.extend(
+                f"  + {d.describe()}"
+                for d in sorted(
+                    improvements, key=lambda d: abs(d.rel_change or 0), reverse=True
+                )[:10]
+            )
         news = [d for d in self.deltas if d.status == "new"]
         if news:
             lines.append("")

@@ -274,12 +274,12 @@ def table2_scalasca(ctx) -> ScenarioOutput:
         "I/O type    #tasks  trace size  activation  write BW",
         "----------  ------  ----------  ----------  ---------",
     ]
-    for row in (res.tasklocal, res.sion):
-        rows.append(
-            f"{row.io_type:<10}  {row.ntasks:>6}  "
-            f"{row.trace_bytes / 10**9:>7.0f} GB  {row.activation_s:>8.1f} s  "
-            f"{row.write_bw_mb_s:>6.0f} MB/s"
-        )
+    rows.extend(
+        f"{row.io_type:<10}  {row.ntasks:>6}  "
+        f"{row.trace_bytes / 10**9:>7.0f} GB  {row.activation_s:>8.1f} s  "
+        f"{row.write_bw_mb_s:>6.0f} MB/s"
+        for row in (res.tasklocal, res.sion)
+    )
     rows.append("")
     rows.append(
         f"activation speedup: {res.activation_speedup:.1f}x (paper: 13.1x; "
@@ -511,17 +511,15 @@ EXTRAPOLATION_TASK_COUNTS = [65536, 131072, 262144, 524288, 1048576]
 
 def extrapolation_sweep(profile, task_counts):
     """(ntasks, create, open, sion-create-32-files) model predictions."""
-    rows = []
-    for n in task_counts:
-        rows.append(
-            (
-                n,
-                predict_create_time(profile, n, "create"),
-                predict_create_time(profile, n, "open"),
-                predict_sion_create_time(profile, n, 32),
-            )
+    return [
+        (
+            n,
+            predict_create_time(profile, n, "create"),
+            predict_create_time(profile, n, "open"),
+            predict_sion_create_time(profile, n, 32),
         )
-    return rows
+        for n in task_counts
+    ]
 
 
 @scenario(
@@ -663,3 +661,10 @@ def micro_metablock(ctx) -> ScenarioOutput:
     metrics = {"best_roundtrip_s": Metric(best, better="info")}
     text = f"{ntasks}-task metablock encode+decode: best of {rounds} = {best * 1e3:.2f} ms"
     return ScenarioOutput(metrics=metrics, text=text, raw=best)
+
+
+# --------------------------------------------------------------------------
+# core-io — copy/backend-call counts of the zero-copy vectored data plane
+# (registered on import, like everything above).
+
+import repro.bench.core_io  # noqa: E402,F401

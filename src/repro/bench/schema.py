@@ -51,9 +51,11 @@ def validate_report(doc: Any) -> list[str]:
         )
     if not isinstance(doc["suite"], str) or not doc["suite"]:
         problems.append("suite must be a non-empty string")
-    for key in ("created", "git_sha"):
-        if not isinstance(doc[key], str):
-            problems.append(f"{key} must be a string")
+    problems.extend(
+        f"{key} must be a string"
+        for key in ("created", "git_sha")
+        if not isinstance(doc[key], str)
+    )
     if not isinstance(doc["environment"], dict):
         problems.append("environment must be an object")
     scenarios = doc["scenarios"]

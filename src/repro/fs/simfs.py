@@ -18,6 +18,7 @@ import posixpath
 from bisect import bisect_left, bisect_right
 from dataclasses import dataclass
 
+from repro.buffers import as_view
 from repro.errors import (
     FileExistsSimError,
     FileNotFoundSimError,
@@ -53,11 +54,16 @@ class SparseFile:
     # -- mutation ------------------------------------------------------------
 
     def write(self, offset: int, data: bytes | bytearray | memoryview) -> int:
-        """Overlay ``data`` at ``offset``; grows the file as needed."""
+        """Overlay ``data`` at ``offset``; grows the file as needed.
+
+        Accepts any buffer-protocol object and splices it straight into
+        the extent store: the single copy happens here, into the extent
+        ``bytearray`` — no intermediate ``bytes`` materialization.
+        """
         if offset < 0:
             raise ValueError(f"negative offset: {offset}")
-        data = bytes(data)
-        n = len(data)
+        view = as_view(data)
+        n = view.nbytes
         if n == 0:
             return 0
         lo, hi = offset, offset + n
@@ -65,7 +71,7 @@ class SparseFile:
         if first == last:
             # No overlap with existing extents: insert fresh.
             self._starts.insert(first, lo)
-            self._chunks.insert(first, bytearray(data))
+            self._chunks.insert(first, bytearray(view))
         else:
             new_lo = min(lo, self._starts[first])
             new_hi = max(hi, self._starts[last - 1] + len(self._chunks[last - 1]))
@@ -73,7 +79,7 @@ class SparseFile:
             for i in range(first, last):
                 s = self._starts[i]
                 merged[s - new_lo : s - new_lo + len(self._chunks[i])] = self._chunks[i]
-            merged[lo - new_lo : lo - new_lo + n] = data
+            merged[lo - new_lo : lo - new_lo + n] = view
             del self._starts[first:last]
             del self._chunks[first:last]
             self._starts.insert(first, new_lo)
@@ -267,7 +273,7 @@ class SimFileHandle:
         self._fs._account_data("read", len(out))
         return out
 
-    def pwrite(self, offset: int, data: bytes) -> int:
+    def pwrite(self, offset: int, data: bytes | bytearray | memoryview) -> int:
         """Positional write; does not move the file pointer."""
         self._check_open()
         self._check_writable()
@@ -282,6 +288,35 @@ class SimFileHandle:
             raise InvalidOperationError(f"{self.path}: not open for reading")
         out = self._data.read(offset, n)
         self._fs._account_data("read", len(out))
+        return out
+
+    def pwritev(self, offset: int, views) -> int:
+        """Vectored positional write: views land back to back at ``offset``.
+
+        Each view is spliced directly into the sparse store; the whole
+        call is accounted as one data operation of the summed size.
+        """
+        self._check_open()
+        self._check_writable()
+        total = 0
+        for v in views:
+            total += self._data.write(offset + total, v)
+        self._fs._account_data("write", total)
+        return total
+
+    def preadv(self, offset: int, sizes) -> list[bytes]:
+        """Vectored positional read of consecutive ``sizes`` at ``offset``."""
+        self._check_open()
+        if not self.readable:
+            raise InvalidOperationError(f"{self.path}: not open for reading")
+        out: list[bytes] = []
+        pos = offset
+        for size in sizes:
+            if size < 0:
+                raise ValueError(f"negative read size: {size}")
+            out.append(self._data.read(pos, size))
+            pos += size
+        self._fs._account_data("read", sum(len(p) for p in out))
         return out
 
     def truncate(self, size: int | None = None) -> int:

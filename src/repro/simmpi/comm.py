@@ -5,10 +5,17 @@ group share a :class:`_Backbone` carrying the synchronization primitives.
 Collectives follow a deposit / barrier / read / barrier pattern so that a
 slot array can be reused safely between consecutive operations.
 
-Message payloads: numpy arrays and bytearrays are defensively copied on
-deposit (MPI semantics give the receiver its own buffer); other objects are
-passed by reference, which is safe for the immutable metadata tuples the
-SION layer exchanges.
+**Payload contract** (MPI buffer semantics, normalized in
+:func:`_copy_payload`): mutable buffer-like payloads — NumPy arrays,
+``bytearray``, ``memoryview`` — are **snapshotted at deposit time**, so
+the sender may reuse or mutate its buffer the moment ``send``/``bcast``/…
+returns, and the receiver owns what it gets.  Arrays arrive as arrays and
+``bytearray`` as ``bytearray``; a ``memoryview`` (including views of
+arrays or of the zero-copy I/O path's staging buffers) arrives as
+immutable ``bytes`` — the view would otherwise dangle once the sender's
+buffer is reused, exactly the "silent conversion surprise" this contract
+pins down.  Everything else travels by reference, which is safe for the
+immutable metadata tuples the SION layer exchanges.
 """
 
 from __future__ import annotations
@@ -34,13 +41,22 @@ COMM_NULL = None
 
 
 def _copy_payload(value: Any) -> Any:
-    """Defensively copy mutable buffer-like payloads."""
+    """Snapshot mutable buffer-like payloads at deposit time.
+
+    The type mapping is part of the public contract (see module
+    docstring): ``ndarray -> ndarray`` (contiguous copy), ``bytearray ->
+    bytearray``, ``memoryview -> bytes`` (an immutable snapshot: the
+    receiver must never observe later mutations of the sender's
+    underlying buffer, and a live view would also pin — or break, once
+    resized — buffers like the coalescing writer's staging area).
+    Non-contiguous memoryviews flatten in C order, matching ``tobytes``.
+    """
     if isinstance(value, np.ndarray):
         return value.copy()
     if isinstance(value, bytearray):
         return bytearray(value)
     if isinstance(value, memoryview):
-        return bytes(value)
+        return value.tobytes()
     return value
 
 

@@ -12,11 +12,17 @@ from __future__ import annotations
 
 import zlib
 
+from repro.buffers import BufferLike, as_view
 from repro.errors import SionUsageError
 
 
 class ZlibWriter:
-    """Streaming compressor for one task's writes."""
+    """Streaming compressor for one task's writes.
+
+    Accepts any buffer-protocol payload and feeds the view straight into
+    zlib — the deflate output is the first (and only) new buffer the
+    write path materializes on this route.
+    """
 
     def __init__(self, level: int = 6) -> None:
         if not 0 <= level <= 9:
@@ -26,12 +32,13 @@ class ZlibWriter:
         self.raw_out = 0
         self._finished = False
 
-    def compress(self, data: bytes) -> bytes:
+    def compress(self, data: BufferLike) -> bytes:
         """Compress one write; the result is immediately decodable."""
         if self._finished:
             raise SionUsageError("compressor already finalized")
-        out = self._c.compress(bytes(data)) + self._c.flush(zlib.Z_SYNC_FLUSH)
-        self.raw_in += len(data)
+        view = as_view(data)
+        out = self._c.compress(view) + self._c.flush(zlib.Z_SYNC_FLUSH)
+        self.raw_in += view.nbytes
         self.raw_out += len(out)
         return out
 

@@ -211,8 +211,9 @@ class Metablock2:
         parts = [_MB2_HEAD.pack(MAGIC_MB2, self.ntasks_local)]
         nblocks = [len(b) for b in self.blocksizes]
         parts.append(struct.pack(f"<{self.ntasks_local}I", *nblocks))
-        for blocks in self.blocksizes:
-            parts.append(struct.pack(f"<{len(blocks)}Q", *blocks))
+        parts.extend(
+            struct.pack(f"<{len(blocks)}Q", *blocks) for blocks in self.blocksizes
+        )
         payload = b"".join(parts)
         crc = zlib.crc32(payload) & 0xFFFFFFFF
         return payload + struct.pack("<I", crc)

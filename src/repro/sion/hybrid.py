@@ -65,17 +65,16 @@ def paropen_hybrid(
             )
     else:
         sizes = [None] * nthreads  # type: ignore[list-item]
-    handles = []
-    for t in range(nthreads):
-        handles.append(
-            paropen(
-                thread_multifile_path(path, t),
-                mode,
-                comm,
-                chunksize=sizes[t],
-                **kwargs,
-            )
+    handles = [
+        paropen(
+            thread_multifile_path(path, t),
+            mode,
+            comm,
+            chunksize=sizes[t],
+            **kwargs,
         )
+        for t in range(nthreads)
+    ]
     return HybridParallelFile(path, mode, comm, handles)
 
 

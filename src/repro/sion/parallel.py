@@ -15,6 +15,7 @@ from typing import Any
 
 from repro.backends.base import Backend, RawFile
 from repro.backends.localfs import LocalBackend
+from repro.buffers import BufferLike, as_view
 from repro.errors import SionUsageError
 from repro.sion.constants import FLAG_COMPRESS, FLAG_SHADOW
 from repro.sion.compression import ZlibReader, ZlibWriter
@@ -286,18 +287,23 @@ class SionParallelFile:
         self._check_plain("ensure_free_space")
         return self._stream.ensure_free_space(nbytes)
 
-    def write(self, data: bytes) -> int:
+    def write(self, data: BufferLike) -> int:
         """ANSI-``fwrite`` equivalent: must fit in the current chunk."""
         self._check_plain("write")
         return self._stream.write(data)
 
-    def fwrite(self, data: bytes) -> int:
-        """SIONlib write: splits across chunks; returns *logical* bytes."""
+    def fwrite(self, data: BufferLike) -> int:
+        """SIONlib write: splits across chunks; returns *logical* bytes.
+
+        The payload view is forwarded without intermediate copies; with
+        transparent compression the deflate output is the only buffer
+        materialized on the way down.
+        """
         self._check_mode("w")
         if self._zw is not None:
-            compressed = self._zw.compress(bytes(data))
-            self._stream.fwrite(compressed)
-            return len(data)
+            view = as_view(data)
+            self._stream.fwrite(self._zw.compress(view))
+            return view.nbytes
         return self._stream.fwrite(data)
 
     def bytes_left_in_chunk(self) -> int:

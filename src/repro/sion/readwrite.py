@@ -15,14 +15,25 @@ It provides the paper's API semantics:
   mirror images (Listing 2), driven by the per-block byte counts recorded
   in metablock 2.
 
+Byte movement is **zero-copy and vectored**: every write accepts any
+buffer-protocol payload and forwards ``memoryview`` slices of it; every
+call uses *positioned* backend I/O (chunk addresses are computable
+locally, so the implicit file pointer is never consulted), and the
+chunk-spanning ``fwrite``/``fread`` compute their complete fragment list
+up front and hand it to the backend in a **single**
+``scatter_write``/``gather_read`` call instead of one call per fragment.
+
 With the *shadow* extension (paper §6 roadmap), the first 32 bytes of every
 chunk hold a :class:`~repro.sion.format.ShadowHeader` so metablock 2 can be
 reconstructed after a crash; usable chunk capacity shrinks accordingly.
+Shadow headers of blocks completed inside an ``fwrite`` simply join its
+fragment list — still one backend call.
 """
 
 from __future__ import annotations
 
 from repro.backends.base import RawFile
+from repro.buffers import BufferLike, as_view, concat_views
 from repro.errors import SionChunkOverflowError, SionUsageError
 from repro.sion.constants import SHADOW_HEADER_SIZE
 from repro.sion.format import ShadowHeader
@@ -62,7 +73,6 @@ class TaskStream:
         self._finished: list[int] = []  # bytes written per completed block
         self._blocksizes = list(blocksizes) if blocksizes is not None else None
         self._closed = False
-        self._seek_chunk_data(0, 0)
         if mode == "r":
             self._skip_empty_blocks()
 
@@ -81,8 +91,9 @@ class TaskStream:
         assert self._blocksizes is not None
         return sum(self._blocksizes[: self.cur_block]) + self.pos
 
-    def _seek_chunk_data(self, block: int, pos: int) -> None:
-        self.raw.seek(self.layout.chunk_start(self.ltask, block) + self._data_offset + pos)
+    def _abs(self, block: int, pos: int) -> int:
+        """Absolute file offset of data byte ``pos`` in chunk ``block``."""
+        return self.layout.chunk_start(self.ltask, block) + self._data_offset + pos
 
     def _check_open(self) -> None:
         if self._closed:
@@ -115,50 +126,79 @@ class TaskStream:
             return True
         return False
 
-    def write(self, data: bytes) -> int:
-        """Write within the current chunk (ANSI-style); no spanning."""
+    def write(self, data: BufferLike) -> int:
+        """Write within the current chunk (ANSI-style); no spanning.
+
+        The payload view goes straight to one positioned backend write —
+        no intermediate copy, no seek.
+        """
         self._require("w")
-        n = len(data)
+        view = as_view(data)
+        n = view.nbytes
         if self.pos + n > self.capacity:
             raise SionChunkOverflowError(
                 f"write of {n} bytes overflows chunk (pos={self.pos}, "
                 f"capacity={self.capacity}); call ensure_free_space first"
             )
-        self.raw.write(bytes(data))
+        if n:
+            self.raw.pwrite(self._abs(self.cur_block, self.pos), view)
         self.pos += n
         return n
 
-    def fwrite(self, data: bytes) -> int:
-        """Chunk-spanning write: splits internally at chunk boundaries."""
+    def fwrite(self, data: BufferLike) -> int:
+        """Chunk-spanning write: one vectored backend call for all fragments.
+
+        Splits the payload at chunk boundaries *locally* (chunk addresses
+        need no communication), collects ``(offset, view)`` fragments —
+        including any shadow headers of blocks completed along the way —
+        and issues a single ``scatter_write``.  Stream state commits only
+        after the backend call returns, so a failed write never leaves
+        block accounting claiming bytes that are not on disk.
+        """
         self._require("w")
-        view = memoryview(bytes(data))
-        total = len(view)
-        while len(view) > 0:
-            avail = self.capacity - self.pos
+        view = as_view(data)
+        total = view.nbytes
+        if total == 0:
+            return 0
+        fragments: list[tuple[int, BufferLike]] = []
+        completed: list[int] = []
+        blk, pos = self.cur_block, self.pos
+        done = 0
+        while done < total:
+            avail = self.capacity - pos
             if avail == 0:
-                self._advance_write_block()
+                if self.shadow:
+                    fragments.append(self._shadow_fragment(blk, pos))
+                completed.append(pos)
+                blk += 1
+                pos = 0
                 avail = self.capacity
-            piece = view[:avail]
-            self.raw.write(bytes(piece))
-            self.pos += len(piece)
-            view = view[len(piece):]
+            take = min(avail, total - done)
+            fragments.append((self._abs(blk, pos), view[done : done + take]))
+            pos += take
+            done += take
+        self.raw.scatter_write(fragments)
+        self._finished.extend(completed)
+        self.cur_block, self.pos = blk, pos
         return total
 
     def _advance_write_block(self) -> None:
-        self._flush_shadow()
+        """Complete the current block and move the cursor to the next one."""
+        if self.shadow:
+            self.raw.pwrite(*self._shadow_fragment(self.cur_block, self.pos))
         self._finished.append(self.pos)
         self.cur_block += 1
         self.pos = 0
-        self._seek_chunk_data(self.cur_block, 0)
+
+    def _shadow_fragment(self, block: int, written: int) -> tuple[int, bytes]:
+        hdr = ShadowHeader(ltask=self.ltask, block=block, written=written)
+        return self.layout.chunk_start(self.ltask, block), hdr.encode()
 
     def _flush_shadow(self) -> None:
         """Persist the current block's shadow header (if enabled)."""
         if not self.shadow:
             return
-        hdr = ShadowHeader(ltask=self.ltask, block=self.cur_block, written=self.pos)
-        self.raw.seek(self.layout.chunk_start(self.ltask, self.cur_block))
-        self.raw.write(hdr.encode())
-        self._seek_chunk_data(self.cur_block, self.pos)
+        self.raw.pwrite(*self._shadow_fragment(self.cur_block, self.pos))
 
     def flush_shadow(self) -> None:
         """Public hook: checkpoint the recovery metadata now (paper §6)."""
@@ -206,30 +246,63 @@ class TaskStream:
         m = min(n, avail)
         if m == 0:
             return b""
-        out = self.raw.read(m)
+        out = self.raw.pread(self._abs(self.cur_block, self.pos), m)
         self.pos += len(out)
         return out
 
-    def fread(self, n: int) -> bytes:
-        """Chunk-spanning read of up to ``n`` bytes (stops at task EOF)."""
-        self._require("r")
-        parts: list[bytes] = []
+    def _plan_read(self, n: int) -> tuple[list[tuple[int, int]], int, int]:
+        """Request list for up to ``n`` logical bytes from the cursor.
+
+        Returns ``(requests, end_block, end_pos)`` without touching the
+        stream state — the gather plan is pure local arithmetic.
+        """
+        assert self._blocksizes is not None
+        requests: list[tuple[int, int]] = []
+        blk, pos = self.cur_block, self.pos
         remaining = n
-        while remaining > 0 and not self.feof():
-            piece = self.read(remaining)
-            if not piece:  # pragma: no cover - defensive
+        while remaining > 0:
+            while blk < len(self._blocksizes) and pos >= self._blocksizes[blk]:
+                blk += 1
+                pos = 0
+            if blk >= len(self._blocksizes):
                 break
-            parts.append(piece)
-            remaining -= len(piece)
-        return b"".join(parts)
+            take = min(remaining, self._blocksizes[blk] - pos)
+            requests.append((self._abs(blk, pos), take))
+            pos += take
+            remaining -= take
+        return requests, blk, pos
+
+    def fread(self, n: int) -> bytes:
+        """Chunk-spanning read of up to ``n`` bytes (stops at task EOF).
+
+        The complete per-chunk request list is computed locally and
+        fetched in a single vectored ``gather_read`` call.  If the store
+        returns fewer bytes than metablock 2 records (a truncated or
+        damaged file), the cursor advances only past what was actually
+        read — so ``feof()`` stays False and tooling can tell the
+        shortfall apart from a clean end of stream.
+        """
+        self._require("r")
+        if n < 0:
+            raise SionUsageError("read size must be non-negative")
+        requests, blk, pos = self._plan_read(n)
+        if not requests:
+            self.cur_block, self.pos = blk, pos
+            return b""
+        pieces = self.raw.gather_read(requests)
+        got = sum(len(p) for p in pieces)
+        if got == sum(size for _, size in requests):
+            self.cur_block, self.pos = blk, pos
+        else:
+            _, self.cur_block, self.pos = self._plan_read(got)
+        return concat_views(pieces)
 
     def read_all(self) -> bytes:
         """Read this task's entire remaining logical stream."""
         self._require("r")
-        parts: list[bytes] = []
-        while not self.feof():
-            parts.append(self.read(self.bytes_avail_in_chunk()))
-        return b"".join(parts)
+        assert self._blocksizes is not None
+        remaining = sum(self._blocksizes[self.cur_block :]) - self.pos
+        return self.fread(max(remaining, 0))
 
     def seek_logical(self, block: int, pos: int) -> None:
         """Reposition to ``pos`` within the data of chunk ``block`` (read mode)."""
@@ -248,20 +321,15 @@ class TaskStream:
             )
         self.cur_block = block
         self.pos = pos
-        self._seek_chunk_data(block, pos)
 
     def _skip_empty_blocks(self) -> None:
         assert self._blocksizes is not None
-        moved = False
         while (
             self.cur_block < len(self._blocksizes)
             and self.pos >= self._blocksizes[self.cur_block]
         ):
             self.cur_block += 1
             self.pos = 0
-            moved = True
-        if moved and self.cur_block < len(self._blocksizes):
-            self._seek_chunk_data(self.cur_block, 0)
 
     # -- internals ----------------------------------------------------------
 

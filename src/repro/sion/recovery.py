@@ -110,15 +110,18 @@ def _recover_one(
 
 
 def _scan_task(raw, layout: ChunkLayout, ltask: int, file_size: int) -> list[int]:
-    """Walk a task's chunk chain, reading shadow headers until they stop."""
+    """Walk a task's chunk chain, reading shadow headers until they stop.
+
+    Header addresses are computable locally, so each probe is one
+    positioned read — the scan never touches the file pointer.
+    """
     sizes: list[int] = []
     block = 0
     while True:
         start = layout.chunk_start(ltask, block)
         if start + SHADOW_HEADER_SIZE > file_size:
             break
-        raw.seek(start)
-        hdr = ShadowHeader.decode(raw.read(SHADOW_HEADER_SIZE))
+        hdr = ShadowHeader.decode(raw.pread(start, SHADOW_HEADER_SIZE))
         if hdr is None or hdr.ltask != ltask or hdr.block != block:
             break
         sizes.append(hdr.written)

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 
 from repro.backends.base import Backend, RawFile
 from repro.backends.localfs import LocalBackend
+from repro.buffers import BufferLike, as_view
 from repro.errors import SionUsageError
 from repro.sion.constants import FLAG_COMPRESS, FLAG_SHADOW
 from repro.sion.compression import ZlibReader
@@ -259,7 +260,8 @@ class SionSerialFile:
                 raise SionUsageError(
                     f"pos {pos} beyond chunk capacity {capacity} of rank {rank}"
                 )
-            pf.raw.seek(pf.layout.chunk_start(lrank, block) + pos)
+            # Write mode keeps a purely logical cursor: every write is a
+            # positioned backend call, so there is nothing to seek.
         self._cur_rank = rank
         self._cur_block = block
         self._cur_pos = pos
@@ -328,38 +330,68 @@ class SionSerialFile:
             return True
         return False
 
-    def write(self, data: bytes) -> int:
-        """Write at the cursor; must stay inside the current chunk."""
+    def write(self, data: BufferLike) -> int:
+        """Write at the cursor; must stay inside the current chunk.
+
+        The payload view goes down as one positioned backend write — no
+        intermediate copy, no seek.
+        """
         self._check_mode("w")
         pf = self._phys_of(self._cur_rank)
         lrank = self.mapping.local_rank(self._cur_rank)
         capacity = pf.layout.capacity(lrank)
-        n = len(data)
+        view = as_view(data)
+        n = view.nbytes
         if self._cur_pos + n > capacity:
             raise SionUsageError(
                 f"write of {n} bytes overflows chunk capacity {capacity} "
                 f"at pos {self._cur_pos}; call ensure_free_space first"
             )
-        pf.raw.write(bytes(data))
+        if n:
+            pf.raw.pwrite(
+                pf.layout.chunk_start(lrank, self._cur_block) + self._cur_pos, view
+            )
         self._record_written(self._cur_rank, self._cur_block, self._cur_pos + n)
         self._cur_pos += n
         return n
 
-    def fwrite(self, data: bytes) -> int:
-        """Write at the cursor, spanning blocks of the current task."""
+    def fwrite(self, data: BufferLike) -> int:
+        """Write at the cursor, spanning blocks of the current task.
+
+        Splits the payload at chunk boundaries locally and issues a
+        single vectored ``scatter_write`` for the whole fragment list.
+        """
         self._check_mode("w")
-        view = memoryview(bytes(data))
-        total = len(view)
+        view = as_view(data)
+        total = view.nbytes
+        if total == 0:
+            return 0
         pf = self._phys_of(self._cur_rank)
-        capacity = pf.layout.capacity(self.mapping.local_rank(self._cur_rank))
-        while len(view) > 0:
-            avail = capacity - self._cur_pos
+        lrank = self.mapping.local_rank(self._cur_rank)
+        capacity = pf.layout.capacity(lrank)
+        fragments: list[tuple[int, BufferLike]] = []
+        ends: list[tuple[int, int]] = []  # (block, end_pos) to record on success
+        blk, pos = self._cur_block, self._cur_pos
+        done = 0
+        while done < total:
+            avail = capacity - pos
             if avail == 0:
-                self.seek(self._cur_rank, self._cur_block + 1, 0)
+                blk += 1
+                pos = 0
                 avail = capacity
-            piece = view[:avail]
-            self.write(bytes(piece))
-            view = view[len(piece):]
+            take = min(avail, total - done)
+            fragments.append(
+                (pf.layout.chunk_start(lrank, blk) + pos, view[done : done + take])
+            )
+            pos += take
+            ends.append((blk, pos))
+            done += take
+        pf.raw.scatter_write(fragments)
+        # Metadata commits only after the backend accepted the bytes — a
+        # failed write must not leave metablock 2 claiming phantom data.
+        for b, end in ends:
+            self._record_written(self._cur_rank, b, end)
+        self._cur_block, self._cur_pos = blk, pos
         return total
 
     # -- lifecycle -------------------------------------------------------------------------

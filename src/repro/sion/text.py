@@ -12,11 +12,12 @@ from __future__ import annotations
 
 from typing import Iterator, Protocol
 
+from repro.buffers import BufferLike
 from repro.errors import SionUsageError
 
 
 class _WritableStream(Protocol):
-    def fwrite(self, data: bytes) -> int: ...
+    def fwrite(self, data: BufferLike) -> int: ...
 
 
 class _ReadableStream(Protocol):

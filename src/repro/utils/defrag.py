@@ -47,5 +47,6 @@ def defragment(
         for rank, payload in enumerate(payloads):
             if payload:
                 dst.seek(rank, 0, 0)
-                dst.write(payload)
+                # A view suffices: the write path forwards it zero-copy.
+                dst.write(memoryview(payload))
     return out_path

@@ -63,9 +63,9 @@ def format_dump(summary: MultifileSummary, verbose: bool = False) -> str:
     ]
     if verbose:
         lines.append("task  chunksize  blocks  bytes")
-        for t in range(summary.ntasks):
-            lines.append(
-                f"{t:>4}  {summary.chunksizes[t]:>9}  "
-                f"{summary.nblocks[t]:>6}  {summary.bytes_per_task[t]}"
-            )
+        lines.extend(
+            f"{t:>4}  {summary.chunksizes[t]:>9}  "
+            f"{summary.nblocks[t]:>6}  {summary.bytes_per_task[t]}"
+            for t in range(summary.ntasks)
+        )
     return "\n".join(lines)

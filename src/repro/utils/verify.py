@@ -173,8 +173,10 @@ def _deep_check_shadows(
 ) -> None:
     for ltask, blocks in enumerate(mb2.blocksizes):
         for b, nbytes in enumerate(blocks):
-            raw.seek(layout.chunk_start(ltask, b))
-            hdr = ShadowHeader.decode(raw.read(SHADOW_HEADER_SIZE))
+            # Positioned probe: the header address is computable locally.
+            hdr = ShadowHeader.decode(
+                raw.pread(layout.chunk_start(ltask, b), SHADOW_HEADER_SIZE)
+            )
             if hdr is None:
                 report.check(
                     nbytes == 0,
@@ -200,9 +202,7 @@ def format_report(report: VerifyReport) -> str:
         f"files: {report.nfiles}  tasks: {report.ntasks}  "
         f"checks: {report.checks_run}",
     ]
-    for w in report.warnings:
-        lines.append(f"warning: {w}")
-    for e in report.errors:
-        lines.append(f"ERROR: {e}")
+    lines.extend(f"warning: {w}" for w in report.warnings)
+    lines.extend(f"ERROR: {e}" for e in report.errors)
     lines.append("status: " + ("OK" if report.ok else f"{len(report.errors)} error(s)"))
     return "\n".join(lines)

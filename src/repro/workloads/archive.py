@@ -52,14 +52,12 @@ def sweep_task_counts(
 ) -> list[ArchiveSweepPoint]:
     """Archival cost growth as the job scales (fixed bytes per task)."""
     lib = library if library is not None else TapeLibrary()
-    out = []
-    for n in task_counts:
-        out.append(
-            ArchiveSweepPoint(
-                ntasks=n,
-                comparison=compare_archival(
-                    lib, n, n * bytes_per_task, min(nfiles, n), users
-                ),
-            )
+    return [
+        ArchiveSweepPoint(
+            ntasks=n,
+            comparison=compare_archival(
+                lib, n, n * bytes_per_task, min(nfiles, n), users
+            ),
         )
-    return out
+        for n in task_counts
+    ]

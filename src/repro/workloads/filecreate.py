@@ -95,14 +95,12 @@ def run_fig3(
     sion_nfiles: int = 1,
 ) -> list[CreateResult]:
     """Produce the three curves of Fig. 3 for one machine."""
-    out = []
-    for n in task_counts:
-        out.append(
-            CreateResult(
-                ntasks=n,
-                create_files_s=tasklocal_metadata_time(profile, n, "create"),
-                open_existing_s=tasklocal_metadata_time(profile, n, "open"),
-                sion_create_s=sion_create_time(profile, n, sion_nfiles),
-            )
+    return [
+        CreateResult(
+            ntasks=n,
+            create_files_s=tasklocal_metadata_time(profile, n, "create"),
+            open_existing_s=tasklocal_metadata_time(profile, n, "open"),
+            sion_create_s=sion_create_time(profile, n, sion_nfiles),
         )
-    return out
+        for n in task_counts
+    ]

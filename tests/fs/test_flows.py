@@ -12,10 +12,10 @@ def _run(flows_spec, resources=None):
     """Helper: run a set of (size, resources, cap) specs; return flows."""
     eng = Engine()
     sched = FlowScheduler(eng)
-    flows = []
     with sched.batch():
-        for size, res, cap in flows_spec:
-            flows.append(sched.submit(size, res, rate_cap=cap))
+        flows = [
+            sched.submit(size, res, rate_cap=cap) for size, res, cap in flows_spec
+        ]
     eng.run()
     assert sched.active_flows == 0
     return flows

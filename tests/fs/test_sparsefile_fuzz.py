@@ -1,0 +1,141 @@
+"""Fuzz :class:`SparseFile` against a plain-``bytearray`` reference model.
+
+The extent store now splices buffer views directly (zero-copy), merges
+and punches extents, and coalesces neighbours — this suite drives random
+interleavings of write / write_zeros / truncate / read and checks every
+observable against the dumbest possible model, plus the structural
+invariants the store promises (sorted disjoint extents, allocation never
+exceeding the logical size).
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.fs.simfs import SparseFile
+
+LIMIT = 4096  # keep offsets/sizes small enough for dense model comparison
+
+
+class Model:
+    """Reference byte store: a bytearray that zero-extends on demand."""
+
+    def __init__(self) -> None:
+        self.buf = bytearray()
+
+    def _grow(self, end: int) -> None:
+        if end > len(self.buf):
+            self.buf.extend(b"\0" * (end - len(self.buf)))
+
+    def write(self, offset: int, data: bytes) -> None:
+        if not data:
+            return
+        self._grow(offset + len(data))
+        self.buf[offset : offset + len(data)] = data
+
+    def write_zeros(self, offset: int, n: int) -> None:
+        if n <= 0:
+            return
+        self._grow(offset + n)
+        self.buf[offset : offset + n] = b"\0" * n
+
+    def truncate(self, size: int) -> None:
+        if size < len(self.buf):
+            del self.buf[size:]
+        else:
+            self._grow(size)
+
+    def read(self, offset: int, n: int) -> bytes:
+        end = min(offset + n, len(self.buf))
+        return bytes(self.buf[offset:end]) if end > offset else b""
+
+    @property
+    def size(self) -> int:
+        return len(self.buf)
+
+
+def _payload(seed: int, n: int) -> bytes:
+    return bytes((seed + i) % 255 + 1 for i in range(n))  # never zero bytes
+
+
+ops = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("write"),
+            st.integers(0, LIMIT),
+            st.integers(0, 600),
+            st.integers(0, 250),
+            st.sampled_from(["bytes", "bytearray", "memoryview"]),
+        ),
+        st.tuples(st.just("zeros"), st.integers(0, LIMIT), st.integers(0, 600)),
+        st.tuples(st.just("truncate"), st.integers(0, LIMIT)),
+        st.tuples(st.just("read"), st.integers(0, LIMIT), st.integers(0, 800)),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+def _check_invariants(sf: SparseFile) -> None:
+    extents = sf.extents()
+    assert extents == sorted(extents)
+    prev_end = -1
+    for start, length in extents:
+        assert length > 0, "empty extent retained"
+        assert start > prev_end, "extents overlap or touch without coalescing"
+        prev_end = start + length
+    if extents:
+        assert extents[-1][0] + extents[-1][1] <= sf.size
+    assert sf.allocated_bytes <= sf.size
+
+
+@settings(max_examples=120, deadline=None)
+@given(ops=ops)
+def test_sparsefile_matches_bytearray_model(ops):
+    sf, model = SparseFile(), Model()
+    for op in ops:
+        if op[0] == "write":
+            _, offset, size, seed, kind = op
+            data = _payload(seed, size)
+            wrapped = {
+                "bytes": data,
+                "bytearray": bytearray(data),
+                "memoryview": memoryview(data),
+            }[kind]
+            assert sf.write(offset, wrapped) == len(data)
+            model.write(offset, data)
+        elif op[0] == "zeros":
+            _, offset, n = op
+            sf.write_zeros(offset, n)
+            model.write_zeros(offset, n)
+        elif op[0] == "truncate":
+            _, size = op
+            sf.truncate(size)
+            model.truncate(size)
+        else:
+            _, offset, n = op
+            assert sf.read(offset, n) == model.read(offset, n)
+        assert sf.size == model.size
+        _check_invariants(sf)
+    # Full-content equality at the end.
+    assert sf.read(0, sf.size) == model.read(0, model.size)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    writes=st.lists(
+        st.tuples(st.integers(0, LIMIT), st.integers(1, 300), st.integers(0, 250)),
+        min_size=1,
+        max_size=20,
+    )
+)
+def test_writer_buffer_mutation_after_write_is_invisible(writes):
+    """The store must own its copy: later mutation of the caller's buffer
+    (the zero-copy contract's one allowed copy point) never shows up."""
+    sf, model = SparseFile(), Model()
+    for offset, size, seed in writes:
+        data = bytearray(_payload(seed, size))
+        sf.write(offset, memoryview(data))
+        model.write(offset, bytes(data))
+        data[:] = b"\xee" * len(data)  # scribble over the source buffer
+    assert sf.read(0, sf.size) == model.read(0, model.size)
