@@ -1,0 +1,263 @@
+"""Record the ``scale`` suite baseline of the *current* checkout.
+
+This tool exists to capture ``benchmarks/baselines/scale_preopt.json``: the
+control-plane cost of the pre-optimization implementation (thread-per-rank
+SPMD engine, scalar metadata plane), measured point by point in isolated
+subprocesses so a point that cannot finish does not take the capture down
+with it.  Points that exceed their wall budget are recorded *at the budget*
+and flagged ``lower_bound`` in their params — the true pre-optimization
+cost is at least the recorded value, so any speedup computed against it is
+conservative.
+
+Scenario and metric names match the registered ``scale/*`` scenarios
+(``repro.bench.scale``) exactly, so ``python -m repro.bench compare`` can
+diff a fresh run against this file directly.
+
+Usage:
+    PYTHONPATH=src python benchmarks/tools/record_scale_preopt.py \
+        [-o benchmarks/baselines/scale_preopt.json] [--engine threads]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+#: (scenario family, ntasks, wall budget seconds) — budgets sized for the
+#: thread engine; the bulk engine finishes each point in seconds.  The
+#: ``scale/collectives`` family is intentionally absent: its pre-engine
+#: in-program per-op timings are not semantically comparable to the bulk
+#: engine's whole-run rounds, so it carries no pre-optimization record.
+POINTS = [
+    ("serial-scan", 4096, 300),
+    ("serial-scan", 16384, 300),
+    ("serial-scan", 65536, 600),
+    ("serial-scan", 262144, 900),
+    ("paropen-parclose", 4096, 900),
+    ("paropen-parclose", 16384, 1500),
+    ("paropen-parclose", 65536, 2400),
+]
+
+CHUNKSIZE = 4096
+FSBLK = 4096
+PAYLOAD = 64
+
+
+def _run_point(family: str, ntasks: int, engine: str) -> dict[str, float]:
+    """Child-process body: run one scenario point, print metrics as JSON."""
+    from repro.backends.simfs_backend import SimBackend
+    from repro.fs.simfs import SimFS
+
+    if family == "serial-scan":
+        from repro.sion import serial
+
+        backend = SimBackend(SimFS(blocksize_override=FSBLK))
+        writers = [0, ntasks // 2, ntasks - 1]
+        t0 = time.perf_counter()
+        f = serial.open(
+            "/scan.sion",
+            "w",
+            chunksizes=[CHUNKSIZE] * ntasks,
+            fsblksize=FSBLK,
+            nfiles=4,
+            backend=backend,
+        )
+        for rank in writers:
+            f.seek(rank, 0, 0)
+            f.write(b"\xab" * PAYLOAD)
+        f.close()
+        create_wall = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        g = serial.open("/scan.sion", "r", backend=backend)
+        loc = g.get_locations()
+        total = loc.total_bytes()
+        g.close()
+        scan_wall = time.perf_counter() - t0
+        if total != PAYLOAD * len(writers):
+            raise AssertionError(f"scan saw {total} logical bytes")
+        return {
+            "create_wall_s": create_wall,
+            "scan_wall_s": scan_wall,
+            "logical_total_bytes": float(total),
+        }
+
+    import threading
+
+    threading.stack_size(512 * 1024)
+    from repro.simmpi import run_spmd
+
+    import inspect
+
+    spmd_kwargs: dict = {"timeout": None}
+    if "engine" in inspect.signature(run_spmd).parameters:
+        spmd_kwargs["engine"] = engine
+    elif engine != "threads":
+        raise SystemExit(f"this checkout has no SPMD engine selector ({engine!r})")
+
+    if family == "collectives":
+        walls: dict[str, float] = {}
+
+        def program(comm):
+            for name, op in (
+                ("bcast", lambda: comm.bcast(comm.rank if comm.rank == 0 else None)),
+                ("gather", lambda: comm.gather(comm.rank)),
+                ("scatter", lambda: comm.scatter(
+                    list(range(comm.size)) if comm.rank == 0 else None
+                )),
+                ("reduce", lambda: comm.reduce(1)),
+                ("barrier", comm.barrier),
+                ("allgather", lambda: comm.allgather(comm.rank)),
+            ):
+                comm.barrier()
+                t0 = time.perf_counter()
+                op()
+                if comm.rank == 0:
+                    walls[f"{name}_wall_s"] = time.perf_counter() - t0
+
+        run_spmd(ntasks, program, **spmd_kwargs)
+        return walls
+
+    if family == "paropen-parclose":
+        from repro.sion import paropen
+
+        backend = SimBackend(SimFS(blocksize_override=FSBLK))
+        payload = b"\xab" * PAYLOAD
+
+        def program(comm):
+            f = paropen(
+                "/scale.sion",
+                "w",
+                comm,
+                chunksize=CHUNKSIZE,
+                fsblksize=FSBLK,
+                backend=backend,
+            )
+            f.fwrite(payload)
+            f.parclose()
+            return (f.layout.start_of_data, f.mb1.metablock2_offset)
+
+        t0 = time.perf_counter()
+        out = run_spmd(ntasks, program, **spmd_kwargs)
+        wall = time.perf_counter() - t0
+        start_of_data, mb2_offset = out[0]
+        return {
+            "open_close_wall_s": wall,
+            "tasks_per_s": ntasks / wall,
+            "start_of_data_bytes": float(start_of_data),
+            "mb2_offset_bytes": float(mb2_offset),
+        }
+
+    raise SystemExit(f"unknown scenario family {family!r}")
+
+
+def _point_entry(family: str, ntasks: int, engine: str) -> tuple[str, dict]:
+    name = f"scale/{family}[ntasks={ntasks}]"
+    params: dict = {"ntasks": ntasks}
+    if family == "serial-scan":
+        params.update(
+            chunksize=CHUNKSIZE, fsblksize=FSBLK, nfiles=4,
+            payload_bytes=PAYLOAD, writers=3,
+        )
+    elif family == "paropen-parclose":
+        params.update(
+            chunksize=CHUNKSIZE, fsblksize=FSBLK, nfiles=1,
+            payload_bytes=PAYLOAD, engine=engine,
+        )
+    else:
+        params.update(rounds=1, engine=engine)
+    return name, params
+
+
+#: Which metrics carry wall budgets when a point times out (gated, lower).
+BUDGET_METRICS = {
+    "paropen-parclose": [
+        ("open_close_wall_s", "s"),
+    ],
+    "collectives": [
+        (f"{op}_wall_s", "s")
+        for op in ("bcast", "gather", "scatter", "reduce", "barrier", "allgather")
+    ],
+    "serial-scan": [("create_wall_s", "s"), ("scan_wall_s", "s")],
+}
+
+INFO_METRICS = {"tasks_per_s"}
+BYTE_METRICS = {"start_of_data_bytes", "mb2_offset_bytes", "logical_total_bytes"}
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--point", nargs=2, metavar=("FAMILY", "NTASKS"), default=None)
+    parser.add_argument("--engine", default="threads")
+    parser.add_argument("-o", "--output", default="benchmarks/baselines/scale_preopt.json")
+    args = parser.parse_args()
+
+    if args.point is not None:
+        metrics = _run_point(args.point[0], int(args.point[1]), args.engine)
+        print(json.dumps(metrics))
+        return 0
+
+    from repro.bench.results import BenchReport, Metric, ScenarioResult
+
+    report = BenchReport(suite="scale")
+    out_path = Path(args.output)
+    for family, ntasks, budget in POINTS:
+        name, params = _point_entry(family, ntasks, args.engine)
+        print(f"measuring {name} (budget {budget}s) ...", flush=True)
+        t0 = time.perf_counter()
+        try:
+            proc = subprocess.run(
+                [sys.executable, __file__, "--point", family, str(ntasks),
+                 "--engine", args.engine],
+                capture_output=True,
+                text=True,
+                timeout=budget,
+            )
+            timed_out = False
+        except subprocess.TimeoutExpired:
+            timed_out = True
+            proc = None
+        wall = time.perf_counter() - t0
+        metrics: dict[str, Metric] = {}
+        error = None
+        if timed_out or proc.returncode != 0:
+            # Record the budget as a floor so speedups stay conservative.
+            params["lower_bound"] = True
+            if not timed_out:
+                error_tail = (proc.stderr or "").strip().splitlines()[-3:]
+                print(f"  point failed: {' | '.join(error_tail)}", flush=True)
+                params["failed"] = True
+            for mname, unit in BUDGET_METRICS[family]:
+                metrics[mname] = Metric(float(budget), unit, "lower")
+            print(f"  recorded floor {budget}s ({'timeout' if timed_out else 'crash'})",
+                  flush=True)
+        else:
+            raw = json.loads(proc.stdout.strip().splitlines()[-1])
+            for mname, value in raw.items():
+                if mname in INFO_METRICS:
+                    metrics[mname] = Metric(float(value), "tasks/s", "info")
+                elif mname in BYTE_METRICS:
+                    metrics[mname] = Metric(float(value), "bytes", "lower")
+                else:
+                    metrics[mname] = Metric(float(value), "s", "lower")
+            print(f"  ok in {wall:.1f}s", flush=True)
+        metrics["wall_s"] = Metric(wall, "s", "info")
+        report.add(ScenarioResult(
+            name=name,
+            suite="scale",
+            tags=("scale", "control-plane", family),
+            params=params,
+            metrics=metrics,
+            wall_s=wall,
+            error=error,
+        ))
+        report.save(out_path)  # incremental: keep partial results on abort
+    print(f"wrote {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

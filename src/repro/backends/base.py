@@ -137,6 +137,10 @@ class RawFile(abc.ABC):
         frags = [(off, v) for off, v in frags if v.nbytes]
         if not frags:
             return 0
+        if len(frags) == 1:
+            # Fast path for the overwhelmingly common small write: one
+            # fragment needs no sorting or run merging.
+            return self.pwrite(frags[0][0], frags[0][1])
         frags.sort(key=lambda f: f[0])
         total = 0
         i = 0

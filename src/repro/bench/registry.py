@@ -12,8 +12,11 @@ from repro.errors import ReproError
 
 #: Known suites, cheapest first.  ``smoke`` holds the deterministic
 #: simulated scenarios (CI-gated against a committed baseline); ``full``
-#: is a superset adding the wall-clock micro scenarios.
-SUITES = ("smoke", "full")
+#: is a superset adding the wall-clock micro scenarios; ``scale`` holds
+#: the control-plane scaling benchmarks (4k-256k simulated tasks) and is
+#: selected explicitly — it is *not* part of ``full``, because a quarter
+#: million tasks per scenario is not a casual run.
+SUITES = ("smoke", "full", "scale")
 
 
 @dataclass
@@ -53,10 +56,12 @@ class Scenario:
             )
 
     def in_suite(self, suite: str) -> bool:
-        """Suite membership: ``full`` includes every scenario."""
+        """Suite membership: ``full`` includes ``smoke`` but not ``scale``."""
         if suite not in SUITES:
             raise ReproError(f"unknown suite {suite!r}; expected one of {SUITES}")
-        return suite == "full" or self.suite == suite
+        if suite == self.suite:
+            return True
+        return suite == "full" and self.suite == "smoke"
 
     def execute(self) -> ScenarioOutput:
         """Run the scenario and normalize its output."""

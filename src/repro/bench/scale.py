@@ -1,0 +1,274 @@
+"""``scale`` suite: the control plane at paper-scale task counts.
+
+The paper's headline results run at 4k-64k tasks; these scenarios drive
+the *real* library (collective open/write/close over the simulated store,
+serial metadata scans, bare collectives) at 4k-256k simulated tasks using
+the bulk SPMD engine, and record wall clock plus deterministic geometry
+facts as gated metrics.
+
+Two committed baselines back the suite:
+
+* ``benchmarks/baselines/scale_preopt.json`` — the pre-optimization
+  control plane (thread-per-rank engine, scalar metadata paths), captured
+  by ``benchmarks/tools/record_scale_preopt.py`` before the bulk engine
+  landed.  Points the old engine could not finish carry their wall budget
+  as a recorded *floor* (``lower_bound`` in their params), so speedups
+  computed against them are conservative.  The 64k open/close point is a
+  floor because the thread engine could not even spawn that many ranks.
+* ``benchmarks/baselines/scale.json`` / ``scale_ci.json`` — the current
+  implementation; CI gates the reduced ``ci-grid`` (4k/16k) against
+  ``scale_ci.json`` with a generous threshold (wall clock on shared
+  runners is noisy; only algorithmic regressions should trip it).
+
+All scenarios honor ``REPRO_SPMD_TIMEOUT`` (see ``repro.simmpi.runner``):
+on very slow machines raise it before running the 256k points.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.backends.simfs_backend import SimBackend
+from repro.bench.registry import scenario
+from repro.bench.results import Metric, ScenarioOutput
+from repro.fs.simfs import SimFS
+
+KiB = 1024
+
+#: Task counts of the full grid; the first two form the CI grid.
+SCALE_TASK_COUNTS = (4096, 16384, 65536, 262144)
+CI_TASK_COUNTS = frozenset((4096, 16384))
+
+#: Common geometry: one FS block per chunk keeps the files small while
+#: still exercising every alignment and accounting path.
+FSBLK = 4 * KiB
+CHUNKSIZE = 4 * KiB
+PAYLOAD = 64
+
+#: Collective families measured by ``scale/collectives``.
+COLLECTIVE_OPS = ("bcast", "gather", "scatter", "reduce", "barrier", "allgather")
+
+
+def _tags(family: str, ntasks: int) -> tuple[str, ...]:
+    tags = ["scale", "control-plane", family]
+    if ntasks in CI_TASK_COUNTS:
+        tags.append("ci-grid")
+    return tuple(tags)
+
+
+def _backend() -> SimBackend:
+    return SimBackend(SimFS(blocksize_override=FSBLK))
+
+
+def expected_geometry(ntasks: int, chunksize: int, fsblk: int) -> tuple[int, int]:
+    """Closed-form byte offsets of the scenario's single-file layout.
+
+    Independent arithmetic (not :class:`~repro.sion.layout.ChunkLayout`):
+    metablock 1 is the 56-byte header, two u64 arrays and the u32 mapping
+    kind; data starts at the next FS block; with one block of one aligned
+    chunk per task, metablock 2 follows the block array immediately.
+    Every grid point asserts against this, so geometry drift fails the
+    scenario itself — the wall-clock gate's wide threshold never sees it.
+    """
+    mb1_size = 56 + 16 * ntasks + 4
+    start_of_data = -(-mb1_size // fsblk) * fsblk
+    aligned_chunk = max(-(-chunksize // fsblk), 1) * fsblk
+    return start_of_data, start_of_data + ntasks * aligned_chunk
+
+
+# --------------------------------------------------------------------------
+# Collective open / write / close at scale (the paper's paropen+parclose).
+
+
+def _paropen_parclose(ctx) -> ScenarioOutput:
+    from repro.simmpi import run_spmd
+    from repro.sion import paropen, serial
+
+    p = ctx.params
+    ntasks = p["ntasks"]
+    backend = _backend()
+    payload = bytes([0xAB]) * p["payload_bytes"]
+
+    def program(comm):
+        f = paropen(
+            "/scale.sion",
+            "w",
+            comm,
+            chunksize=p["chunksize"],
+            fsblksize=p["fsblksize"],
+            backend=backend,
+        )
+        f.fwrite(payload)
+        f.parclose()
+        return (f.layout.start_of_data, f.mb1.metablock2_offset)
+
+    t0 = time.perf_counter()
+    out = run_spmd(ntasks, program, engine=p["engine"])
+    wall = time.perf_counter() - t0
+    start_of_data, mb2_offset = out[0]
+    if (start_of_data, mb2_offset) != expected_geometry(
+        ntasks, p["chunksize"], p["fsblksize"]
+    ):
+        raise AssertionError(
+            f"on-disk geometry drifted: ({start_of_data}, {mb2_offset}) != "
+            f"{expected_geometry(ntasks, p['chunksize'], p['fsblksize'])}"
+        )
+
+    # Spot-check the multifile through the serial global view: corner
+    # ranks must round-trip their payload through the on-disk metadata.
+    with serial.open("/scale.sion", "r", backend=backend) as f:
+        for rank in (0, ntasks // 2, ntasks - 1):
+            got = f.read_task(rank)
+            if got != payload:
+                raise AssertionError(
+                    f"rank {rank} round-tripped {len(got)} unexpected bytes"
+                )
+
+    metrics = {
+        "open_close_wall_s": Metric(wall, "s", "lower"),
+        "tasks_per_s": Metric(ntasks / wall, "tasks/s", "info"),
+        "start_of_data_bytes": Metric(float(start_of_data), "bytes", "lower"),
+        "mb2_offset_bytes": Metric(float(mb2_offset), "bytes", "lower"),
+    }
+    text = (
+        f"{ntasks} tasks open/write({p['payload_bytes']} B)/close via "
+        f"engine={p['engine']}: {wall:.2f} s ({ntasks / wall:,.0f} tasks/s); "
+        f"metablock 1 spans {start_of_data // KiB} KiB, metablock 2 at "
+        f"{mb2_offset / (1 << 20):.1f} MiB"
+    )
+    return ScenarioOutput(metrics=metrics, text=text, raw={"wall": wall})
+
+
+# --------------------------------------------------------------------------
+# Serial-tool metadata scan: create a huge multifile serially, then load
+# the complete geometry the way sionconfig/defragmentation tools do.
+
+
+def _serial_scan(ctx) -> ScenarioOutput:
+    from repro.sion import serial
+
+    p = ctx.params
+    ntasks = p["ntasks"]
+    backend = _backend()
+    # ``writers`` ranks spread evenly across the rank space (always
+    # including the first and last rank) get a payload; the scan must
+    # account exactly their bytes.
+    nwriters = p["writers"]
+    writers = sorted({round(i * (ntasks - 1) / max(nwriters - 1, 1)) for i in range(nwriters)})
+
+    t0 = time.perf_counter()
+    f = serial.open(
+        "/scan.sion",
+        "w",
+        chunksizes=[p["chunksize"]] * ntasks,
+        fsblksize=p["fsblksize"],
+        nfiles=p["nfiles"],
+        backend=backend,
+    )
+    for rank in writers:
+        f.seek(rank, 0, 0)
+        f.write(b"\xab" * p["payload_bytes"])
+    f.close()
+    create_wall = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    g = serial.open("/scan.sion", "r", backend=backend)
+    loc = g.get_locations()
+    total = loc.total_bytes()
+    g.close()
+    scan_wall = time.perf_counter() - t0
+    if total != p["payload_bytes"] * len(writers):
+        raise AssertionError(f"metadata scan saw {total} logical bytes")
+
+    metrics = {
+        "create_wall_s": Metric(create_wall, "s", "lower"),
+        "scan_wall_s": Metric(scan_wall, "s", "lower"),
+        "logical_total_bytes": Metric(float(total), "bytes", "lower"),
+    }
+    text = (
+        f"{ntasks}-task multifile over {p['nfiles']} physical files: serial "
+        f"create {create_wall * 1e3:.0f} ms, full metadata scan "
+        f"{scan_wall * 1e3:.0f} ms"
+    )
+    return ScenarioOutput(
+        metrics=metrics, text=text, raw={"create": create_wall, "scan": scan_wall}
+    )
+
+
+# --------------------------------------------------------------------------
+# Bare collective microbenchmarks: one whole-world round per op family,
+# timed end to end (world setup + the collective + teardown).  Unlike the
+# open/close cycle these have no pre-optimization analogue: the old
+# engine's in-program per-op timings do not survive the change of
+# execution model, so the family is gated only against the current
+# baseline.
+
+
+def _collectives(ctx) -> ScenarioOutput:
+    from repro.simmpi import run_spmd
+
+    p = ctx.params
+    ntasks, engine = p["ntasks"], p["engine"]
+
+    programs = {
+        "bcast": lambda c: c.bcast("payload" if c.rank == 0 else None),
+        "gather": lambda c: c.gather(c.rank),
+        "scatter": lambda c: c.scatter(
+            list(range(c.size)) if c.rank == 0 else None
+        ),
+        "reduce": lambda c: c.reduce(1),
+        "barrier": lambda c: c.barrier(),
+        "allgather": lambda c: c.allgather(c.rank),
+    }
+    metrics: dict[str, Metric] = {}
+    lines = []
+    for op in COLLECTIVE_OPS:
+        best = float("inf")
+        for _ in range(p["rounds"]):
+            t0 = time.perf_counter()
+            run_spmd(ntasks, programs[op], engine=engine)
+            best = min(best, time.perf_counter() - t0)
+        metrics[f"{op}_wall_s"] = Metric(best, "s", "lower")
+        lines.append(f"{op:<9} {best * 1e3:8.1f} ms")
+    text = f"{ntasks}-rank whole-world rounds (engine={engine}):\n" + "\n".join(lines)
+    return ScenarioOutput(metrics=metrics, text=text)
+
+
+# --------------------------------------------------------------------------
+# Registration: one scenario per (family, ntasks) so the CI grid can be
+# selected by tag (fnmatch reads the bracketed grid names as character
+# classes, so tags are the reliable selector).
+
+for _n in SCALE_TASK_COUNTS:
+    scenario(
+        f"scale/paropen-parclose[ntasks={_n}]",
+        suite="scale",
+        tags=_tags("paropen-parclose", _n),
+        params={
+            "ntasks": _n,
+            "chunksize": CHUNKSIZE,
+            "fsblksize": FSBLK,
+            "nfiles": 1,
+            "payload_bytes": PAYLOAD,
+            "engine": "bulk",
+        },
+    )(_paropen_parclose)
+    scenario(
+        f"scale/serial-scan[ntasks={_n}]",
+        suite="scale",
+        tags=_tags("serial-scan", _n),
+        params={
+            "ntasks": _n,
+            "chunksize": CHUNKSIZE,
+            "fsblksize": FSBLK,
+            "nfiles": 4,
+            "payload_bytes": PAYLOAD,
+            "writers": 3,
+        },
+    )(_serial_scan)
+    scenario(
+        f"scale/collectives[ntasks={_n}]",
+        suite="scale",
+        tags=_tags("collectives", _n),
+        params={"ntasks": _n, "rounds": 1, "engine": "bulk"},
+    )(_collectives)

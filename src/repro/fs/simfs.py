@@ -15,8 +15,10 @@ class; they use the flow/queue models directly (see :mod:`repro.workloads`).
 from __future__ import annotations
 
 import posixpath
+import threading
 from bisect import bisect_left, bisect_right
 from dataclasses import dataclass
+from functools import lru_cache
 
 from repro.buffers import as_view
 from repro.errors import (
@@ -72,6 +74,17 @@ class SparseFile:
             # No overlap with existing extents: insert fresh.
             self._starts.insert(first, lo)
             self._chunks.insert(first, bytearray(view))
+        elif last == first + 1 and (
+            self._starts[first] <= lo
+            and hi <= self._starts[first] + len(self._chunks[first])
+        ):
+            # Overwrite fully inside one extent: splice in place.  The
+            # general path below would rebuild the extent and shift the
+            # whole extent list — O(extents) per write, which turns a
+            # rewrite pass over a large file quadratic.
+            s = self._starts[first]
+            self._chunks[first][lo - s : hi - s] = view
+            return n
         else:
             new_lo = min(lo, self._starts[first])
             new_hi = max(hi, self._starts[last - 1] + len(self._chunks[last - 1]))
@@ -247,18 +260,20 @@ class SimFileHandle:
         """Write at the current position; advances it."""
         self._check_open()
         self._check_writable()
-        n = self._data.write(self._pos, data)
-        self._pos += n
-        self._fs._account_data("write", n)
+        with self._fs._lock:
+            n = self._data.write(self._pos, data)
+            self._pos += n
+            self._fs._account_data("write", n)
         return n
 
     def write_zeros(self, n: int) -> int:
         """Sparse write of ``n`` zeros at the current position."""
         self._check_open()
         self._check_writable()
-        self._data.write_zeros(self._pos, n)
-        self._pos += n
-        self._fs._account_data("write", n)
+        with self._fs._lock:
+            self._data.write_zeros(self._pos, n)
+            self._pos += n
+            self._fs._account_data("write", n)
         return n
 
     def read(self, n: int = -1) -> bytes:
@@ -266,19 +281,21 @@ class SimFileHandle:
         self._check_open()
         if not self.readable:
             raise InvalidOperationError(f"{self.path}: not open for reading")
-        if n < 0:
-            n = max(0, self._data.size - self._pos)
-        out = self._data.read(self._pos, n)
-        self._pos += len(out)
-        self._fs._account_data("read", len(out))
+        with self._fs._lock:
+            if n < 0:
+                n = max(0, self._data.size - self._pos)
+            out = self._data.read(self._pos, n)
+            self._pos += len(out)
+            self._fs._account_data("read", len(out))
         return out
 
     def pwrite(self, offset: int, data: bytes | bytearray | memoryview) -> int:
         """Positional write; does not move the file pointer."""
         self._check_open()
         self._check_writable()
-        n = self._data.write(offset, data)
-        self._fs._account_data("write", n)
+        with self._fs._lock:
+            n = self._data.write(offset, data)
+            self._fs._account_data("write", n)
         return n
 
     def pread(self, offset: int, n: int) -> bytes:
@@ -286,8 +303,9 @@ class SimFileHandle:
         self._check_open()
         if not self.readable:
             raise InvalidOperationError(f"{self.path}: not open for reading")
-        out = self._data.read(offset, n)
-        self._fs._account_data("read", len(out))
+        with self._fs._lock:
+            out = self._data.read(offset, n)
+            self._fs._account_data("read", len(out))
         return out
 
     def pwritev(self, offset: int, views) -> int:
@@ -298,10 +316,11 @@ class SimFileHandle:
         """
         self._check_open()
         self._check_writable()
-        total = 0
-        for v in views:
-            total += self._data.write(offset + total, v)
-        self._fs._account_data("write", total)
+        with self._fs._lock:
+            total = 0
+            for v in views:
+                total += self._data.write(offset + total, v)
+            self._fs._account_data("write", total)
         return total
 
     def preadv(self, offset: int, sizes) -> list[bytes]:
@@ -309,22 +328,24 @@ class SimFileHandle:
         self._check_open()
         if not self.readable:
             raise InvalidOperationError(f"{self.path}: not open for reading")
-        out: list[bytes] = []
-        pos = offset
-        for size in sizes:
-            if size < 0:
-                raise ValueError(f"negative read size: {size}")
-            out.append(self._data.read(pos, size))
-            pos += size
-        self._fs._account_data("read", sum(len(p) for p in out))
+        with self._fs._lock:
+            out: list[bytes] = []
+            pos = offset
+            for size in sizes:
+                if size < 0:
+                    raise ValueError(f"negative read size: {size}")
+                out.append(self._data.read(pos, size))
+                pos += size
+            self._fs._account_data("read", sum(len(p) for p in out))
         return out
 
     def truncate(self, size: int | None = None) -> int:
         """Truncate/extend to ``size`` (default: current position)."""
         self._check_open()
         self._check_writable()
-        size = self._pos if size is None else size
-        self._data.truncate(size)
+        with self._fs._lock:
+            size = self._pos if size is None else size
+            self._data.truncate(size)
         return size
 
     def flush(self) -> None:
@@ -379,6 +400,11 @@ class SimFS:
         self._root = _Inode("dir")
         self.clock = 0.0
         self.op_counts: dict[str, int] = {}
+        # SPMD workloads drive many rank threads (or bulk-engine workers)
+        # into one SimFS concurrently; extent-list surgery and the clock
+        # accounting are multi-step and must not interleave.  Reentrant:
+        # data ops account inside the same critical section.
+        self._lock = threading.RLock()
         if serial_bw_mb_s is not None:
             self._serial_bw = serial_bw_mb_s
         elif profile is not None:
@@ -391,22 +417,23 @@ class SimFS:
     def mkdir(self, path: str, parents: bool = False) -> None:
         """Create a directory (optionally with intermediate ones)."""
         parts = self._split(path)
-        node = self._root
-        for i, part in enumerate(parts):
-            if node.kind != "dir":
-                raise NotADirectorySimError("/" + "/".join(parts[:i]))
-            child = node.entries.get(part)
-            last = i == len(parts) - 1
-            if child is None:
-                if last or parents:
-                    child = _Inode("dir")
-                    node.entries[part] = child
-                    self._account_meta("mkdir")
-                else:
-                    raise FileNotFoundSimError("/" + "/".join(parts[: i + 1]))
-            elif last:
-                raise FileExistsSimError(path)
-            node = child
+        with self._lock:
+            node = self._root
+            for i, part in enumerate(parts):
+                if node.kind != "dir":
+                    raise NotADirectorySimError("/" + "/".join(parts[:i]))
+                child = node.entries.get(part)
+                last = i == len(parts) - 1
+                if child is None:
+                    if last or parents:
+                        child = _Inode("dir")
+                        node.entries[part] = child
+                        self._account_meta("mkdir")
+                    else:
+                        raise FileNotFoundSimError("/" + "/".join(parts[: i + 1]))
+                elif last:
+                    raise FileExistsSimError(path)
+                node = child
 
     def open(self, path: str, mode: str = "rb") -> SimFileHandle:
         """Open a file; 'w' creates/truncates, 'r' requires existence.
@@ -418,22 +445,27 @@ class SimFS:
         parts = self._split(path)
         if not parts:
             raise InvalidOperationError("cannot open the root directory")
-        parent = self._walk_dir(parts[:-1], path)
-        name = parts[-1]
-        inode = parent.entries.get(name)
-        creating = "w" in mode or "a" in mode
-        if inode is None:
-            if not creating:
-                raise FileNotFoundSimError(path)
-            inode = _Inode("file")
-            parent.entries[name] = inode
-            self._account_meta("create")
-        else:
-            if inode.kind != "file":
-                raise InvalidOperationError(f"{path}: is a directory")
-            self._account_meta("open")
-            if mode.startswith("w"):
-                inode.data = SparseFile()
+        # Namespace check-then-insert (and the truncating data swap) must
+        # be atomic against concurrent rank threads: without the lock two
+        # creating opens could each install their own inode and one
+        # handle's writes would land in an orphan.
+        with self._lock:
+            parent = self._walk_dir(parts[:-1], path)
+            name = parts[-1]
+            inode = parent.entries.get(name)
+            creating = "w" in mode or "a" in mode
+            if inode is None:
+                if not creating:
+                    raise FileNotFoundSimError(path)
+                inode = _Inode("file")
+                parent.entries[name] = inode
+                self._account_meta("create")
+            else:
+                if inode.kind != "file":
+                    raise InvalidOperationError(f"{path}: is a directory")
+                self._account_meta("open")
+                if mode.startswith("w"):
+                    inode.data = SparseFile()
         handle = SimFileHandle(self, inode, self._norm(path), mode)
         if "a" in mode:
             handle.seek(0, 2)
@@ -465,14 +497,15 @@ class SimFS:
     def unlink(self, path: str) -> None:
         """Remove a file."""
         parts = self._split(path)
-        parent = self._walk_dir(parts[:-1], path)
-        inode = parent.entries.get(parts[-1])
-        if inode is None:
-            raise FileNotFoundSimError(path)
-        if inode.kind != "file":
-            raise InvalidOperationError(f"{path}: is a directory; cannot unlink")
-        del parent.entries[parts[-1]]
-        self._account_meta("unlink")
+        with self._lock:
+            parent = self._walk_dir(parts[:-1], path)
+            inode = parent.entries.get(parts[-1])
+            if inode is None:
+                raise FileNotFoundSimError(path)
+            if inode.kind != "file":
+                raise InvalidOperationError(f"{path}: is a directory; cannot unlink")
+            del parent.entries[parts[-1]]
+            self._account_meta("unlink")
 
     def listdir(self, path: str = "/") -> list[str]:
         """Sorted entry names of a directory."""
@@ -485,33 +518,39 @@ class SimFS:
         """Move a file or directory (new parent must exist)."""
         oparts = self._split(old)
         nparts = self._split(new)
-        oparent = self._walk_dir(oparts[:-1], old)
-        inode = oparent.entries.get(oparts[-1])
-        if inode is None:
-            raise FileNotFoundSimError(old)
-        nparent = self._walk_dir(nparts[:-1], new)
-        if nparts[-1] in nparent.entries:
-            raise FileExistsSimError(new)
-        del oparent.entries[oparts[-1]]
-        nparent.entries[nparts[-1]] = inode
+        with self._lock:
+            oparent = self._walk_dir(oparts[:-1], old)
+            inode = oparent.entries.get(oparts[-1])
+            if inode is None:
+                raise FileNotFoundSimError(old)
+            nparent = self._walk_dir(nparts[:-1], new)
+            if nparts[-1] in nparent.entries:
+                raise FileExistsSimError(new)
+            del oparent.entries[oparts[-1]]
+            nparent.entries[nparts[-1]] = inode
 
     # -- accounting -----------------------------------------------------------------
 
     def _account_meta(self, kind: str) -> None:
-        self.op_counts[kind] = self.op_counts.get(kind, 0) + 1
-        if self.profile is not None:
-            self.clock += self.profile.metadata_costs.base_time(kind)
+        with self._lock:
+            self.op_counts[kind] = self.op_counts.get(kind, 0) + 1
+            if self.profile is not None:
+                self.clock += self.profile.metadata_costs.base_time(kind)
 
     def _account_data(self, op: str, nbytes: int) -> None:
-        key = f"{op}_bytes"
-        self.op_counts[key] = self.op_counts.get(key, 0) + nbytes
-        if self._serial_bw:
-            self.clock += nbytes / (self._serial_bw * 1e6)
+        with self._lock:
+            key = f"{op}_bytes"
+            self.op_counts[key] = self.op_counts.get(key, 0) + nbytes
+            if self._serial_bw:
+                self.clock += nbytes / (self._serial_bw * 1e6)
 
     # -- path helpers ------------------------------------------------------------------
 
     @staticmethod
+    @lru_cache(maxsize=4096)
     def _norm(path: str) -> str:
+        # Memoized: SPMD workloads normalize the same handful of path
+        # strings hundreds of thousands of times.
         norm = posixpath.normpath("/" + path.strip())
         # POSIX preserves a leading double slash; collapse it for our use.
         return "/" + norm.lstrip("/")

@@ -13,14 +13,19 @@ deterministically in a single process:
 [6, 6, 6, 6]
 """
 
+from repro.simmpi.bulk import BulkComm, default_nworkers, run_spmd_bulk
 from repro.simmpi.comm import ANY_SOURCE, ANY_TAG, COMM_NULL, Comm
-from repro.simmpi.runner import run_spmd, spmd_context
+from repro.simmpi.runner import ENGINES, run_spmd, spmd_context
 
 __all__ = [
     "ANY_SOURCE",
     "ANY_TAG",
     "COMM_NULL",
+    "BulkComm",
     "Comm",
+    "ENGINES",
+    "default_nworkers",
     "run_spmd",
+    "run_spmd_bulk",
     "spmd_context",
 ]

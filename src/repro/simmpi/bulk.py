@@ -1,0 +1,849 @@
+"""Bulk SPMD engine: hundreds of thousands of ranks without the threads.
+
+The default :func:`~repro.simmpi.runner.run_spmd` engine gives every rank
+its own OS thread, which is faithful but tops out around a few thousand
+ranks — each collective crosses three full-world barriers and the kernel
+has to schedule one thread per rank.  This module executes the same
+``fn(comm, ...)`` programs *cooperatively*: a bounded worker pool (default
+``min(32, ncpu * 4)``) drains a run queue of logical ranks, and whole-world
+collectives deposit into a **preallocated world buffer** (one slot array
+per in-flight collective) instead of the thread engine's per-rank
+mailbox-and-barrier dance.
+
+Plain Python functions cannot be suspended mid-call without a dedicated
+stack, so cooperative scheduling is built on **memoized replay**:
+
+* a rank body runs until it hits a communication op whose result is not
+  yet available (e.g. a barrier some ranks have not reached);
+* the op's deposit is recorded in the world buffer, the rank is parked,
+  and its worker moves on to another rank;
+* when the op completes, parked ranks re-run **from the top** — every
+  communication op they already completed returns its logged result
+  instantly and with no side effects, so the body deterministically
+  reaches the frontier and continues.
+
+The number of re-runs per rank is bounded by the number of collectives it
+parks on (roughly the program's collective depth), not by world size.
+
+**Program contract** (checked where cheap, documented here in full):
+
+1. Rank bodies must be *deterministic* given their communication results.
+   The engine verifies on replay that the op sequence matches and raises
+   ``SimMPIError`` otherwise.
+2. Non-communication side effects between ops may be re-executed and must
+   be idempotent (positioned writes of the same bytes are; truncating
+   creates and appends are not).  Guard non-idempotent effects with
+   ``Comm.exec_once(fn)``, which executes exactly once and replays its
+   result.  Cleanup code (``finally`` blocks, ``__exit__``) that runs
+   while a suspension unwinds may *call* communication ops safely: they
+   re-suspend without touching any state, and the cleanup re-runs for
+   real on replay.
+3. Busy-wait loops over ``iprobe()``/``Request.test()`` never yield the
+   worker; use blocking ``recv``/``wait`` instead.
+4. ``allgather``/``allreduce`` results are computed once and **shared**
+   between ranks (the thread engine hands each rank a private copy);
+   treat them as read-only.
+5. Because segments re-execute, *instrumentation* along the way counts
+   replays too: SimFS op counts, its virtual clock, and
+   ``CountingBackend`` telemetry are inflated (and scheduling-dependent)
+   under this engine, even though the bytes on disk are exact.  Measure
+   wall clock and on-disk facts under ``bulk``; use the thread engine
+   when simulated accounting itself is the experiment's output.
+
+Collective *readiness* is relaxed exactly as real MPI allows: a bcast
+returns at the root immediately, a gather blocks only the root, a barrier
+blocks everyone.  Programs that relied on the thread engine's accidental
+barrier-per-collective behavior should add explicit barriers.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from collections import deque
+from typing import Any, Callable, Sequence
+
+from repro.errors import (
+    CollectiveMismatchError,
+    CommunicatorError,
+    SimMPIError,
+)
+from repro.simmpi.comm import ANY_SOURCE, ANY_TAG, COMM_NULL, _copy_payload, _fold
+
+
+def default_nworkers() -> int:
+    """Bounded pool size: enough to overlap I/O, few enough to stay cheap."""
+    return min(32, (os.cpu_count() or 1) * 4)
+
+
+class _Suspend(BaseException):
+    """Internal control flow: unwind a rank body back to the scheduler.
+
+    Derives from ``BaseException`` so user-level ``except Exception``
+    handlers cannot swallow a suspension.
+    """
+
+
+class _Coll:
+    """One in-flight collective: the preallocated world buffer plus state."""
+
+    __slots__ = (
+        "name", "slots", "deposited", "filled", "consumed",
+        "waiters", "wake_root", "shared", "has_shared",
+    )
+
+    def __init__(self, name: str, size: int) -> None:
+        self.name = name
+        self.slots: list[Any] = [None] * size
+        self.deposited = bytearray(size)
+        self.filled = 0
+        self.consumed = 0
+        self.waiters: set[int] = set()  # global ranks parked on this op
+        self.wake_root: int | None = None  # deposit by this lrank readies waiters
+        self.shared: Any = None  # once-computed shared result (allgather, ...)
+        self.has_shared = False
+
+
+class _Mailbox:
+    """Point-to-point message store of one (world, local rank)."""
+
+    __slots__ = ("messages", "waiters")
+
+    def __init__(self) -> None:
+        self.messages: deque[tuple[int, int, Any]] = deque()
+        self.waiters: set[int] = set()
+
+    def match(self, source: int, tag: int) -> tuple[int, int, Any] | None:
+        for i, (src, tg, _) in enumerate(self.messages):
+            if source not in (ANY_SOURCE, src):
+                continue
+            if tag not in (ANY_TAG, tg):
+                continue
+            msg = self.messages[i]
+            del self.messages[i]
+            return msg
+        return None
+
+    def probe(self, source: int, tag: int) -> bool:
+        return any(
+            source in (ANY_SOURCE, src) and tag in (ANY_TAG, tg)
+            for src, tg, _ in self.messages
+        )
+
+
+class _World:
+    """Shared state of one communicator group under the bulk engine."""
+
+    __slots__ = ("engine", "size", "granks", "consumed_ops", "colls", "_mailboxes")
+
+    def __init__(self, engine: "_BulkEngine", granks: Sequence[int]) -> None:
+        self.engine = engine
+        self.size = len(granks)
+        self.granks = list(granks)
+        #: Per local rank: number of collective ops already consumed — the
+        #: frontier collective of local rank ``lr`` is op number
+        #: ``consumed_ops[lr]`` of this world.
+        self.consumed_ops = [0] * self.size
+        self.colls: dict[int, _Coll] = {}
+        self._mailboxes: dict[int, _Mailbox] = {}
+
+    def mailbox(self, lrank: int) -> _Mailbox:
+        box = self._mailboxes.get(lrank)
+        if box is None:
+            box = self._mailboxes[lrank] = _Mailbox()
+        return box
+
+
+class _RankState:
+    """Execution state of one logical rank."""
+
+    __slots__ = ("log", "cursor", "done", "parked_on", "suspending", "running", "rewake")
+
+    def __init__(self) -> None:
+        #: Completed op results as ``(opname, value)``, in program order.
+        self.log: list[tuple[str, Any]] = []
+        self.cursor = 0
+        self.done = False
+        self.parked_on = "start"
+        #: True while a worker is executing (or unwinding) this rank's
+        #: body.  A wake that arrives in that window — the rank deposited,
+        #: released the engine lock, and its op completed before the
+        #: worker finished unwinding — must not re-queue it yet, or two
+        #: workers would execute the same rank concurrently.  It is
+        #: deferred via ``rewake`` until the worker hands the rank back.
+        self.running = False
+        self.rewake = False
+        #: True while a ``_Suspend`` is unwinding this rank's body.  Any
+        #: communication attempted by cleanup code (``finally`` blocks,
+        #: context-manager ``__exit__`` like ``SionParallelFile.parclose``)
+        #: during the unwind must itself suspend without touching the op
+        #: log or world state — the cleanup re-runs for real on replay.
+        self.suspending = False
+
+
+class BulkComm:
+    """One rank's communicator handle under the bulk engine.
+
+    Implements the same surface as :class:`repro.simmpi.comm.Comm`; see the
+    module docstring for the few intentional semantic differences.
+    """
+
+    __slots__ = ("_world", "_lrank", "_grank", "_state")
+
+    def __init__(self, world: _World, lrank: int) -> None:
+        self._world = world
+        self._lrank = lrank
+        self._grank = world.granks[lrank]
+        self._state = world.engine.states[self._grank]
+
+    # -- introspection ----------------------------------------------------
+
+    @property
+    def rank(self) -> int:
+        """This task's rank within the communicator (0-based)."""
+        return self._lrank
+
+    @property
+    def size(self) -> int:
+        """Number of ranks in the communicator."""
+        return self._world.size
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<BulkComm rank={self._lrank} size={self._world.size}>"
+
+    # -- replay machinery -------------------------------------------------
+
+    def _replay(self, name: str) -> Any:
+        """Return the logged result of the op at the cursor (fast path)."""
+        state = self._state
+        logged_name, value = state.log[state.cursor]
+        if logged_name != name:
+            raise SimMPIError(
+                f"non-deterministic rank program: replay expected "
+                f"{logged_name!r} but rank {self._grank} called {name!r}; "
+                "bulk-engine programs must be deterministic"
+            )
+        state.cursor += 1
+        return value
+
+    def _op(self, name: str, frontier: Callable[[], Any]) -> Any:
+        """Replay a logged op or execute ``frontier`` exactly once."""
+        state = self._state
+        if state.suspending:
+            raise _Suspend()
+        if state.cursor < len(state.log):
+            return self._replay(name)
+        engine = self._world.engine
+        if engine.aborted:
+            raise SimMPIError("communicator aborted (another rank failed)")
+        value = frontier()
+        state.log.append((name, value))
+        state.cursor += 1
+        return value
+
+    def _collective(
+        self,
+        name: str,
+        deposit: Any,
+        ready: Callable[[_Coll], bool],
+        result: Callable[[_Coll], Any],
+        wake_root: int | None = None,
+        copy: bool = True,
+    ) -> Any:
+        state = self._state
+        if state.suspending:
+            raise _Suspend()
+        if state.cursor < len(state.log):
+            # Replay fast path: no lock, no deposit copy, no closures.
+            return self._replay(name)
+        world, lr = self._world, self._lrank
+        engine = world.engine
+        with engine.cond:
+            if engine.aborted:
+                raise SimMPIError("communicator aborted (another rank failed)")
+            k = world.consumed_ops[lr]
+            coll = world.colls.get(k)
+            if coll is None:
+                coll = world.colls[k] = _Coll(name, world.size)
+                coll.wake_root = wake_root
+            if coll.name != name:
+                engine.abort()
+                raise CollectiveMismatchError(
+                    "ranks disagree on collective operation: "
+                    f"{sorted((coll.name, name))}"
+                )
+            if not coll.deposited[lr]:
+                coll.deposited[lr] = 1
+                coll.slots[lr] = _copy_payload(deposit) if copy else deposit
+                coll.filled += 1
+                engine.last_progress = time.monotonic()
+                if coll.filled == world.size or lr == coll.wake_root:
+                    engine.wake(coll.waiters)
+            if not ready(coll):
+                coll.waiters.add(self._grank)
+                state.parked_on = f"{name} (op {k} of a {world.size}-rank world)"
+                state.suspending = True
+                raise _Suspend()
+            value = result(coll)
+            world.consumed_ops[lr] += 1
+            coll.consumed += 1
+            if coll.consumed == world.size:
+                del world.colls[k]
+        state.log.append((name, value))
+        state.cursor += 1
+        return value
+
+    # -- collectives ------------------------------------------------------
+
+    def barrier(self) -> None:
+        """Block until every rank of the communicator has entered."""
+        self._collective(
+            "barrier", None, _ready_all, lambda coll: None
+        )
+
+    def bcast(self, value: Any, root: int = 0) -> Any:
+        """Broadcast ``value`` from ``root`` to every rank; returns it."""
+        self._check_root(root)
+        deposit = value if self._lrank == root else None
+        return self._collective(
+            "bcast",
+            deposit,
+            lambda coll: bool(coll.deposited[root]),
+            lambda coll: coll.slots[root],
+            wake_root=root,
+        )
+
+    def gather(self, value: Any, root: int = 0) -> list[Any] | None:
+        """Gather one value per rank at ``root`` (``None`` elsewhere)."""
+        self._check_root(root)
+        if self._lrank == root:
+            # The world buffer itself is handed to the root: by the time
+            # every rank has deposited, the engine never touches it again.
+            return self._collective(
+                "gather", value, _ready_all, lambda coll: coll.slots
+            )
+        return self._collective("gather", value, _ready_always, _result_none)
+
+    def allgather(self, value: Any) -> list[Any]:
+        """Gather one value per rank; every rank gets the (shared) list."""
+        return self._collective("allgather", value, _ready_all, _shared_list)
+
+    def scatter(self, values: Sequence[Any] | None, root: int = 0) -> Any:
+        """Scatter ``len == size`` values from ``root``; each rank gets one."""
+        self._check_root(root)
+        if self._lrank == root:
+            if values is None or len(values) != self.size:
+                self._world.engine.abort()
+                raise CommunicatorError(
+                    "scatter requires exactly one value per rank at the root"
+                )
+            deposit = [_copy_payload(v) for v in values]
+            return self._collective(
+                "scatter", deposit, _ready_always,
+                lambda coll: coll.slots[root][root],
+                wake_root=root, copy=False,
+            )
+        lr = self._lrank
+        return self._collective(
+            "scatter", None,
+            lambda coll: bool(coll.deposited[root]),
+            lambda coll: coll.slots[root][lr],
+            wake_root=root,
+        )
+
+    def alltoall(self, values: Sequence[Any]) -> list[Any]:
+        """Each rank provides one value per destination; returns its column."""
+        if len(values) != self.size:
+            self._world.engine.abort()
+            raise CommunicatorError("alltoall requires exactly one value per rank")
+        lr = self._lrank
+        return self._collective(
+            "alltoall",
+            [_copy_payload(v) for v in values],
+            _ready_all,
+            lambda coll: [coll.slots[src][lr] for src in range(coll_size(coll))],
+            copy=False,
+        )
+
+    def reduce(
+        self,
+        value: Any,
+        op: Callable[[Any, Any], Any] | None = None,
+        root: int = 0,
+    ) -> Any | None:
+        """Reduce one value per rank at ``root`` (default op: ``+``)."""
+        self._check_root(root)
+        if self._lrank == root:
+            return self._collective(
+                "reduce", value, _ready_all,
+                lambda coll: _fold(coll.slots, op),
+            )
+        return self._collective("reduce", value, _ready_always, _result_none)
+
+    def allreduce(self, value: Any, op: Callable[[Any, Any], Any] | None = None) -> Any:
+        """Reduce one value per rank; the (shared) result on every rank."""
+
+        def shared_fold(coll: _Coll) -> Any:
+            if not coll.has_shared:
+                coll.shared = _fold(coll.slots, op)
+                coll.has_shared = True
+            return coll.shared
+
+        return self._collective("allreduce", value, _ready_all, shared_fold)
+
+    # -- point to point ---------------------------------------------------
+
+    def send(self, value: Any, dest: int, tag: int = 0) -> None:
+        """Send ``value`` to rank ``dest`` (asynchronous, buffered)."""
+        if not 0 <= dest < self.size:
+            raise CommunicatorError(f"dest {dest} out of range for size {self.size}")
+        if tag < 0:
+            raise CommunicatorError("tags must be non-negative")
+        world, lr = self._world, self._lrank
+        engine = world.engine
+
+        def frontier() -> None:
+            with engine.cond:
+                box = world.mailbox(dest)
+                box.messages.append((lr, tag, _copy_payload(value)))
+                engine.wake(box.waiters)
+            return None
+
+        return self._op("send", frontier)
+
+    def recv(
+        self, source: int = ANY_SOURCE, tag: int = ANY_TAG, return_status: bool = False
+    ) -> Any:
+        """Receive a message; parks this rank until a matching one arrives.
+
+        With ``return_status=True`` returns ``(value, source, tag)``.
+        """
+        if source != ANY_SOURCE and not 0 <= source < self.size:
+            raise CommunicatorError(f"source {source} out of range")
+        world, lr = self._world, self._lrank
+        engine = world.engine
+
+        def frontier() -> Any:
+            with engine.cond:
+                if engine.aborted:
+                    raise SimMPIError("communicator aborted (another rank failed)")
+                box = world.mailbox(lr)
+                hit = box.match(source, tag)
+                if hit is None:
+                    box.waiters.add(self._grank)
+                    self._state.parked_on = f"recv(source={source}, tag={tag})"
+                    self._state.suspending = True
+                    raise _Suspend()
+                return hit
+
+        src, tg, payload = self._op("recv", frontier)
+        if return_status:
+            return payload, src, tg
+        return payload
+
+    def sendrecv(
+        self, value: Any, dest: int, source: int = ANY_SOURCE, tag: int = 0
+    ) -> Any:
+        """Combined send and receive (deadlock-free shift pattern)."""
+        self.send(value, dest, tag)
+        return self.recv(source, tag)
+
+    def isend(self, value: Any, dest: int, tag: int = 0) -> "BulkRequest":
+        """Non-blocking send.  Buffered, so it completes immediately."""
+        self.send(value, dest, tag)
+        req = BulkRequest(self, None, None)
+        req._done = True
+        return req
+
+    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> "BulkRequest":
+        """Non-blocking receive; complete it with ``wait()`` or ``test()``."""
+        if source != ANY_SOURCE and not 0 <= source < self.size:
+            raise CommunicatorError(f"source {source} out of range")
+        return BulkRequest(self, source, tag)
+
+    def iprobe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> bool:
+        """True if a matching message is already waiting (not consumed).
+
+        The probe is an op: its outcome is logged and replayed.  Spinning
+        on ``iprobe`` without an intervening blocking op never yields the
+        worker — use ``recv`` to wait.
+        """
+        world, lr = self._world, self._lrank
+        engine = world.engine
+
+        def frontier() -> bool:
+            with engine.cond:
+                return world.mailbox(lr).probe(source, tag)
+
+        return self._op("iprobe", frontier)
+
+    # -- communicator management ------------------------------------------
+
+    def split(self, color: int | None, key: int = 0) -> "BulkComm | None":
+        """Partition by ``color``; subgroup ranks ordered by ``(key, rank)``."""
+        world = self._world
+
+        def split_result(coll: _Coll) -> "BulkComm | None":
+            if not coll.has_shared:
+                coll.shared = _split_worlds(world, coll.slots)
+                coll.has_shared = True
+            entry = coll.shared.get(self._lrank)
+            if entry is None:
+                return COMM_NULL
+            child_world, new_rank = entry
+            return BulkComm(child_world, new_rank)
+
+        return self._collective("split", (color, key), _ready_all, split_result)
+
+    def dup(self) -> "BulkComm":
+        """Duplicate the communicator (fresh synchronization context)."""
+        comm = self.split(color=0, key=self._lrank)
+        assert comm is not None
+        return comm
+
+    def exec_once(self, fn: Callable[[], Any]) -> Any:
+        """Run ``fn`` exactly once for this rank; replays return its result.
+
+        The bulk-engine escape hatch for non-idempotent side effects: on
+        replay the logged result is returned and ``fn`` is not called.
+        ``fn`` must not perform communication — a skipped replay would
+        desynchronize the op log (checked).
+        """
+
+        def frontier() -> Any:
+            before = len(self._state.log)
+            value = fn()
+            if len(self._state.log) != before:
+                raise SimMPIError(
+                    "exec_once callable must not perform communication"
+                )
+            return value
+
+        return self._op("exec_once", frontier)
+
+    def abort(self) -> None:
+        """Abort the whole bulk world, failing every unfinished rank."""
+        engine = self._world.engine
+        with engine.cond:
+            engine.abort()
+
+    # -- internals ---------------------------------------------------------
+
+    def _check_root(self, root: int) -> None:
+        if not 0 <= root < self.size:
+            raise CommunicatorError(f"root {root} out of range for size {self.size}")
+
+
+def coll_size(coll: _Coll) -> int:
+    return len(coll.slots)
+
+
+def _ready_all(coll: _Coll) -> bool:
+    return coll.filled == len(coll.slots)
+
+
+def _ready_always(coll: _Coll) -> bool:
+    return True
+
+
+def _result_none(coll: _Coll) -> None:
+    return None
+
+
+def _shared_list(coll: _Coll) -> list[Any]:
+    """Shared allgather result (computed once, handed to every rank)."""
+    if not coll.has_shared:
+        coll.shared = list(coll.slots)
+        coll.has_shared = True
+    return coll.shared
+
+
+def _split_worlds(
+    world: _World, slots: list[Any]
+) -> dict[int, tuple[_World, int]]:
+    """Shared split plan: old local rank -> (child world, new rank)."""
+    groups: dict[int, list[tuple[int, int]]] = {}
+    for old_rank, (color, key) in enumerate(slots):
+        if color is None:
+            continue
+        groups.setdefault(color, []).append((key, old_rank))
+    plan: dict[int, tuple[_World, int]] = {}
+    for members in groups.values():
+        members.sort()
+        granks = [world.granks[old] for _, old in members]
+        child = _World(world.engine, granks)
+        for new_rank, (_, old_rank) in enumerate(members):
+            plan[old_rank] = (child, new_rank)
+    return plan
+
+
+class BulkRequest:
+    """Handle for a pending non-blocking operation (bulk engine)."""
+
+    def __init__(self, comm: BulkComm, source: int | None, tag: int | None) -> None:
+        self._comm = comm
+        self._source = source
+        self._tag = tag
+        self._done = False
+        self._value: Any = None
+
+    @property
+    def completed(self) -> bool:
+        """True once the operation has finished (after wait/test success)."""
+        return self._done
+
+    def test(self) -> tuple[bool, Any]:
+        """Non-blocking completion check: ``(done, value_or_None)``.
+
+        Each call is an op whose outcome is logged; see ``iprobe`` for the
+        busy-wait caveat.
+        """
+        if self._done:
+            return True, self._value
+        comm = self._comm
+        world, lr = comm._world, comm._lrank
+        engine = world.engine
+        source = self._source if self._source is not None else ANY_SOURCE
+        tag = self._tag if self._tag is not None else ANY_TAG
+
+        def frontier() -> tuple[bool, Any]:
+            with engine.cond:
+                hit = world.mailbox(lr).match(source, tag)
+                if hit is None:
+                    return False, None
+                return True, hit[2]
+
+        done, payload = comm._op("tryrecv", frontier)
+        if done:
+            self._done = True
+            self._value = payload
+        return done, payload
+
+    def wait(self) -> Any:
+        """Park until completion; returns the received value (sends: None)."""
+        if self._done:
+            return self._value
+        value = self._comm.recv(
+            self._source if self._source is not None else ANY_SOURCE,
+            self._tag if self._tag is not None else ANY_TAG,
+        )
+        self._value = value
+        self._done = True
+        return value
+
+
+class _BulkEngine:
+    """Worklist scheduler executing logical ranks on a bounded pool."""
+
+    def __init__(
+        self,
+        nprocs: int,
+        fn: Callable[..., Any],
+        args: tuple,
+        kwargs: dict,
+        timeout: float | None,
+        nworkers: int | None,
+    ) -> None:
+        if nprocs < 1:
+            raise CommunicatorError(f"communicator size must be >= 1, got {nprocs}")
+        self.size = nprocs
+        self.fn = fn
+        self.args = args
+        self.kwargs = kwargs
+        self.timeout = timeout
+        #: Monotonic time of the last scheduler progress (op completion,
+        #: wake, rank finishing).  The timeout is a *stall* bound — it
+        #: fires only when nothing has advanced for ``timeout`` seconds,
+        #: matching the thread engine's per-wait semantics rather than
+        #: capping healthy long runs.
+        self.last_progress = time.monotonic()
+        self.nworkers = max(1, nworkers if nworkers is not None else default_nworkers())
+        self.cond = threading.Condition()
+        self.states = [_RankState() for _ in range(nprocs)]
+        self.world = _World(self, range(nprocs))
+        self.runnable: deque[int] = deque(range(nprocs))
+        self.queued = bytearray(b"\x01" * nprocs)
+        self.results: list[Any] = [None] * nprocs
+        self.failures: dict[int, BaseException] = {}
+        self.ndone = 0
+        self.active = 0
+        self.aborted = False
+        self.finished = False
+        self.timed_out = False
+
+    # -- scheduler state transitions (call with ``self.cond`` held) --------
+
+    def wake(self, waiters: set[int]) -> None:
+        """Move parked ranks back onto the run queue (or defer: a rank
+        whose previous execution is still unwinding re-queues when its
+        worker releases it)."""
+        if not waiters:
+            return
+        self.last_progress = time.monotonic()
+        for grank in waiters:
+            state = self.states[grank]
+            if state.done or self.queued[grank]:
+                continue
+            if state.running:
+                state.rewake = True
+            else:
+                self.queued[grank] = 1
+                self.runnable.append(grank)
+        waiters.clear()
+        self.cond.notify_all()
+
+    def abort(self) -> None:
+        # The condition wraps an RLock, so this is safe both from worker
+        # context (lock already held) and from plain rank code.
+        with self.cond:
+            self.aborted = True
+            self.cond.notify_all()
+
+    def _finish_rank(self, grank: int, result: Any) -> None:
+        state = self.states[grank]
+        state.done = True
+        self.results[grank] = result
+        self.ndone += 1
+        self.last_progress = time.monotonic()
+
+    def _fail_rank(self, grank: int, exc: BaseException) -> None:
+        state = self.states[grank]
+        state.done = True
+        self.failures[grank] = exc
+        self.ndone += 1
+        self.aborted = True
+
+    def _declare_stuck(self) -> None:
+        """No runnable rank, no active worker, ranks unfinished: fail them."""
+        for grank, state in enumerate(self.states):
+            if state.done:
+                continue
+            if self.timed_out:
+                exc: BaseException = SimMPIError(
+                    f"bulk engine stalled: no scheduler progress for "
+                    f"{self.timeout}s while rank {grank} was parked on "
+                    f"{state.parked_on}; raise REPRO_SPMD_TIMEOUT if the "
+                    "machine is genuinely this slow"
+                )
+            elif self.aborted:
+                exc = SimMPIError("communicator aborted (another rank failed)")
+            else:
+                exc = SimMPIError(
+                    f"deadlock: rank {grank} is parked on {state.parked_on} "
+                    "and no other rank can complete it"
+                )
+            self._fail_rank(grank, exc)
+        self.finished = True
+        self.cond.notify_all()
+
+    # -- execution ---------------------------------------------------------
+
+    def _execute(self, grank: int) -> None:
+        state = self.states[grank]
+        state.cursor = 0
+        state.suspending = False
+        comm = BulkComm(self.world, grank)
+        try:
+            result = self.fn(comm, *self.args, **self.kwargs)
+        except _Suspend:
+            return
+        except BaseException as exc:  # noqa: BLE001 - fanned out to caller
+            with self.cond:
+                self._fail_rank(grank, exc)
+                self.cond.notify_all()
+            return
+        with self.cond:
+            self._finish_rank(grank, result)
+            self.cond.notify_all()
+
+    def _worker(self) -> None:
+        while True:
+            with self.cond:
+                grank = None
+                while grank is None:
+                    if self.finished or self.ndone >= self.size:
+                        self.finished = True
+                        self.cond.notify_all()
+                        return
+                    if self.aborted and self.active == 0:
+                        self._declare_stuck()
+                        return
+                    if self.runnable and not self.aborted:
+                        grank = self.runnable.popleft()
+                        self.queued[grank] = 0
+                        if self.states[grank].done:
+                            grank = None
+                            continue
+                        self.states[grank].running = True
+                        self.active += 1
+                        break
+                    if self.active == 0 and not self.runnable:
+                        self._declare_stuck()
+                        return
+                    remaining = None
+                    if self.timeout is not None:
+                        remaining = self.last_progress + self.timeout - time.monotonic()
+                        if remaining <= 0:
+                            if not self.timed_out:
+                                self.timed_out = True
+                                self.aborted = True
+                                self.cond.notify_all()
+                            if self.active == 0:
+                                self._declare_stuck()
+                                return
+                            # A worker is still executing a rank body; it
+                            # will fail at its next op and notify.  Wait —
+                            # spinning here would hold the condition lock
+                            # and starve that worker.
+                            remaining = 0.05
+                    self.cond.wait(timeout=remaining)
+            self._execute(grank)
+            with self.cond:
+                state = self.states[grank]
+                state.running = False
+                self.active -= 1
+                if state.rewake:
+                    state.rewake = False
+                    if not state.done and not self.queued[grank]:
+                        self.queued[grank] = 1
+                        self.runnable.append(grank)
+                self.cond.notify_all()
+
+    def run(self) -> list[Any]:
+        nworkers = min(self.nworkers, self.size)
+        if nworkers == 1:
+            self._worker()
+        else:
+            threads = [
+                threading.Thread(
+                    target=self._worker, name=f"bulk-worker-{i}", daemon=True
+                )
+                for i in range(nworkers)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        if self.failures:
+            from repro.simmpi.runner import spmd_failure_error
+
+            raise spmd_failure_error(self.failures)
+        return self.results
+
+
+def run_spmd_bulk(
+    nprocs: int,
+    fn: Callable[..., Any],
+    *args: Any,
+    timeout: float | None = None,
+    nworkers: int | None = None,
+    **kwargs: Any,
+) -> list[Any]:
+    """Run ``fn(comm, *args, **kwargs)`` on ``nprocs`` cooperative ranks.
+
+    Same result contract as :func:`repro.simmpi.runner.run_spmd`; see the
+    module docstring for the bulk-engine program contract.  Usually invoked
+    as ``run_spmd(..., engine="bulk")``.
+    """
+    return _BulkEngine(nprocs, fn, args, kwargs, timeout, nworkers).run()

@@ -40,6 +40,15 @@ ANY_TAG = -1
 COMM_NULL = None
 
 
+#: Exact types that are immutable (or travel by reference anyway) and can
+#: skip the snapshot type dispatch entirely.  This is the hot path: SION
+#: metadata exchange deposits ints, strings, bytes and tuples of those on
+#: every collective, and none of them need copying.
+_IMMUTABLE_FAST = frozenset(
+    (int, float, complex, bool, str, bytes, tuple, frozenset, type(None))
+)
+
+
 def _copy_payload(value: Any) -> Any:
     """Snapshot mutable buffer-like payloads at deposit time.
 
@@ -50,7 +59,11 @@ def _copy_payload(value: Any) -> Any:
     underlying buffer, and a live view would also pin — or break, once
     resized — buffers like the coalescing writer's staging area).
     Non-contiguous memoryviews flatten in C order, matching ``tobytes``.
+    Immutable payloads (ints, strings, bytes, tuples, ...) pass through
+    untouched via an exact-type fast path.
     """
+    if value.__class__ in _IMMUTABLE_FAST:
+        return value
     if isinstance(value, np.ndarray):
         return value.copy()
     if isinstance(value, bytearray):
@@ -190,8 +203,23 @@ class Comm:
         if not 0 <= root < self.size:
             raise CommunicatorError(f"root {root} out of range for size {self.size}")
 
-    def _exchange(self, opname: str, value: Any) -> list[Any]:
-        """Allgather-style primitive: every rank deposits, all read all."""
+    def _exchange(
+        self,
+        opname: str,
+        value: Any,
+        reader: Callable[[list[Any]], Any] | None = None,
+    ) -> Any:
+        """Deposit/barrier/read primitive behind every collective.
+
+        Every rank deposits, then reads between the two barriers while the
+        slot array is stable.  ``reader`` extracts this rank's result from
+        the slots; the default snapshots the whole array (allgather
+        semantics).  Collectives that only need one element (bcast,
+        scatter) or nothing at all (barrier) pass a cheaper reader so a
+        size-``n`` world does O(n) total work per collective instead of
+        O(n^2).  Readers must not raise: they run between barriers, where
+        an exception would strand the other ranks until the timeout.
+        """
         bb = self._bb
         with bb.lock:
             bb.slots[self._rank] = value
@@ -203,7 +231,7 @@ class Comm:
             raise CollectiveMismatchError(
                 f"ranks disagree on collective operation: {sorted(names)}"
             )
-        result = list(bb.slots)
+        result = reader(bb.slots) if reader is not None else list(bb.slots)
         bb.wait_barrier()
         if self._rank == 0:
             with bb.lock:
@@ -217,14 +245,13 @@ class Comm:
 
     def barrier(self) -> None:
         """Block until every rank of the communicator has entered."""
-        self._exchange("barrier", None)
+        self._exchange("barrier", None, reader=_read_nothing)
 
     def bcast(self, value: Any, root: int = 0) -> Any:
         """Broadcast ``value`` from ``root`` to every rank; returns it."""
         self._check_root(root)
         deposited = _copy_payload(value) if self._rank == root else None
-        slots = self._exchange("bcast", deposited)
-        return slots[root]
+        return self._exchange("bcast", deposited, reader=lambda slots: slots[root])
 
     def gather(self, value: Any, root: int = 0) -> list[Any] | None:
         """Gather one value per rank at ``root``.
@@ -232,8 +259,8 @@ class Comm:
         Returns the rank-ordered list at ``root`` and ``None`` elsewhere.
         """
         self._check_root(root)
-        slots = self._exchange("gather", _copy_payload(value))
-        return slots if self._rank == root else None
+        reader = list if self._rank == root else _read_nothing
+        return self._exchange("gather", _copy_payload(value), reader=reader)
 
     def allgather(self, value: Any) -> list[Any]:
         """Gather one value per rank and return the list on every rank."""
@@ -251,8 +278,9 @@ class Comm:
             deposit = [_copy_payload(v) for v in values]
         else:
             deposit = None
-        slots = self._exchange("scatter", deposit)
-        return slots[root][self._rank]
+        return self._exchange(
+            "scatter", deposit, reader=lambda slots: slots[root][self._rank]
+        )
 
     def alltoall(self, values: Sequence[Any]) -> list[Any]:
         """Each rank provides one value per destination; returns its column."""
@@ -270,7 +298,8 @@ class Comm:
     ) -> Any | None:
         """Reduce one value per rank at ``root`` (default op: ``+``)."""
         self._check_root(root)
-        slots = self._exchange("reduce", _copy_payload(value))
+        reader = list if self._rank == root else _read_nothing
+        slots = self._exchange("reduce", _copy_payload(value), reader=reader)
         if self._rank != root:
             return None
         return _fold(slots, op)
@@ -345,45 +374,69 @@ class Comm:
         """Partition the communicator by ``color``; order subgroups by ``key``.
 
         Ranks passing ``color=None`` receive :data:`COMM_NULL`.  New ranks are
-        assigned by ascending ``(key, old_rank)``.
+        assigned by ascending ``(key, old_rank)``.  The grouping is computed
+        **once per world** by whichever rank reads the slots first (the
+        others reuse the shared plan), so a split costs O(n log n) total
+        rather than per rank — the difference between a few hundred and a
+        few hundred thousand simulated ranks.
         """
-        info = self._exchange("split", (color, key))
-        groups: dict[int, list[tuple[int, int]]] = {}
-        for old_rank, (col, k) in enumerate(info):
-            if col is None:
-                continue
-            groups.setdefault(col, []).append((k, old_rank))
-        my_new_rank: int | None = None
-        my_members: list[int] | None = None
-        if color is not None:
-            members = [r for _, r in sorted(groups[color])]
-            my_members = members
-            my_new_rank = members.index(self._rank)
-
         bb = self._bb
-        gen = bb.generation
-        if color is not None and my_members is not None and my_members[0] == self._rank:
-            child = _Backbone(len(my_members), timeout=bb.timeout)
+
+        def build_plan(slots: list[Any]) -> "dict[int, tuple[_Backbone, int]] | BaseException":
+            # Runs between the exchange barriers, where an escaping
+            # exception would strand the other ranks until the timeout —
+            # so a failed plan (e.g. unorderable keys) is *returned* and
+            # raised by every rank after the exchange completes.
+            gen = bb.generation
             with bb.lock:
-                bb.shared[("split", gen, color)] = child
-                bb.children.append(child)
-        bb.wait_barrier()
-        new_comm: Comm | None = None
-        if color is not None and my_new_rank is not None:
-            child = bb.shared[("split", gen, color)]
-            new_comm = Comm(child, my_new_rank)
-        bb.wait_barrier()
+                plan = bb.shared.get(("splitplan", gen))
+                if plan is None:
+                    try:
+                        plan = _split_plan(slots, bb.timeout)
+                    except Exception as exc:  # noqa: BLE001 - re-raised per rank
+                        plan = exc
+                    else:
+                        seen: set[int] = set()
+                        for child, _ in plan.values():
+                            if id(child) not in seen:
+                                seen.add(id(child))
+                                bb.children.append(child)
+                    bb.shared[("splitplan", gen)] = plan
+            return plan
+
+        plan = self._exchange("split", (color, key), reader=build_plan)
         if self._rank == 0:
             with bb.lock:
-                for key_ in [k for k in bb.shared if k[0] == "split" and k[1] == gen]:
-                    del bb.shared[key_]
-        return new_comm
+                bb.shared.pop(("splitplan", bb.generation - 1), None)
+        if isinstance(plan, BaseException):
+            # Raise a per-rank wrapper: re-raising the one shared instance
+            # from every rank thread would race on its __traceback__.
+            raise CommunicatorError(f"split failed: {plan!r}") from plan
+        entry = plan.get(self._rank)
+        if entry is None:
+            return COMM_NULL
+        child, new_rank = entry
+        return Comm(child, new_rank)
 
     def dup(self) -> "Comm":
         """Duplicate the communicator (fresh synchronization context)."""
         comm = self.split(color=0, key=self._rank)
         assert comm is not None
         return comm
+
+    def exec_once(self, fn: Callable[[], Any]) -> Any:
+        """Run ``fn`` exactly once per rank program; returns its result.
+
+        On this thread-per-rank engine a rank body executes exactly once,
+        so this simply calls ``fn``.  Under the bulk engine
+        (:mod:`repro.simmpi.bulk`) rank bodies may be *re-executed* when a
+        collective unblocks, and there ``exec_once`` memoizes: the first
+        execution's result is returned on every replay and ``fn`` never
+        runs again.  Wrap non-idempotent side effects (truncating file
+        creates, appends, counters) in ``exec_once`` to write portable
+        SPMD programs.
+        """
+        return fn()
 
     def abort(self) -> None:
         """Abort the communicator group, waking all blocked ranks with errors."""
@@ -431,6 +484,29 @@ class Request:
         self._value = value
         self._done = True
         return value
+
+
+def _read_nothing(slots: list[Any]) -> None:
+    """Reader for ranks whose collective result is ``None`` (barrier, ...)."""
+    return None
+
+
+def _split_plan(
+    info: list[Any], timeout: float | None
+) -> dict[int, tuple["_Backbone", int]]:
+    """Shared split assignment: old rank -> (child backbone, new rank)."""
+    groups: dict[int, list[tuple[int, int]]] = {}
+    for old_rank, (col, k) in enumerate(info):
+        if col is None:
+            continue
+        groups.setdefault(col, []).append((k, old_rank))
+    plan: dict[int, tuple[_Backbone, int]] = {}
+    for members in groups.values():
+        members.sort()
+        child = _Backbone(len(members), timeout=timeout)
+        for new_rank, (_, old_rank) in enumerate(members):
+            plan[old_rank] = (child, new_rank)
+    return plan
 
 
 def _fold(values: Iterable[Any], op: Callable[[Any, Any], Any] | None) -> Any:

@@ -10,6 +10,7 @@ synchronization primitives so no surviving rank deadlocks.
 from __future__ import annotations
 
 import contextlib
+import os
 import threading
 from typing import Any, Callable, Iterator
 
@@ -17,14 +18,46 @@ from repro.errors import SimMPIError, SpmdWorkerError
 from repro.simmpi.comm import Comm, make_world
 
 #: Default safety timeout for collectives; prevents silent test hangs.
+#: Overridable per environment via ``REPRO_SPMD_TIMEOUT`` (seconds; zero or
+#: negative disables the timeout entirely) — large bulk-engine benchmark
+#: runs on slow CI workers routinely need more than the 120 s default.
 DEFAULT_TIMEOUT = 120.0
+
+#: Sentinel distinguishing "caller passed nothing" from an explicit None.
+_TIMEOUT_UNSET = object()
+
+#: Engines selectable via ``run_spmd(..., engine=...)``.
+ENGINES = ("threads", "bulk")
+
+
+def resolve_timeout(timeout: Any = _TIMEOUT_UNSET) -> float | None:
+    """The effective SPMD timeout: explicit arg > env var > default.
+
+    ``REPRO_SPMD_TIMEOUT`` is read at call time (not import time) so test
+    environments and CI jobs can adjust it per run.  A value <= 0 disables
+    the timeout.
+    """
+    if timeout is not _TIMEOUT_UNSET:
+        return timeout
+    raw = os.environ.get("REPRO_SPMD_TIMEOUT")
+    if raw is None or not raw.strip():
+        return DEFAULT_TIMEOUT
+    try:
+        value = float(raw)
+    except ValueError:
+        raise SimMPIError(
+            f"REPRO_SPMD_TIMEOUT must be a number of seconds, got {raw!r}"
+        ) from None
+    return value if value > 0 else None
 
 
 def run_spmd(
     nprocs: int,
     fn: Callable[..., Any],
     *args: Any,
-    timeout: float | None = DEFAULT_TIMEOUT,
+    timeout: Any = _TIMEOUT_UNSET,
+    engine: str = "threads",
+    nworkers: int | None = None,
     **kwargs: Any,
 ) -> list[Any]:
     """Run ``fn(comm, *args, **kwargs)`` on ``nprocs`` ranks and join.
@@ -32,13 +65,27 @@ def run_spmd(
     Parameters
     ----------
     nprocs:
-        Number of ranks (threads) to launch.
+        Number of logical ranks.
     fn:
         The SPMD program.  Receives the rank's communicator as the first
         positional argument.
     timeout:
-        Collective/receive timeout in seconds (``None`` disables).  A rank
-        stuck longer than this raises instead of hanging the process.
+        Collective/receive timeout in seconds (``None`` disables).  When
+        omitted, the ``REPRO_SPMD_TIMEOUT`` environment variable (seconds,
+        <= 0 disables) is consulted before falling back to
+        :data:`DEFAULT_TIMEOUT`.  A rank stuck longer than this raises
+        instead of hanging the process.
+    engine:
+        ``"threads"`` (default) runs one OS thread per rank — fully
+        preemptive, supports arbitrary blocking programs, practical up to
+        a few thousand ranks.  ``"bulk"`` runs ranks cooperatively on a
+        bounded worker pool with world-buffer collectives — practical to
+        hundreds of thousands of ranks, but rank bodies may be re-executed
+        when a collective unblocks (see :mod:`repro.simmpi.bulk` for the
+        contract; guard non-idempotent effects with ``Comm.exec_once``).
+    nworkers:
+        Bulk engine only: size of the worker pool (default
+        ``min(32, os.cpu_count() * 4)``).
 
     Returns
     -------
@@ -51,6 +98,15 @@ def run_spmd(
         If any rank raised.  ``failures`` maps rank to the exception; ranks
         that only failed because the world was aborted are omitted.
     """
+    timeout = resolve_timeout(timeout)
+    if engine == "bulk":
+        from repro.simmpi.bulk import run_spmd_bulk
+
+        return run_spmd_bulk(
+            nprocs, fn, *args, timeout=timeout, nworkers=nworkers, **kwargs
+        )
+    if engine != "threads":
+        raise SimMPIError(f"unknown SPMD engine {engine!r}; expected one of {ENGINES}")
     comms = make_world(nprocs, timeout=timeout)
     results: list[Any] = [None] * nprocs
     failures: dict[int, BaseException] = {}
@@ -74,12 +130,7 @@ def run_spmd(
         t.join()
 
     if failures:
-        primary = {
-            rank: exc
-            for rank, exc in failures.items()
-            if not _is_abort_fallout(exc)
-        }
-        raise SpmdWorkerError(primary or failures)
+        raise spmd_failure_error(failures)
     return results
 
 
@@ -88,9 +139,18 @@ def _is_abort_fallout(exc: BaseException) -> bool:
     return isinstance(exc, SimMPIError) and "abort" in str(exc).lower()
 
 
+def spmd_failure_error(failures: dict[int, BaseException]) -> SpmdWorkerError:
+    """Shared failure policy of both engines: abort fallout is reported
+    only when no primary failure remains to explain it."""
+    primary = {
+        rank: exc for rank, exc in failures.items() if not _is_abort_fallout(exc)
+    }
+    return SpmdWorkerError(primary or failures)
+
+
 @contextlib.contextmanager
 def spmd_context(
-    nprocs: int, timeout: float | None = DEFAULT_TIMEOUT
+    nprocs: int, timeout: Any = _TIMEOUT_UNSET
 ) -> Iterator[list[Comm]]:
     """Context manager yielding the communicators of a world.
 
@@ -98,7 +158,7 @@ def spmd_context(
     explicitly managed thread).  On exit the world is aborted so stray
     blocked threads are released.
     """
-    comms = make_world(nprocs, timeout=timeout)
+    comms = make_world(nprocs, timeout=resolve_timeout(timeout))
     try:
         yield comms
     finally:

@@ -18,7 +18,21 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.errors import SionUsageError
+
+#: Use the vectorized geometry computation from this many tasks upward;
+#: below it the scalar reference implementation is both faster (no array
+#: round-trip) and exercised by every small-world test.
+_VECTOR_MIN_TASKS = 64
+
+#: Per-value bound for the vectorized path (1 TiB per chunk / block): with
+#: at most ``_VECTOR_MAX_TASKS`` tasks the round-up, the multiply back and
+#: the whole-file cumsum all stay comfortably inside int64.  Larger values
+#: (only seen in adversarial property tests) take the scalar big-int path.
+_INT64_SAFE_MAX = 2**40
+_VECTOR_MAX_TASKS = 2**20
 
 
 def align_up(value: int, granularity: int) -> int:
@@ -28,6 +42,36 @@ def align_up(value: int, granularity: int) -> int:
     if value < 0:
         raise SionUsageError(f"cannot align a negative size: {value}")
     return ((value + granularity - 1) // granularity) * granularity
+
+
+def scalar_chunk_geometry(
+    chunksizes: list[int], fsblksize: int
+) -> tuple[list[int], list[int], int]:
+    """Reference implementation of the chunk geometry, one task at a time.
+
+    Returns ``(aligned_sizes, chunk_prefix, block_capacity)``.  This is the
+    paper's per-task arithmetic kept verbatim; the vectorized path in
+    :class:`ChunkLayout` must match it element for element (property-tested
+    in ``tests/sion/test_vectorized_equivalence.py``).
+    """
+    aligned = [max(align_up(c, fsblksize), fsblksize) for c in chunksizes]
+    prefix: list[int] = []
+    acc = 0
+    for size in aligned:
+        prefix.append(acc)
+        acc += size
+    return aligned, prefix, acc
+
+
+def _vector_chunk_geometry(
+    chunksizes: list[int], fsblksize: int
+) -> tuple[list[int], list[int], int]:
+    """ndarray fast path: whole-array round-up, max and prefix sum."""
+    arr = np.asarray(chunksizes, dtype=np.int64)
+    aligned = np.maximum((arr + (fsblksize - 1)) // fsblksize, 1) * fsblksize
+    ends = np.cumsum(aligned)
+    prefix = ends - aligned
+    return aligned.tolist(), prefix.tolist(), int(ends[-1])
 
 
 @dataclass
@@ -63,18 +107,20 @@ class ChunkLayout:
             raise SionUsageError(f"fsblksize must be positive: {self.fsblksize}")
         if self.metablock1_size < 0:
             raise SionUsageError("metablock1_size must be non-negative")
-        if any(c < 0 for c in self.chunksizes):
+        n = len(self.chunksizes)
+        # min() is a single C pass; the generator-expression any() it
+        # replaces dominated __post_init__ at large task counts.
+        if n and min(self.chunksizes) < 0:
             raise SionUsageError("chunk sizes must be non-negative")
-        self.aligned_sizes = [
-            max(align_up(c, self.fsblksize), self.fsblksize) for c in self.chunksizes
-        ]
-        prefix: list[int] = []
-        acc = 0
-        for size in self.aligned_sizes:
-            prefix.append(acc)
-            acc += size
-        self.chunk_prefix = prefix
-        self.block_capacity = acc
+        if (
+            _VECTOR_MIN_TASKS <= n <= _VECTOR_MAX_TASKS
+            and self.fsblksize <= _INT64_SAFE_MAX
+            and max(self.chunksizes) <= _INT64_SAFE_MAX
+        ):
+            geometry = _vector_chunk_geometry(self.chunksizes, self.fsblksize)
+        else:
+            geometry = scalar_chunk_geometry(self.chunksizes, self.fsblksize)
+        self.aligned_sizes, self.chunk_prefix, self.block_capacity = geometry
         self.start_of_data = align_up(self.metablock1_size, self.fsblksize)
 
     @classmethod

@@ -5,11 +5,21 @@ exactly one.  The default *blocked* mapping keeps ranks contiguous (e.g.
 one physical file per Blue Gene I/O node, as the paper suggests); a
 *round-robin* mapping interleaves, and a *custom* mapping accepts an
 explicit rank -> file table.
+
+The assignment is stored as two flat per-rank arrays (``files`` and
+``lranks``) built with whole-array operations, so constructing or
+reconstructing the mapping of a 256k-task world costs milliseconds rather
+than the seconds the former tuple-of-pairs table needed.  The standard
+kinds are cached: in an in-process SPMD world every rank asks for the same
+mapping, and recomputing it per rank made the collective open O(n²).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property, lru_cache
+
+import numpy as np
 
 from repro.errors import SionUsageError
 from repro.sion.constants import (
@@ -22,12 +32,17 @@ from repro.sion.constants import (
 
 @dataclass(frozen=True)
 class TaskMapping:
-    """Immutable assignment of ``ntasks`` global ranks to ``nfiles`` files."""
+    """Immutable assignment of ``ntasks`` global ranks to ``nfiles`` files.
+
+    ``files[rank]`` is the physical file index and ``lranks[rank]`` the
+    rank's index within that file's chunk array.
+    """
 
     ntasks: int
     nfiles: int
     kind: int
-    table: tuple[tuple[int, int], ...]  # global rank -> (file, local rank)
+    files: tuple[int, ...]  # global rank -> file
+    lranks: tuple[int, ...]  # global rank -> local rank
 
     # -- constructors ---------------------------------------------------------
 
@@ -35,46 +50,41 @@ class TaskMapping:
     def blocked(cls, ntasks: int, nfiles: int) -> "TaskMapping":
         """Contiguous rank ranges per file, sizes balanced within one."""
         _check_counts(ntasks, nfiles)
-        base, extra = divmod(ntasks, nfiles)
-        table: list[tuple[int, int]] = []
-        rank = 0
-        for f in range(nfiles):
-            span = base + (1 if f < extra else 0)
-            for lrank in range(span):
-                table.append((f, lrank))
-                rank += 1
-        return cls(ntasks, nfiles, MAPPING_BLOCKED, tuple(table))
+        return _blocked_cached(ntasks, nfiles)
 
     @classmethod
     def roundrobin(cls, ntasks: int, nfiles: int) -> "TaskMapping":
         """Rank ``r`` goes to file ``r % nfiles``."""
         _check_counts(ntasks, nfiles)
-        counters = [0] * nfiles
-        table: list[tuple[int, int]] = []
-        for r in range(ntasks):
-            f = r % nfiles
-            table.append((f, counters[f]))
-            counters[f] += 1
-        return cls(ntasks, nfiles, MAPPING_ROUNDROBIN, tuple(table))
+        return _roundrobin_cached(ntasks, nfiles)
 
     @classmethod
     def custom(cls, file_of_task: list[int]) -> "TaskMapping":
         """Explicit file index per global rank; local ranks follow rank order."""
-        if not file_of_task:
+        if not len(file_of_task):
             raise SionUsageError("custom mapping needs at least one task")
-        nfiles = max(file_of_task) + 1
-        if min(file_of_task) < 0:
+        files = np.asarray(file_of_task, dtype=np.int64)
+        if int(files.min()) < 0:
             raise SionUsageError("file indices must be non-negative")
-        used = set(file_of_task)
-        if used != set(range(nfiles)):
-            missing = sorted(set(range(nfiles)) - used)
+        ntasks = int(files.size)
+        nfiles = int(files.max()) + 1
+        counts = np.bincount(files, minlength=nfiles)
+        if not counts.all():
+            missing = np.flatnonzero(counts == 0).tolist()
             raise SionUsageError(f"custom mapping leaves files empty: {missing}")
-        counters = [0] * nfiles
-        table: list[tuple[int, int]] = []
-        for f in file_of_task:
-            table.append((f, counters[f]))
-            counters[f] += 1
-        return cls(len(file_of_task), nfiles, MAPPING_CUSTOM, tuple(table))
+        # Local ranks follow global-rank order within each file: group the
+        # ranks by file (stable), then number each group from its offset.
+        order = np.argsort(files, kind="stable")
+        offsets = np.concatenate(([0], np.cumsum(counts)[:-1]))
+        lranks = np.empty(ntasks, dtype=np.int64)
+        lranks[order] = np.arange(ntasks) - np.repeat(offsets, counts)
+        return cls(
+            ntasks,
+            nfiles,
+            MAPPING_CUSTOM,
+            tuple(files.tolist()),
+            tuple(lranks.tolist()),
+        )
 
     @classmethod
     def create(
@@ -113,35 +123,81 @@ class TaskMapping:
         if kind_code == MAPPING_CUSTOM:
             if not table:
                 raise SionUsageError("custom mapping requires the stored table")
-            return cls(ntasks, nfiles, MAPPING_CUSTOM, tuple(table))
+            files, lranks = zip(*table)
+            return cls(ntasks, nfiles, MAPPING_CUSTOM, tuple(files), tuple(lranks))
         raise SionUsageError(f"unknown mapping kind code {kind_code}")
 
     # -- queries -----------------------------------------------------------------
 
+    @cached_property
+    def table(self) -> tuple[tuple[int, int], ...]:
+        """Global rank -> ``(file, local rank)`` pairs (compatibility view)."""
+        return tuple(zip(self.files, self.lranks))
+
+    def table_pairs(self) -> list[tuple[int, int]]:
+        """The mapping table as the list of pairs metablock 1 encodes."""
+        return list(self.table)
+
     def file_of(self, rank: int) -> int:
         """Physical file index holding ``rank``'s chunks."""
         self._check_rank(rank)
-        return self.table[rank][0]
+        return self.files[rank]
 
     def local_rank(self, rank: int) -> int:
         """Rank's index within its physical file's chunk array."""
         self._check_rank(rank)
-        return self.table[rank][1]
+        return self.lranks[rank]
 
     def tasks_of_file(self, filenum: int) -> list[int]:
         """Global ranks stored in file ``filenum``, in local-rank order."""
         if not 0 <= filenum < self.nfiles:
             raise SionUsageError(f"file {filenum} out of range ({self.nfiles})")
-        members = [(lr, r) for r, (f, lr) in enumerate(self.table) if f == filenum]
-        return [r for _, r in sorted(members)]
+        # Ranks ascend with local rank by construction, so the positional
+        # scan is already local-rank ordered.
+        return np.flatnonzero(self._files_array == filenum).tolist()
 
     def ntasks_of_file(self, filenum: int) -> int:
         """Number of tasks mapped to ``filenum``."""
         return len(self.tasks_of_file(filenum))
 
+    # -- internals ----------------------------------------------------------------
+
+    @cached_property
+    def _files_array(self) -> np.ndarray:
+        return np.asarray(self.files, dtype=np.int64)
+
     def _check_rank(self, rank: int) -> None:
         if not 0 <= rank < self.ntasks:
             raise SionUsageError(f"rank {rank} out of range ({self.ntasks} tasks)")
+
+
+@lru_cache(maxsize=128)
+def _blocked_cached(ntasks: int, nfiles: int) -> TaskMapping:
+    base, extra = divmod(ntasks, nfiles)
+    counts = np.full(nfiles, base, dtype=np.int64)
+    counts[:extra] += 1
+    files = np.repeat(np.arange(nfiles), counts)
+    offsets = np.concatenate(([0], np.cumsum(counts)[:-1]))
+    lranks = np.arange(ntasks) - offsets[files]
+    return TaskMapping(
+        ntasks,
+        nfiles,
+        MAPPING_BLOCKED,
+        tuple(files.tolist()),
+        tuple(lranks.tolist()),
+    )
+
+
+@lru_cache(maxsize=128)
+def _roundrobin_cached(ntasks: int, nfiles: int) -> TaskMapping:
+    ranks = np.arange(ntasks)
+    return TaskMapping(
+        ntasks,
+        nfiles,
+        MAPPING_ROUNDROBIN,
+        tuple((ranks % nfiles).tolist()),
+        tuple((ranks // nfiles).tolist()),
+    )
 
 
 def physical_path(base: str, filenum: int) -> str:

@@ -17,7 +17,7 @@ from repro.backends.base import Backend, RawFile
 from repro.backends.localfs import LocalBackend
 from repro.buffers import BufferLike, as_view
 from repro.errors import SionUsageError
-from repro.sion.constants import FLAG_COMPRESS, FLAG_SHADOW
+from repro.sion.constants import FLAG_COMPRESS, FLAG_SHADOW, MAPPING_CUSTOM
 from repro.sion.compression import ZlibReader, ZlibWriter
 from repro.sion.format import Metablock1, Metablock2
 from repro.sion.layout import ChunkLayout
@@ -121,20 +121,29 @@ def _paropen_write(
             chunksizes=chunks,
             flags=flags,
             mapping_kind=tmap.kind,
-            mapping_table=list(tmap.table) if myfile == 0 else [],
+            mapping_table=(
+                tmap.table_pairs()
+                if myfile == 0 and tmap.kind == MAPPING_CUSTOM
+                else []
+            ),
         )
         layout = ChunkLayout(fsblksize, chunks, mb1.encoded_size)
         mb1.start_of_data = layout.start_of_data
-        raw = backend.open(mypath, "w+b")
-        raw.write(mb1.encode())
-        raw.flush()
-        lcom.bcast((layout, mb1), root=0)
+        # exec_once: the truncating create must not repeat if the bulk
+        # engine replays this rank body (thread engine: plain call).
+        lcom.exec_once(lambda: _create_with_metablock1(backend, mypath, mb1))
+        # The root adopts the *broadcast* objects too: under bulk-engine
+        # replay the locally rebuilt layout/mb1 would be fresh instances,
+        # and parclose's metablock2_offset patch must land on the single
+        # mb1 every rank of this file shares.
+        layout, mb1 = lcom.bcast((layout, mb1), root=0)
     else:
+        # bcast alone orders the create: a non-root rank cannot return
+        # before the root deposited, and the root deposits only after the
+        # exec_once above persisted metablock 1 — so the file exists for
+        # everyone here without an extra barrier wave.
         layout, mb1 = lcom.bcast(None, root=0)
-        raw = None
-    lcom.barrier()  # the file now exists for everyone
-    if raw is None:
-        raw = backend.open(mypath, "r+b")
+    raw = backend.open(mypath, "r+b")
     stream = TaskStream(raw, layout, lrank, "w", shadow=shadow)
     return SionParallelFile(
         mode="w",
@@ -152,15 +161,33 @@ def _paropen_write(
     )
 
 
+def _create_with_metablock1(backend: Backend, path: str, mb1: Metablock1) -> None:
+    """Create/truncate one physical file and persist its metablock 1."""
+    raw = backend.open(path, "w+b")
+    try:
+        raw.write(mb1.encode())
+        raw.flush()
+    finally:
+        raw.close()
+
+
 def _paropen_read(path: str, comm: Comm, backend: Backend) -> "SionParallelFile":
-    # Rank 0 reads file 0's metablock 1 to learn the set geometry.
-    if comm.rank == 0:
+    # Rank 0 reads file 0's metablock 1 to learn the set geometry
+    # (exec_once: decoding a 256k-task metablock is worth not replaying).
+    def _probe() -> tuple:
         probe = backend.open(path, "rb")
-        mb1_0 = Metablock1.decode_from(probe)
-        probe.close()
-        info = (mb1_0.nfiles, mb1_0.ntasks_global, mb1_0.mapping_kind, mb1_0.mapping_table)
-    else:
-        info = None
+        try:
+            mb1_0 = Metablock1.decode_from(probe)
+        finally:
+            probe.close()
+        return (
+            mb1_0.nfiles,
+            mb1_0.ntasks_global,
+            mb1_0.mapping_kind,
+            mb1_0.mapping_table,
+        )
+
+    info = comm.exec_once(_probe) if comm.rank == 0 else None
     nfiles, ntasks_global, kind, table = comm.bcast(info, root=0)
     if ntasks_global != comm.size:
         raise SionUsageError(
@@ -174,12 +201,18 @@ def _paropen_read(path: str, comm: Comm, backend: Backend) -> "SionParallelFile"
 
     lcom = comm.split(color=myfile, key=comm.rank)
     assert lcom is not None
-    if lcom.rank == 0:
+
+    def _load_metadata() -> tuple:
         raw0 = backend.open(mypath, "rb")
-        mb1 = Metablock1.decode_from(raw0)
-        mb2 = Metablock2.decode_from(raw0, mb1.metablock2_offset)
-        raw0.close()
-        layout = ChunkLayout.from_metablock1(mb1)
+        try:
+            mb1 = Metablock1.decode_from(raw0)
+            mb2 = Metablock2.decode_from(raw0, mb1.metablock2_offset)
+        finally:
+            raw0.close()
+        return mb1, mb2, ChunkLayout.from_metablock1(mb1)
+
+    if lcom.rank == 0:
+        mb1, mb2, layout = lcom.exec_once(_load_metadata)
         lcom.bcast((mb1, mb2, layout), root=0)
     else:
         mb1, mb2, layout = lcom.bcast(None, root=0)
@@ -387,9 +420,12 @@ class SionParallelFile:
                 self._raw.write(mb2.encode())
                 self.mb1.patch_metablock2_offset(self._raw, offset)
                 self._raw.flush()
-            self.lcom.barrier()  # metadata durable before anyone returns
         self._raw.close()
         self._closed = True
+        # The world barrier already makes every file's metablock 2 durable
+        # before *any* rank returns: each per-file master enters it only
+        # after its mb2 write above, so a separate lcom barrier per file
+        # would only add a synchronization wave.
         self.comm.barrier()
 
     # -- context manager -----------------------------------------------------

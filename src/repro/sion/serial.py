@@ -16,11 +16,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.backends.base import Backend, RawFile
 from repro.backends.localfs import LocalBackend
 from repro.buffers import BufferLike, as_view
 from repro.errors import SionUsageError
-from repro.sion.constants import FLAG_COMPRESS, FLAG_SHADOW
+from repro.sion.constants import FLAG_COMPRESS, FLAG_SHADOW, MAPPING_CUSTOM
 from repro.sion.compression import ZlibReader
 from repro.sion.format import Metablock1, Metablock2
 from repro.sion.layout import ChunkLayout
@@ -171,7 +173,11 @@ class SionSerialFile:
                 chunksizes=local_chunks,
                 flags=0,
                 mapping_kind=tmap.kind,
-                mapping_table=list(tmap.table) if f == 0 else [],
+                mapping_table=(
+                    tmap.table_pairs()
+                    if f == 0 and tmap.kind == MAPPING_CUSTOM
+                    else []
+                ),
             )
             layout = ChunkLayout(fsblksize, local_chunks, mb1.encoded_size)
             mb1.start_of_data = layout.start_of_data
@@ -184,26 +190,32 @@ class SionSerialFile:
     # -- metadata (Listing 5) ------------------------------------------------
 
     def get_locations(self) -> Locations:
-        """Return the full multifile geometry (``sion_get_locations``)."""
+        """Return the full multifile geometry (``sion_get_locations``).
+
+        Per-file scatters of chunk sizes land through one fancy-indexed
+        assignment per physical file; only the ragged per-block lists keep
+        a (C-iterated) per-task loop.
+        """
         self._check_open()
         ntasks = self.mapping.ntasks
-        chunks = [0] * ntasks
-        nblocks = [0] * ntasks
+        chunks = np.zeros(ntasks, dtype=np.int64)
+        nblocks = np.zeros(ntasks, dtype=np.int64)
         blocksizes: list[list[int]] = [[] for _ in range(ntasks)]
         for pf in self._files:
-            for lrank, grank in enumerate(pf.mb1.globalranks):
-                chunks[grank] = pf.mb1.chunksizes[lrank]
-                if pf.mb2 is not None:
-                    blocksizes[grank] = list(pf.mb2.blocksizes[lrank])
-                    nblocks[grank] = len(blocksizes[grank])
+            granks = np.asarray(pf.mb1.globalranks, dtype=np.intp)
+            chunks[granks] = pf.mb1.chunksizes
+            if pf.mb2 is not None:
+                nblocks[granks] = [len(b) for b in pf.mb2.blocksizes]
+                for grank, blocks in zip(pf.mb1.globalranks, pf.mb2.blocksizes):
+                    blocksizes[grank] = list(blocks)
         return Locations(
             ntasks=ntasks,
             nfiles=self.mapping.nfiles,
             fsblksize=self._files[0].mb1.fsblksize,
-            chunksizes=chunks,
-            nblocks=nblocks,
+            chunksizes=chunks.tolist(),
+            nblocks=nblocks.tolist(),
             blocksizes=blocksizes,
-            file_of_task=[self.mapping.file_of(r) for r in range(ntasks)],
+            file_of_task=list(self.mapping.files),
             compressed=bool(self._files[0].mb1.flags & FLAG_COMPRESS),
         )
 

@@ -46,6 +46,26 @@ def test_full_suite_includes_smoke():
     assert [sc.name for sc in reg.iter(suite="full")] == ["s", "f"]
 
 
+def test_scale_suite_is_explicit_only():
+    reg = Registry()
+    reg.register(Scenario(name="s", fn=_noop, suite="smoke"))
+    reg.register(Scenario(name="big", fn=_noop, suite="scale"))
+    # scale scenarios run only when asked for: not in smoke, not in full.
+    assert [sc.name for sc in reg.iter(suite="scale")] == ["big"]
+    assert [sc.name for sc in reg.iter(suite="full")] == ["s"]
+    assert [sc.name for sc in reg.iter(suite="smoke")] == ["s"]
+
+
+def test_builtin_scale_scenarios_registered_with_ci_grid():
+    scale = list(iter_scenarios(suite="scale"))
+    names = {sc.name for sc in scale}
+    for family in ("paropen-parclose", "serial-scan", "collectives"):
+        for n in (4096, 16384, 65536, 262144):
+            assert f"scale/{family}[ntasks={n}]" in names
+    ci = [sc.name for sc in iter_scenarios(suite="scale", tags=("ci-grid",))]
+    assert len(ci) == 6 and all("4096" in n or "16384" in n for n in ci)
+
+
 def test_tag_and_pattern_filters():
     reg = Registry()
     reg.register(Scenario(name="fig3/a", fn=_noop, tags=("fig3", "jugene")))
