@@ -1,0 +1,129 @@
+"""(Re)capture the ``collective`` suite baselines with provenance sidecars.
+
+Runs the registered ``collective/*`` scenarios of the *current* checkout
+and writes two committed baselines, mirroring the role
+``record_scale_preopt.py`` plays for the ``scale`` suite:
+
+* ``benchmarks/baselines/collective.json`` — the full suite (4k/16k/64k
+  write/read waves, the direct-vs-collective equivalence point, and the
+  nfiles x collectors tradeoff sweep); diffed by the nightly workflow.
+* ``benchmarks/baselines/collective_ci.json`` — the ``ci-grid`` slice
+  (4k/16k) the ``collective-bench`` CI job gates on every push.
+
+Next to each baseline a ``<name>.meta.json`` provenance sidecar records
+the capture command, git SHA, timestamp, environment fingerprint, and the
+pre-collective context: the direct-mode backend-call counts the same
+workload needed before collector aggregation existed, so the baseline
+carries its own before/after record (the counts the CountingBackend
+scenarios pin are meaningful only against that O(ntasks) reference).
+
+Usage:
+    PYTHONPATH=src python benchmarks/tools/record_collective_baseline.py \
+        [-o benchmarks/baselines] [--ci-only]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def _capture(suite_tags: tuple[str, ...]):
+    from repro.bench.runner import run_suite
+
+    def progress(msg: str) -> None:
+        print(msg, flush=True)
+
+    return run_suite(suite="collective", tags=suite_tags, progress=progress)
+
+
+def _precollective_context() -> dict:
+    """Direct-mode reference counts for the sidecar (the 'before' record).
+
+    One physical backend call per task per write plus the metadata
+    writes — measured here on a small world and stated as the closed form
+    that holds at any scale, so the sidecar documents what the collective
+    counts are an improvement over without a multi-hour thread-engine run.
+    """
+    from repro.backends.instrument import CountingBackend
+    from repro.backends.simfs_backend import SimBackend
+    from repro.bench.collective import METADATA_WRITES_PER_FILE, _write_cycle
+    from repro.fs.simfs import SimFS
+
+    ntasks = 256
+    backend = CountingBackend(SimBackend(SimFS(blocksize_override=4096)))
+    _write_cycle(backend, ntasks, "threads")
+    snap = backend.snapshot()
+    assert snap["data_write_calls"] == ntasks + METADATA_WRITES_PER_FILE
+    return {
+        "mode": "direct (pre-collective)",
+        "measured_ntasks": ntasks,
+        "measured_data_write_calls": snap["data_write_calls"],
+        "data_write_calls_closed_form": "ntasks + 3 * nfiles",
+        "data_read_calls_closed_form": "ntasks + 8 * nfiles + 4",
+        "collective_write_calls_closed_form": "ncollectors + 3 * nfiles",
+        "collective_read_calls_closed_form": "ncollectors + 8 * nfiles + 4",
+    }
+
+
+def _write_with_sidecar(report, path: Path, context: dict, argv: list[str]) -> None:
+    from repro.bench.results import utc_now_iso
+
+    report.save(path)
+    sidecar = {
+        "artifact": path.name,
+        "suite": report.suite,
+        "scenarios": sorted(report.scenarios),
+        "git_sha": report.git_sha,
+        "created": utc_now_iso(),
+        "environment": report.environment,
+        "capture_command": "PYTHONPATH=src python "
+        "benchmarks/tools/record_collective_baseline.py " + " ".join(argv),
+        "pre_collective_reference": context,
+    }
+    path.with_suffix(".meta.json").write_text(
+        json.dumps(sidecar, indent=2, sort_keys=True) + "\n"
+    )
+    print(f"wrote {path} (+ {path.with_suffix('.meta.json').name})")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "-o", "--output-dir", default="benchmarks/baselines",
+        help="directory receiving collective.json / collective_ci.json",
+    )
+    parser.add_argument(
+        "--ci-only", action="store_true",
+        help="recapture only the ci-grid slice (collective_ci.json)",
+    )
+    args = parser.parse_args(argv)
+    argv = argv if argv is not None else sys.argv[1:]
+
+    out_dir = Path(args.output_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    context = _precollective_context()
+
+    ci_report = _capture(("ci-grid",))
+    if ci_report.failed:
+        for res in ci_report.failed:
+            print(f"FAILED {res.name}:\n{res.error}", file=sys.stderr)
+        return 1
+    _write_with_sidecar(ci_report, out_dir / "collective_ci.json", context, argv)
+
+    if not args.ci_only:
+        full_report = _capture(())
+        if full_report.failed:
+            for res in full_report.failed:
+                print(f"FAILED {res.name}:\n{res.error}", file=sys.stderr)
+            return 1
+        _write_with_sidecar(
+            full_report, out_dir / "collective.json", context, argv
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -50,6 +50,7 @@ class IOStats:
     bytes_written: int = 0
     bytes_read: int = 0
     fragments_written: int = 0
+    fragments_read: int = 0
     tracked_fragments: int = 0
     copied_fragments: int = 0
     _sources: set[int] = field(default_factory=set)
@@ -59,9 +60,10 @@ class IOStats:
         with self._lock:
             self.calls[method] = self.calls.get(method, 0) + n
 
-    def count_read_bytes(self, n: int) -> None:
+    def count_read_bytes(self, n: int, requests: int = 1) -> None:
         with self._lock:
             self.bytes_read += n
+            self.fragments_read += requests
 
     @property
     def data_write_calls(self) -> int:
@@ -76,6 +78,12 @@ class IOStats:
     @property
     def seeks(self) -> int:
         return self.calls.get("seek", 0)
+
+    @property
+    def opens(self) -> int:
+        """Handles opened against the backend (collective mode: per
+        collector plus the metadata masters, not per task)."""
+        return self.calls.get("open", 0)
 
     def track_source(self, payload: object) -> None:
         """Register an application buffer; fragments are attributed to it.
@@ -120,7 +128,9 @@ class IOStats:
                 "data_write_calls": self.data_write_calls,
                 "data_read_calls": self.data_read_calls,
                 "seeks": self.seeks,
+                "opens": self.opens,
                 "fragments_written": self.fragments_written,
+                "fragments_read": self.fragments_read,
                 "tracked_fragments": self.tracked_fragments,
                 "copied_fragments": self.copied_fragments,
                 "bytes_written": self.bytes_written,
@@ -200,7 +210,7 @@ class CountingRawFile(RawFile):
     def preadv(self, offset: int, sizes: Sequence[int]) -> list[bytes]:
         self.stats.count("preadv")
         out = self._inner.preadv(offset, sizes)
-        self.stats.count_read_bytes(sum(len(p) for p in out))
+        self.stats.count_read_bytes(sum(len(p) for p in out), requests=len(out))
         return out
 
     def scatter_write(self, fragments) -> int:
@@ -212,7 +222,7 @@ class CountingRawFile(RawFile):
     def gather_read(self, requests: Sequence["tuple[int, int]"]) -> list[bytes]:
         self.stats.count("gather_read")
         out = self._inner.gather_read(requests)
-        self.stats.count_read_bytes(sum(len(p) for p in out))
+        self.stats.count_read_bytes(sum(len(p) for p in out), requests=len(out))
         return out
 
 

@@ -53,6 +53,15 @@ def _build_parser() -> argparse.ArgumentParser:
         help=f"max tolerated relative regression (default {DEFAULT_THRESHOLD})",
     )
     cmp_p.add_argument(
+        "--baseline-only",
+        action="store_true",
+        help=(
+            "restrict the comparison to scenarios/metrics present in the "
+            "baseline (candidate-only entries are dropped, not listed as "
+            "'new'); use when gating one run against a focused baseline"
+        ),
+    )
+    cmp_p.add_argument(
         "--json", action="store_true", help="emit the deltas as JSON instead of text"
     )
 
@@ -91,7 +100,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
 def _cmd_compare(args: argparse.Namespace) -> int:
     candidate = BenchReport.load(args.candidate)
     baseline = BenchReport.load(args.baseline)
-    result = compare_reports(candidate, baseline, threshold=args.threshold)
+    result = compare_reports(
+        candidate,
+        baseline,
+        threshold=args.threshold,
+        baseline_only=args.baseline_only,
+    )
     if args.json:
         print(
             json.dumps(

@@ -1,0 +1,350 @@
+"""``collective`` suite: collector-rank aggregation at paper-scale counts.
+
+The data-plane claim of ISSUE 4: with ``paropen(..., collectsize=K)`` the
+number of *physical* data calls scales with the number of collectors, not
+the number of tasks, while the files stay byte-identical to direct mode.
+These scenarios drive the real library over the simulated store with a
+:class:`~repro.backends.instrument.CountingBackend` and assert the call
+counts from first principles (like the ``scale`` suite pins its on-disk
+geometry), so the committed baseline only has to gate wall clock:
+
+* ``collective/write-wave[ntasks=N]`` — N tasks funnel one payload each
+  through ``NCOLLECTORS`` collectors; exactly one ``scatter_write`` per
+  collector must reach the store (plus the three metadata writes per
+  physical file).
+* ``collective/read-wave[ntasks=N]`` — the read-side mirror: one
+  prefetching ``gather_read`` per collector, every task's payload
+  round-tripped.
+* ``collective/direct-vs-collective`` — the same workload in both modes:
+  physical files must be byte-identical, and the collective mode's write
+  calls must not scale with the task count (direct mode's do).
+* ``collective/nfiles-collectors-tradeoff`` — the paper's Fig. 4
+  methodology applied to the new axis: sweep physical files x collectors
+  at a fixed task count and record the per-file call pressure, the
+  knob balance the paper studies for ``nfiles`` alone.
+
+All collective-mode backend interactions are ``exec_once``-guarded, so
+the counts are deterministic even under the bulk engine's memoized replay
+(direct-mode counts under ``bulk`` are inflated by replays and are only
+bounded, never pinned).  The 4k/16k points carry the ``ci-grid`` tag and
+gate on every push; 64k runs in the nightly workflow.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.backends.instrument import CountingBackend
+from repro.backends.simfs_backend import SimBackend
+from repro.bench.registry import scenario
+from repro.bench.results import Metric, ScenarioOutput
+from repro.bench.scale import expected_geometry
+from repro.fs.simfs import SimFS
+from repro.sion.mapping import physical_path
+
+KiB = 1024
+
+#: Task counts of the full grid; the first two form the CI grid.
+COLLECTIVE_TASK_COUNTS = (4096, 16384, 65536)
+CI_TASK_COUNTS = frozenset((4096, 16384))
+
+#: Collectors per scenario — constant while the task count grows, which
+#: is the whole point: physical-writer pressure stays flat.
+NCOLLECTORS = 64
+
+FSBLK = 4 * KiB
+CHUNKSIZE = 4 * KiB
+PAYLOAD = 64
+
+#: Backend write calls per physical file that are metadata, not data:
+#: the metablock-1 create, the metablock-2 append, and the metablock-1
+#: offset patch.
+METADATA_WRITES_PER_FILE = 3
+
+
+def _tags(family: str, ntasks: int) -> tuple[str, ...]:
+    tags = ["collective", "data-plane", family]
+    if ntasks in CI_TASK_COUNTS:
+        tags.append("ci-grid")
+    return tuple(tags)
+
+
+def _backend() -> CountingBackend:
+    return CountingBackend(SimBackend(SimFS(blocksize_override=FSBLK)))
+
+
+def _payload(rank: int, nbytes: int) -> bytes:
+    return bytes((rank * 31 + i) % 256 for i in range(nbytes))
+
+
+def _write_cycle(backend, ntasks, engine, *, nfiles=1, collectors=None,
+                 chunksize=CHUNKSIZE, payload_bytes=PAYLOAD, path="/coll.sion"):
+    """One collective open/write/close cycle; returns (wall_s, out[0])."""
+    from repro.simmpi import run_spmd
+    from repro.sion import paropen
+
+    def program(comm):
+        f = paropen(
+            path, "w", comm, chunksize=chunksize, fsblksize=FSBLK,
+            nfiles=nfiles, backend=backend, collectors=collectors,
+        )
+        f.fwrite(_payload(comm.rank, payload_bytes))
+        f.parclose()
+        return (f.layout.start_of_data, f.mb1.metablock2_offset)
+
+    t0 = time.perf_counter()
+    out = run_spmd(ntasks, program, engine=engine)
+    return time.perf_counter() - t0, out[0]
+
+
+def _read_cycle(backend, ntasks, engine, *, collectors=None,
+                payload_bytes=PAYLOAD, path="/coll.sion"):
+    """Collective read-back; asserts corner ranks round-trip exactly."""
+    from repro.simmpi import run_spmd
+    from repro.sion import paropen
+
+    check = {0, ntasks // 2, ntasks - 1}
+
+    def program(comm):
+        f = paropen(path, "r", comm, backend=backend, collectors=collectors)
+        data = f.read_all()
+        f.parclose()
+        return data if comm.rank in check else len(data)
+
+    t0 = time.perf_counter()
+    out = run_spmd(ntasks, program, engine=engine)
+    wall = time.perf_counter() - t0
+    for rank in check:
+        if out[rank] != _payload(rank, payload_bytes):
+            raise AssertionError(f"rank {rank} round-tripped corrupted bytes")
+    return wall
+
+
+def _pin(actual: int, expected: int, what: str) -> None:
+    """First-principles count assertion (the gate never sees drift)."""
+    if actual != expected:
+        raise AssertionError(f"{what}: expected exactly {expected}, got {actual}")
+
+
+# --------------------------------------------------------------------------
+# Write side: one scatter_write per collector per wave.
+
+
+def _write_wave(ctx) -> ScenarioOutput:
+    from repro.sion import resolve_collectsize
+
+    p = ctx.params
+    ntasks, ncoll = p["ntasks"], p["collectors"]
+    collectsize = resolve_collectsize(None, ncoll, ntasks)
+    backend = _backend()
+    wall, geom = _write_cycle(
+        backend, ntasks, p["engine"], nfiles=p["nfiles"], collectors=ncoll
+    )
+    if geom != expected_geometry(ntasks, CHUNKSIZE, FSBLK):
+        raise AssertionError(f"on-disk geometry drifted: {geom}")
+    snap = backend.snapshot()
+    calls = backend.stats.calls
+    _pin(calls.get("scatter_write", 0), ncoll, "wave scatter_writes")
+    _pin(
+        snap["data_write_calls"],
+        ncoll + METADATA_WRITES_PER_FILE * p["nfiles"],
+        "total backend write calls",
+    )
+    # One exec_once-guarded handle per collector plus the per-file
+    # metablock-1 create.
+    _pin(snap["opens"], ncoll + p["nfiles"], "backend opens")
+    metrics = {
+        "open_write_close_wall_s": Metric(wall, "s", "lower"),
+        "tasks_per_s": Metric(ntasks / wall, "tasks/s", "info"),
+        "wave_write_calls": Metric(float(calls["scatter_write"]), "calls", "info"),
+        "data_write_calls": Metric(float(snap["data_write_calls"]), "calls", "info"),
+        "tasks_per_collector": Metric(float(collectsize), "tasks", "info"),
+    }
+    text = (
+        f"{ntasks} tasks -> {ncoll} collectors (collectsize {collectsize}): "
+        f"{snap['data_write_calls']} backend write calls "
+        f"({calls['scatter_write']} waves + "
+        f"{METADATA_WRITES_PER_FILE * p['nfiles']} metadata) in {wall:.2f} s"
+    )
+    return ScenarioOutput(metrics=metrics, text=text, raw=snap)
+
+
+# --------------------------------------------------------------------------
+# Read side: one prefetching gather_read per collector.
+
+
+def _read_wave(ctx) -> ScenarioOutput:
+    p = ctx.params
+    ntasks, ncoll = p["ntasks"], p["collectors"]
+    backend = _backend()
+    _write_cycle(backend, ntasks, p["engine"], collectors=ncoll)
+    before = backend.snapshot()
+    wall = _read_cycle(backend, ntasks, p["engine"], collectors=ncoll)
+    snap = backend.snapshot()
+    _pin(
+        backend.stats.calls.get("gather_read", 0), ncoll, "prefetch gather_reads"
+    )
+    read_calls = snap["data_read_calls"] - before["data_read_calls"]
+    # Metadata costs 4 streaming reads for the world probe plus 8 per
+    # physical file (metablock 1 + metablock 2 decode); everything else
+    # is exactly one prefetch wave per collector, one data fragment per
+    # task (each task wrote a single block).
+    meta_reads = 8 * 1 + 4
+    _pin(read_calls, ncoll + meta_reads, "total backend read calls")
+    _pin(
+        snap["fragments_read"] - before["fragments_read"],
+        ntasks + meta_reads,
+        "prefetched fragments",
+    )
+    metrics = {
+        "read_wall_s": Metric(wall, "s", "lower"),
+        "tasks_per_s": Metric(ntasks / wall, "tasks/s", "info"),
+        "wave_read_calls": Metric(float(ncoll), "calls", "info"),
+        "data_read_calls": Metric(float(read_calls), "calls", "info"),
+    }
+    text = (
+        f"{ntasks} tasks read back through {ncoll} collectors: "
+        f"{read_calls} backend read calls ({ncoll} prefetch waves) "
+        f"in {wall:.2f} s"
+    )
+    return ScenarioOutput(metrics=metrics, text=text, raw=snap)
+
+
+# --------------------------------------------------------------------------
+# Equivalence: collective mode must be invisible in the bytes.
+
+
+def _direct_vs_collective(ctx) -> ScenarioOutput:
+    p = ctx.params
+    ntasks, ncoll, nfiles = p["ntasks"], p["collectors"], p["nfiles"]
+    direct = _backend()
+    _write_cycle(direct, ntasks, p["engine"], nfiles=nfiles)
+    coll = _backend()
+    _write_cycle(coll, ntasks, p["engine"], nfiles=nfiles, collectors=ncoll)
+    for fn in range(nfiles):
+        path = physical_path("/coll.sion", fn)
+        if direct.file_size(path) != coll.file_size(path):
+            raise AssertionError(f"file {fn}: sizes differ between modes")
+        a = direct.inner.open(path, "rb")
+        b = coll.inner.open(path, "rb")
+        try:
+            same = a.read(direct.file_size(path)) == b.read(coll.file_size(path))
+        finally:
+            a.close()
+            b.close()
+        if not same:
+            raise AssertionError(f"file {fn}: bytes differ between modes")
+    dsnap, csnap = direct.snapshot(), coll.snapshot()
+    meta = METADATA_WRITES_PER_FILE * nfiles
+    _pin(csnap["data_write_calls"], ncoll + meta, "collective write calls")
+    # Direct-mode counts under the bulk engine include replays, so they
+    # are a lower-bounded observation, not a pinned value: at least one
+    # physical call per task must have crossed the boundary.
+    if dsnap["data_write_calls"] < ntasks + meta:
+        raise AssertionError(
+            f"direct mode issued {dsnap['data_write_calls']} write calls; "
+            f"expected at least {ntasks + meta}"
+        )
+    ratio = dsnap["data_write_calls"] / csnap["data_write_calls"]
+    metrics = {
+        "collective_write_calls": Metric(
+            float(csnap["data_write_calls"]), "calls", "info"
+        ),
+        "direct_write_calls": Metric(
+            float(dsnap["data_write_calls"]), "calls", "info"
+        ),
+        "write_call_reduction": Metric(ratio, "x", "info"),
+        "bytes_written_delta": Metric(
+            float(csnap["bytes_written"] - dsnap["bytes_written"]), "bytes", "info"
+        ),
+    }
+    text = (
+        f"{ntasks} tasks over {nfiles} file(s): byte-identical multifiles; "
+        f"write calls {dsnap['data_write_calls']} (direct) -> "
+        f"{csnap['data_write_calls']} (collective, {ncoll} collectors), "
+        f"{ratio:.0f}x fewer"
+    )
+    return ScenarioOutput(metrics=metrics, text=text, raw=(dsnap, csnap))
+
+
+# --------------------------------------------------------------------------
+# The nfiles x collectors tradeoff (Fig. 4 methodology on the new axis).
+
+
+def _nfiles_collectors_tradeoff(ctx) -> ScenarioOutput:
+    p = ctx.params
+    ntasks = p["ntasks"]
+    metrics: dict[str, Metric] = {}
+    lines = ["nfiles  collectors  write calls  calls/file   wall"]
+    for nfiles in p["nfiles_sweep"]:
+        for ncoll in p["collectors_sweep"]:
+            backend = _backend()
+            wall, _ = _write_cycle(
+                backend, ntasks, p["engine"], nfiles=nfiles, collectors=ncoll
+            )
+            snap = backend.snapshot()
+            _pin(
+                snap["data_write_calls"],
+                ncoll + METADATA_WRITES_PER_FILE * nfiles,
+                f"write calls at nfiles={nfiles}, collectors={ncoll}",
+            )
+            key = f"[nfiles={nfiles},collectors={ncoll}]"
+            metrics[f"write_calls{key}"] = Metric(
+                float(snap["data_write_calls"]), "calls", "info"
+            )
+            metrics[f"calls_per_file{key}"] = Metric(
+                snap["data_write_calls"] / nfiles, "calls", "info"
+            )
+            metrics[f"wall_s{key}"] = Metric(wall, "s", "info")
+            lines.append(
+                f"{nfiles:>6}  {ncoll:>10}  {snap['data_write_calls']:>11}  "
+                f"{snap['data_write_calls'] / nfiles:>10.1f}  {wall:>5.2f} s"
+            )
+    text = (
+        f"{ntasks} tasks, nfiles x collectors sweep "
+        "(physical pressure per file vs. aggregation degree):\n"
+        + "\n".join(lines)
+    )
+    return ScenarioOutput(metrics=metrics, text=text)
+
+
+# --------------------------------------------------------------------------
+# Registration.
+
+for _n in COLLECTIVE_TASK_COUNTS:
+    scenario(
+        f"collective/write-wave[ntasks={_n}]",
+        suite="collective",
+        tags=_tags("write-wave", _n),
+        params={
+            "ntasks": _n,
+            "collectors": NCOLLECTORS,
+            "nfiles": 1,
+            "engine": "bulk",
+        },
+    )(_write_wave)
+    scenario(
+        f"collective/read-wave[ntasks={_n}]",
+        suite="collective",
+        tags=_tags("read-wave", _n),
+        params={"ntasks": _n, "collectors": NCOLLECTORS, "engine": "bulk"},
+    )(_read_wave)
+
+scenario(
+    "collective/direct-vs-collective[ntasks=4096]",
+    suite="collective",
+    tags=_tags("equivalence", 4096),
+    params={"ntasks": 4096, "collectors": NCOLLECTORS, "nfiles": 2, "engine": "bulk"},
+)(_direct_vs_collective)
+
+scenario(
+    "collective/nfiles-collectors-tradeoff[ntasks=4096]",
+    suite="collective",
+    tags=_tags("tradeoff", 4096),
+    params={
+        "ntasks": 4096,
+        "nfiles_sweep": [1, 2, 4],
+        "collectors_sweep": [16, 64, 256],
+        "engine": "bulk",
+    },
+)(_nfiles_collectors_tradeoff)

@@ -143,6 +143,7 @@ def compare_reports(
     candidate: BenchReport,
     baseline: BenchReport,
     threshold: float = DEFAULT_THRESHOLD,
+    baseline_only: bool = False,
 ) -> ComparisonResult:
     """Gate ``candidate`` against ``baseline``.
 
@@ -153,6 +154,14 @@ def compare_reports(
     refreshed).  Non-finite candidate values always gate as regressions,
     and mixing suites or schema versions (swapped arguments, a filtered
     run against a full baseline) is an operator error, not a comparison.
+
+    With ``baseline_only`` the comparison is restricted to the baseline's
+    scenarios and metrics: candidate-only entries are dropped entirely
+    instead of reported as ``new``.  This is the mode for *focused*
+    baselines (one report diffed against several baseline files, each
+    gating its own slice) — without it every other slice shows up as a
+    wall of ungated "new" noise, and a candidate-only scenario that
+    errored would fail a gate that never covered it.
     """
     if candidate.suite != baseline.suite:
         raise ReproError(
@@ -216,9 +225,13 @@ def compare_reports(
                     unit=base_m.unit,
                 )
             )
+        if baseline_only:
+            continue
         for mname in sorted(set(cand_sc.metrics) - set(base_sc.metrics)):
             if cand_sc.metrics[mname].better != "info":
                 result.deltas.append(MetricDelta(name, mname, "new"))
+    if baseline_only:
+        return result
     for name in sorted(set(candidate.scenarios) - set(baseline.scenarios)):
         # A brand-new scenario is ungated, but one that errored must still
         # fail — otherwise an always-broken scenario slips into the next

@@ -13,10 +13,12 @@ from repro.errors import ReproError
 #: Known suites, cheapest first.  ``smoke`` holds the deterministic
 #: simulated scenarios (CI-gated against a committed baseline); ``full``
 #: is a superset adding the wall-clock micro scenarios; ``scale`` holds
-#: the control-plane scaling benchmarks (4k-256k simulated tasks) and is
-#: selected explicitly — it is *not* part of ``full``, because a quarter
-#: million tasks per scenario is not a casual run.
-SUITES = ("smoke", "full", "scale")
+#: the control-plane scaling benchmarks (4k-256k simulated tasks);
+#: ``collective`` holds the collector-rank aggregation benchmarks
+#: (4k-64k tasks).  The latter two are selected explicitly — they are
+#: *not* part of ``full``, because tens of thousands of simulated tasks
+#: per scenario is not a casual run.
+SUITES = ("smoke", "full", "scale", "collective")
 
 
 @dataclass

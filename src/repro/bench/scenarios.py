@@ -665,8 +665,10 @@ def micro_metablock(ctx) -> ScenarioOutput:
 
 # --------------------------------------------------------------------------
 # core-io — copy/backend-call counts of the zero-copy vectored data plane
-# (registered on import, like everything above) — and the scale suite's
-# control-plane scenarios (4k-256k tasks on the bulk SPMD engine).
+# (registered on import, like everything above) — plus the scale suite's
+# control-plane scenarios (4k-256k tasks on the bulk SPMD engine) and the
+# collective suite's collector-rank aggregation scenarios (4k-64k tasks).
 
+import repro.bench.collective  # noqa: E402,F401
 import repro.bench.core_io  # noqa: E402,F401
 import repro.bench.scale  # noqa: E402,F401

@@ -48,7 +48,12 @@ parks on (roughly the program's collective depth), not by world size.
    ``CountingBackend`` telemetry are inflated (and scheduling-dependent)
    under this engine, even though the bytes on disk are exact.  Measure
    wall clock and on-disk facts under ``bulk``; use the thread engine
-   when simulated accounting itself is the experiment's output.
+   when simulated accounting itself is the experiment's output.  The
+   exception is the SION layer's *collective* mode
+   (:mod:`repro.sion.collective`): there every backend interaction is
+   ``exec_once``-guarded, so its telemetry is deterministic under both
+   engines — which is exactly what the ``collective`` benchmark suite
+   gates.
 
 Collective *readiness* is relaxed exactly as real MPI allows: a bcast
 returns at the root immediately, a gather blocks only the root, a barrier
@@ -328,6 +333,56 @@ class BulkComm:
     def allgather(self, value: Any) -> list[Any]:
         """Gather one value per rank; every rank gets the (shared) list."""
         return self._collective("allgather", value, _ready_all, _shared_list)
+
+    def gatherv(self, fragments: Sequence[Any], root: int = 0) -> list[tuple[Any, ...]] | None:
+        """Gather a variable-length fragment sequence per rank at ``root``.
+
+        Same contract as :meth:`repro.simmpi.comm.Comm.gatherv`: fragments
+        are snapshotted per the payload contract at deposit, only the root
+        blocks (MPI-relaxed readiness), and the result replays on body
+        re-execution like every collective.
+        """
+        self._check_root(root)
+        # Tuples travel by reference through _copy_payload, so snapshot
+        # each fragment explicitly before depositing (copy=False below).
+        deposit = tuple(_copy_payload(f) for f in fragments)
+        if self._lrank == root:
+            return self._collective(
+                "gatherv", deposit, _ready_all, lambda coll: coll.slots, copy=False
+            )
+        return self._collective(
+            "gatherv", deposit, _ready_always, _result_none, copy=False
+        )
+
+    def scatterv(
+        self, values: Sequence[Sequence[Any]] | None, root: int = 0
+    ) -> tuple[Any, ...]:
+        """Scatter one variable-length fragment sequence to each rank.
+
+        Mirror of :meth:`gatherv`; non-root ranks only wait for the
+        root's deposit, as real MPI allows.
+        """
+        self._check_root(root)
+        if self._lrank == root:
+            if values is None or len(values) != self.size:
+                self._world.engine.abort()
+                raise CommunicatorError(
+                    "scatterv requires exactly one fragment sequence per rank "
+                    "at the root"
+                )
+            deposit = [tuple(_copy_payload(f) for f in seq) for seq in values]
+            return self._collective(
+                "scatterv", deposit, _ready_always,
+                lambda coll: coll.slots[root][root],
+                wake_root=root, copy=False,
+            )
+        lr = self._lrank
+        return self._collective(
+            "scatterv", None,
+            lambda coll: bool(coll.deposited[root]),
+            lambda coll: coll.slots[root][lr],
+            wake_root=root,
+        )
 
     def scatter(self, values: Sequence[Any] | None, root: int = 0) -> Any:
         """Scatter ``len == size`` values from ``root``; each rank gets one."""

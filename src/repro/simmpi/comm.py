@@ -169,9 +169,9 @@ class Comm:
     """One rank's handle on a communicator.
 
     Mirrors the subset of MPI used by SIONlib and the example applications:
-    ``rank``/``size``, ``barrier``, ``bcast``, ``gather``, ``allgather``,
-    ``scatter``, ``alltoall``, ``reduce``/``allreduce``, ``send``/``recv``,
-    ``split`` and ``dup``.
+    ``rank``/``size``, ``barrier``, ``bcast``, ``gather``/``gatherv``,
+    ``allgather``, ``scatter``/``scatterv``, ``alltoall``,
+    ``reduce``/``allreduce``, ``send``/``recv``, ``split`` and ``dup``.
     """
 
     def __init__(self, backbone: _Backbone, rank: int) -> None:
@@ -265,6 +265,47 @@ class Comm:
     def allgather(self, value: Any) -> list[Any]:
         """Gather one value per rank and return the list on every rank."""
         return self._exchange("allgather", _copy_payload(value))
+
+    def gatherv(self, fragments: Sequence[Any], root: int = 0) -> list[tuple[Any, ...]] | None:
+        """Gather a *variable-length* fragment sequence per rank at ``root``.
+
+        The vectored gather behind collector-rank aggregation
+        (:mod:`repro.sion.collective`): each rank contributes any number
+        of buffer fragments, and ``root`` receives the rank-ordered list
+        of fragment tuples.  Every fragment is snapshotted at deposit per
+        the payload contract (``memoryview -> bytes``), so senders may
+        reuse their buffers the moment the call returns.  Non-root ranks
+        receive ``None``.
+        """
+        self._check_root(root)
+        deposit = tuple(_copy_payload(f) for f in fragments)
+        reader = list if self._rank == root else _read_nothing
+        return self._exchange("gatherv", deposit, reader=reader)
+
+    def scatterv(
+        self, values: Sequence[Sequence[Any]] | None, root: int = 0
+    ) -> tuple[Any, ...]:
+        """Scatter a *variable-length* fragment sequence to each rank.
+
+        ``root`` provides one sequence per rank (``len == size``); every
+        rank receives its sequence as a tuple.  The vectored mirror of
+        :meth:`gatherv`, used to distribute per-sender read fragments
+        from a collector rank.  Fragments follow the payload contract.
+        """
+        self._check_root(root)
+        if self._rank == root:
+            if values is None or len(values) != self.size:
+                self._bb.abort()
+                raise CommunicatorError(
+                    "scatterv requires exactly one fragment sequence per rank "
+                    "at the root"
+                )
+            deposit = [tuple(_copy_payload(f) for f in seq) for seq in values]
+        else:
+            deposit = None
+        return self._exchange(
+            "scatterv", deposit, reader=lambda slots: slots[root][self._rank]
+        )
 
     def scatter(self, values: Sequence[Any] | None, root: int = 0) -> Any:
         """Scatter ``len == size`` values from ``root``; each rank gets one."""

@@ -34,6 +34,7 @@ from repro.sion.format import Metablock1, Metablock2
 from repro.sion.layout import ChunkLayout, align_up
 from repro.sion.mapping import TaskMapping
 from repro.sion.buffering import CoalescingWriter
+from repro.sion.collective import SionCollectiveFile, resolve_collectsize
 from repro.sion.hybrid import HybridParallelFile, open_rank_thread, paropen_hybrid
 from repro.sion.parallel import SionParallelFile, paropen
 from repro.sion.serial import SionSerialFile, open, open_rank  # noqa: A004
@@ -52,6 +53,8 @@ __all__ = [
     "align_up",
     "TaskMapping",
     "SionParallelFile",
+    "SionCollectiveFile",
+    "resolve_collectsize",
     "paropen",
     "HybridParallelFile",
     "paropen_hybrid",

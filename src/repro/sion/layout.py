@@ -203,6 +203,28 @@ class ChunkLayout:
             return None
         return task, block, pos
 
+    def read_requests(
+        self, task: int, blocksizes: list[int], data_offset: int = 0
+    ) -> list[tuple[int, int]]:
+        """Complete ``(offset, size)`` request list of one task's stream.
+
+        The fragment plan of collector-rank aggregation (ISSUE 4): a
+        sender computes — purely locally, no communication — every
+        positioned read that covers its recorded ``blocksizes``, so a
+        collector can fetch all of its senders' data in **one**
+        ``gather_read``.  ``data_offset`` skips per-chunk shadow headers.
+        Empty blocks produce no request, matching the read-side
+        :class:`~repro.sion.readwrite.TaskStream` plan exactly.
+        """
+        self._check_task(task)
+        if data_offset < 0:
+            raise SionUsageError("data_offset must be non-negative")
+        return [
+            (self.chunk_start(task, block) + data_offset, size)
+            for block, size in enumerate(blocksizes)
+            if size > 0
+        ]
+
     def is_aligned(self, true_fsblksize: int) -> bool:
         """True when every chunk boundary falls on a ``true_fsblksize`` edge."""
         if true_fsblksize < 1:

@@ -38,6 +38,8 @@ def paropen(
     backend: Backend | None = None,
     compress: bool = False,
     shadow: bool = False,
+    collectsize: int | None = None,
+    collectors: int | None = None,
 ) -> "SionParallelFile":
     """Collectively open a multifile for parallel access.
 
@@ -58,17 +60,31 @@ def paropen(
     ``shadow``
         Per-chunk recovery headers so metablock 2 can be rebuilt after a
         crash (paper §6).
+    ``collectsize`` / ``collectors``
+        Collector-rank aggregation (collective mode, SIONlib's
+        ``collsize``): groups of ``collectsize`` tasks funnel their chunk
+        fragments through one collector rank per group, so physical data
+        calls scale with the number of collectors instead of the number
+        of tasks.  ``collectors=N`` is sugar for ``collectsize =
+        ceil(ntasks / N)``.  Files are byte-identical to direct mode; see
+        :mod:`repro.sion.collective`.
 
-    Returns each task's :class:`SionParallelFile` handle.
+    Returns each task's :class:`SionParallelFile` handle (a
+    :class:`~repro.sion.collective.SionCollectiveFile` in collective
+    mode).
     """
     if mode not in ("r", "w"):
         raise SionUsageError(f"mode must be 'r' or 'w', got {mode!r}")
     backend = backend if backend is not None else LocalBackend()
+    from repro.sion.collective import resolve_collectsize
+
+    collectsize = resolve_collectsize(collectsize, collectors, comm.size)
     if mode == "w":
         return _paropen_write(
-            path, comm, chunksize, fsblksize, nfiles, mapping, backend, compress, shadow
+            path, comm, chunksize, fsblksize, nfiles, mapping, backend,
+            compress, shadow, collectsize,
         )
-    return _paropen_read(path, comm, backend)
+    return _paropen_read(path, comm, backend, collectsize)
 
 
 def _paropen_write(
@@ -81,6 +97,7 @@ def _paropen_write(
     backend: Backend,
     compress: bool,
     shadow: bool,
+    collectsize: int | None = None,
 ) -> "SionParallelFile":
     if chunksize is None or chunksize < 0:
         raise SionUsageError("write mode requires a non-negative chunksize")
@@ -143,6 +160,18 @@ def _paropen_write(
         # exec_once above persisted metablock 1 — so the file exists for
         # everyone here without an extra barrier wave.
         layout, mb1 = lcom.bcast(None, root=0)
+    if collectsize is not None:
+        from repro.sion.collective import open_collective_write
+
+        return open_collective_write(
+            comm, lcom, lrank, collectsize, backend, path, mypath,
+            layout, mb1, tmap, compress, shadow,
+        )
+    # Opened per execution on purpose: under bulk-engine replay the
+    # direct-mode stream re-issues its (idempotent) positioned writes, so
+    # the handle must be fresh each run.  Collective mode, whose data
+    # moves only through exec_once-guarded waves, reuses one logged
+    # handle instead (see repro.sion.collective).
     raw = backend.open(mypath, "r+b")
     stream = TaskStream(raw, layout, lrank, "w", shadow=shadow)
     return SionParallelFile(
@@ -171,7 +200,35 @@ def _create_with_metablock1(backend: Backend, path: str, mb1: Metablock1) -> Non
         raw.close()
 
 
-def _paropen_read(path: str, comm: Comm, backend: Backend) -> "SionParallelFile":
+def persist_metablock2(
+    lcom: Comm,
+    raw: RawFile,
+    layout: ChunkLayout,
+    mb1: Metablock1,
+    blocksizes: list[list[int]],
+) -> None:
+    """Append metablock 2 and patch its offset into metablock 1 (master).
+
+    Shared by direct and collective parclose.  Wrapped in ``exec_once``:
+    a bulk-engine replay of the close sequence must not re-write the
+    metablock (the bytes would be identical, but instrumented backends
+    would double-count the boundary crossing).
+    """
+    mb2 = Metablock2(blocksizes=blocksizes)
+    offset = layout.end_of_blocks(mb2.maxblocks)
+
+    def _persist() -> None:
+        raw.seek(offset)
+        raw.write(mb2.encode())
+        mb1.patch_metablock2_offset(raw, offset)
+        raw.flush()
+
+    lcom.exec_once(_persist)
+
+
+def _paropen_read(
+    path: str, comm: Comm, backend: Backend, collectsize: int | None = None
+) -> "SionParallelFile":
     # Rank 0 reads file 0's metablock 1 to learn the set geometry
     # (exec_once: decoding a 256k-task metablock is worth not replaying).
     def _probe() -> tuple:
@@ -216,6 +273,15 @@ def _paropen_read(path: str, comm: Comm, backend: Backend) -> "SionParallelFile"
         lcom.bcast((mb1, mb2, layout), root=0)
     else:
         mb1, mb2, layout = lcom.bcast(None, root=0)
+    if collectsize is not None:
+        from repro.sion.collective import open_collective_read
+
+        return open_collective_read(
+            comm, lcom, lrank, collectsize, backend, path, mypath,
+            layout, mb1, mb2, tmap,
+            compress=bool(mb1.flags & FLAG_COMPRESS),
+            shadow=bool(mb1.flags & FLAG_SHADOW),
+        )
     raw = backend.open(mypath, "rb")
     stream = TaskStream(
         raw,
@@ -252,7 +318,7 @@ class SionParallelFile:
         backend: Backend,
         base_path: str,
         my_path: str,
-        raw: RawFile,
+        raw: RawFile | None,
         stream: TaskStream,
         layout: ChunkLayout,
         mb1: Metablock1,
@@ -411,22 +477,32 @@ class SionParallelFile:
                 if tail:
                     self._stream.fwrite(tail)
             blocks = self._stream.finalize()
+            self._flush_data()
             gathered = self.lcom.gather(blocks, root=0)
             if self.lcom.rank == 0:
-                assert gathered is not None
-                mb2 = Metablock2(blocksizes=gathered)
-                offset = self.layout.end_of_blocks(mb2.maxblocks)
-                self._raw.seek(offset)
-                self._raw.write(mb2.encode())
-                self.mb1.patch_metablock2_offset(self._raw, offset)
-                self._raw.flush()
-        self._raw.close()
+                assert gathered is not None and self._raw is not None
+                persist_metablock2(
+                    self.lcom, self._raw, self.layout, self.mb1, gathered
+                )
+        self._close_raw()
         self._closed = True
         # The world barrier already makes every file's metablock 2 durable
         # before *any* rank returns: each per-file master enters it only
         # after its mb2 write above, so a separate lcom barrier per file
         # would only add a synchronization wave.
         self.comm.barrier()
+
+    def _flush_data(self) -> None:
+        """Hook: push any buffered stream data down before metablock 2.
+
+        Direct mode writes through, so there is nothing to flush; the
+        collective subclass runs its final collection wave here.
+        """
+
+    def _close_raw(self) -> None:
+        """Hook: release the physical handle (collective mode: guarded)."""
+        assert self._raw is not None
+        self._raw.close()
 
     # -- context manager -----------------------------------------------------
 

@@ -158,6 +158,48 @@ def test_new_scenarios_and_metrics_reported_not_gated():
     assert "not gated" in result.format_report()
 
 
+def test_baseline_only_drops_candidate_only_entries():
+    # The focused-baseline mode (smoke run vs. core_io.json in CI): every
+    # scenario outside the baseline's slice is ignored, not "new" noise.
+    base = _report({"cost_s": Metric(1.0)})
+    cand = _report({"cost_s": Metric(1.0), "extra_s": Metric(9.0)})
+    cand.add(
+        ScenarioResult(
+            name="other/slice", suite="smoke", tags=(), params={},
+            metrics={"x": Metric(1.0)}, wall_s=0.0,
+        )
+    )
+    result = compare_reports(cand, base, baseline_only=True)
+    assert result.passed
+    assert [d.status for d in result.deltas] == ["ok"]
+
+
+def test_baseline_only_ignores_candidate_only_errors():
+    # A scenario gated by a *different* baseline may error without
+    # failing this focused gate; its own gate still catches it.
+    base = _report({"cost_s": Metric(1.0)})
+    cand = _report({"cost_s": Metric(1.0)})
+    cand.add(
+        ScenarioResult(
+            name="other/broken", suite="smoke", tags=(), params={},
+            metrics={}, wall_s=0.0, error="Traceback ...",
+        )
+    )
+    assert compare_reports(cand, base, baseline_only=True).passed
+    assert not compare_reports(cand, base).passed
+
+
+def test_baseline_only_still_gates_shared_entries():
+    base = _report({"cost_s": Metric(10.0)})
+    cand = _report({"cost_s": Metric(20.0)})
+    result = compare_reports(cand, base, threshold=0.10, baseline_only=True)
+    assert not result.passed
+    assert result.failures[0].status == "regression"
+    # Structure failures inside the baseline slice still fail too.
+    gone = BenchReport(suite="smoke")
+    assert not compare_reports(gone, base, baseline_only=True).passed
+
+
 def test_nan_candidate_gates_as_regression():
     base = _report({"cost_s": Metric(5.0)})
     cand = _report({"cost_s": Metric(float("nan"))})

@@ -66,6 +66,20 @@ def test_builtin_scale_scenarios_registered_with_ci_grid():
     assert len(ci) == 6 and all("4096" in n or "16384" in n for n in ci)
 
 
+def test_builtin_collective_scenarios_registered_with_ci_grid():
+    coll = list(iter_scenarios(suite="collective"))
+    names = {sc.name for sc in coll}
+    for family in ("write-wave", "read-wave"):
+        for n in (4096, 16384, 65536):
+            assert f"collective/{family}[ntasks={n}]" in names
+    assert "collective/direct-vs-collective[ntasks=4096]" in names
+    assert "collective/nfiles-collectors-tradeoff[ntasks=4096]" in names
+    # Explicit-only, like scale: never part of full or smoke.
+    assert not any(sc.in_suite("full") for sc in coll)
+    ci = [sc.name for sc in iter_scenarios(suite="collective", tags=("ci-grid",))]
+    assert len(ci) == 6 and all("4096" in n or "16384" in n for n in ci)
+
+
 def test_tag_and_pattern_filters():
     reg = Registry()
     reg.register(Scenario(name="fig3/a", fn=_noop, tags=("fig3", "jugene")))

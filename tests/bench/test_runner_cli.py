@@ -143,6 +143,26 @@ def test_cli_run_and_compare_roundtrip(tmp_path, capsys):
     assert main(["compare", str(bad), str(out), "--threshold", "0.10"]) == 0
 
 
+def test_cli_compare_baseline_only(tmp_path, capsys):
+    out = tmp_path / "r.json"
+    assert main(["run", "--filter", FAST_FILTER, "-o", str(out), "-q"]) == 0
+    # Focused baseline: drop one of the two scenarios.
+    doc = json.loads(out.read_text())
+    dropped = sorted(doc["scenarios"])[0]
+    del doc["scenarios"][dropped]
+    focused = tmp_path / "focused.json"
+    focused.write_text(json.dumps(doc))
+    capsys.readouterr()
+    # Default mode flags the out-of-slice scenario as ungated "new" noise;
+    # --baseline-only silences it (the CI wart this flag exists for).
+    assert main(["compare", str(out), str(focused)]) == 0
+    assert "new" in capsys.readouterr().out
+    assert main(["compare", str(out), str(focused), "--baseline-only"]) == 0
+    report_text = capsys.readouterr().out
+    assert "PASS" in report_text
+    assert dropped not in report_text
+
+
 def test_cli_compare_json_output(tmp_path, capsys):
     out = tmp_path / "r.json"
     assert main(["run", "--filter", FAST_FILTER, "-o", str(out), "-q"]) == 0
