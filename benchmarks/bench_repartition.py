@@ -1,0 +1,64 @@
+"""repartition: m readers over an n-writer multifile, as benchmarks.
+
+Thin pytest wrappers over the registered ``repartition/*`` scenarios
+plus the qualitative claims behind ISSUE 5's acceptance criteria:
+
+* a multifile written by n bulk-engine tasks is read back
+  **byte-identically** by a reader world of a different size (every
+  scenario verifies the bytes inside each reader rank and raises on any
+  divergence — reaching the metrics *is* the proof);
+* physical read calls scale with the number of **readers**: the
+  scenarios pin the closed form ``m + 8·nfiles + 4`` (direct) and
+  ``ceil(m/collectsize) + 8·nfiles + 4`` (collective prefetch) from
+  first principles;
+* the modelled restart/analysis cycle prices the m-axis on a machine
+  profile (deterministic simulated seconds).
+
+The 64k x 32 acceptance point runs through ``python -m repro.bench run
+--suite repartition``; pytest keeps to the points that finish in
+seconds.
+"""
+
+from conftest import emit
+
+
+def _run(name):
+    from repro.bench import get_scenario
+
+    sc = get_scenario(name)
+    out = sc.execute()
+    emit(name.replace("/", "_").replace("-", "_").replace("[", ".").replace("]", ""),
+         out.text, scenario=name)
+    return out
+
+
+def test_read_calls_scale_with_readers_not_writers():
+    out = _run("repartition/read[nwriters=4096]")
+    # 32 readers + probe (4) + one mb1/mb2 decode (8): the scenario
+    # raises if the measured counts drift from the closed form, so
+    # reaching here is the O(m) proof over 4096 recorded streams.
+    assert out.metrics["data_read_calls"].value == 32 + 12
+    assert out.metrics["streams_per_reader"].value == 4096 / 32
+
+
+def test_reader_sweep_pins_every_point():
+    out = _run("repartition/reader-sweep[nwriters=4096]")
+    for m in (8, 32, 256):
+        assert out.metrics[f"read_calls[readers={m}]"].value == m + 12
+
+
+def test_prefetch_calls_scale_with_collector_groups():
+    out = _run("repartition/prefetch[nwriters=4096]")
+    # 256 readers through collectsize-8 groups: 32 prefetch waves.
+    assert out.metrics["collector_groups"].value == 32
+    assert out.metrics["data_read_calls"].value == 32 + 12
+
+
+def test_restart_analysis_model_orders_reader_counts():
+    out = _run("repartition/restart-analysis-model[system=jugene]")
+    # Shrinking the analysis world sheds aggregate client bandwidth, so
+    # the read can only slow down as m drops.
+    t256 = out.metrics["read_time_s[readers=256]"].value
+    t4096 = out.metrics["read_time_s[readers=4096]"].value
+    t64k = out.metrics["read_time_s[readers=65536]"].value
+    assert t256 >= t4096 >= t64k > 0

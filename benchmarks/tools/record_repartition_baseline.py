@@ -1,0 +1,138 @@
+"""(Re)capture the ``repartition`` suite baselines with provenance sidecars.
+
+Runs the registered ``repartition/*`` scenarios of the *current* checkout
+and writes two committed baselines, mirroring the role
+``record_collective_baseline.py`` plays for the ``collective`` suite:
+
+* ``benchmarks/baselines/repartition.json`` — the full suite (the
+  4k/16k/64k read grid, the reader-count sweep, the collective-prefetch
+  point, and the modelled restart/analysis cycle); diffed by the nightly
+  workflow.
+* ``benchmarks/baselines/repartition_ci.json`` — the ``ci-grid`` slice
+  (4k/16k) the ``repartition-bench`` CI job gates on every push.
+
+Next to each baseline a ``<name>.meta.json`` provenance sidecar records
+the capture command, git SHA, timestamp, environment fingerprint, and the
+pre-repartition context: before the OpenSpec/AccessPlan pipeline landed,
+``paropen(..., "r")`` required exactly the writer world's task count —
+the only m != n consumers were the *serial* tools, whose global-view scan
+issues one positioned read per recorded block (O(n), single process).
+The baseline carries that reference so the O(m) counts the scenarios pin
+are meaningful against what the container previously allowed.
+
+Usage:
+    PYTHONPATH=src python benchmarks/tools/record_repartition_baseline.py \
+        [-o benchmarks/baselines] [--ci-only]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def _capture(suite_tags: tuple[str, ...]):
+    from repro.bench.runner import run_suite
+
+    def progress(msg: str) -> None:
+        print(msg, flush=True)
+
+    return run_suite(suite="repartition", tags=suite_tags, progress=progress)
+
+
+def _prerepartition_context() -> dict:
+    """The m != n reference before partitioned reads existed.
+
+    A small serial-scan measurement plus the closed forms that hold at
+    any scale: the serial global view was the only differently sized
+    consumer, and it reads one fragment per recorded block from a single
+    process — no parallelism, O(n) positioned reads.
+    """
+    from repro.backends.instrument import CountingBackend
+    from repro.backends.simfs_backend import SimBackend
+    from repro.bench.collective import _write_cycle
+    from repro.fs.simfs import SimFS
+    from repro.sion import serial
+
+    ntasks = 256
+    backend = CountingBackend(SimBackend(SimFS(blocksize_override=4096)))
+    _write_cycle(backend, ntasks, "threads", path="/pre.sion")
+    before = backend.snapshot()["data_read_calls"]
+    with serial.open("/pre.sion", "r", backend=backend) as sf:
+        for rank in range(ntasks):
+            sf.read_task(rank)
+    serial_reads = backend.snapshot()["data_read_calls"] - before
+    assert serial_reads >= ntasks
+    return {
+        "mode": "serial global view (pre-repartition)",
+        "measured_ntasks": ntasks,
+        "measured_serial_scan_read_calls": serial_reads,
+        "serial_scan_closed_form": ">= nwriters (one fragment per block, one process)",
+        "partitioned_read_closed_form": "nreaders + 8 * nfiles + 4",
+        "prefetch_read_closed_form": "ceil(nreaders / collectsize) + 8 * nfiles + 4",
+        "matched_world_requirement": "paropen(..., 'r') required exactly "
+        "ntasks ranks before ISSUE 5",
+    }
+
+
+def _write_with_sidecar(report, path: Path, context: dict, argv: list[str]) -> None:
+    from repro.bench.results import utc_now_iso
+
+    report.save(path)
+    sidecar = {
+        "artifact": path.name,
+        "suite": report.suite,
+        "scenarios": sorted(report.scenarios),
+        "git_sha": report.git_sha,
+        "created": utc_now_iso(),
+        "environment": report.environment,
+        "capture_command": "PYTHONPATH=src python "
+        "benchmarks/tools/record_repartition_baseline.py " + " ".join(argv),
+        "pre_repartition_reference": context,
+    }
+    path.with_suffix(".meta.json").write_text(
+        json.dumps(sidecar, indent=2, sort_keys=True) + "\n"
+    )
+    print(f"wrote {path} (+ {path.with_suffix('.meta.json').name})")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "-o", "--output-dir", default="benchmarks/baselines",
+        help="directory receiving repartition.json / repartition_ci.json",
+    )
+    parser.add_argument(
+        "--ci-only", action="store_true",
+        help="recapture only the ci-grid slice (repartition_ci.json)",
+    )
+    args = parser.parse_args(argv)
+    argv = argv if argv is not None else sys.argv[1:]
+
+    out_dir = Path(args.output_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    context = _prerepartition_context()
+
+    ci_report = _capture(("ci-grid",))
+    if ci_report.failed:
+        for res in ci_report.failed:
+            print(f"FAILED {res.name}:\n{res.error}", file=sys.stderr)
+        return 1
+    _write_with_sidecar(ci_report, out_dir / "repartition_ci.json", context, argv)
+
+    if not args.ci_only:
+        full_report = _capture(())
+        if full_report.failed:
+            for res in full_report.failed:
+                print(f"FAILED {res.name}:\n{res.error}", file=sys.stderr)
+            return 1
+        _write_with_sidecar(
+            full_report, out_dir / "repartition.json", context, argv
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -23,11 +23,12 @@ geometry), so the committed baseline only has to gate wall clock:
   at a fixed task count and record the per-file call pressure, the
   knob balance the paper studies for ``nfiles`` alone.
 
-All collective-mode backend interactions are ``exec_once``-guarded, so
-the counts are deterministic even under the bulk engine's memoized replay
-(direct-mode counts under ``bulk`` are inflated by replays and are only
-bounded, never pinned).  The 4k/16k points carry the ``ci-grid`` tag and
-gate on every push; 64k runs in the nightly workflow.
+All SION backend interactions — collective mode's waves *and* direct
+mode's replay-guarded handles — are ``exec_once``-guarded, so every
+count here is deterministic under the bulk engine's memoized replay and
+pinned exactly from first principles.  The 4k/16k points carry the
+``ci-grid`` tag and gate on every push; 64k runs in the nightly
+workflow.
 """
 
 from __future__ import annotations
@@ -237,14 +238,9 @@ def _direct_vs_collective(ctx) -> ScenarioOutput:
     dsnap, csnap = direct.snapshot(), coll.snapshot()
     meta = METADATA_WRITES_PER_FILE * nfiles
     _pin(csnap["data_write_calls"], ncoll + meta, "collective write calls")
-    # Direct-mode counts under the bulk engine include replays, so they
-    # are a lower-bounded observation, not a pinned value: at least one
-    # physical call per task must have crossed the boundary.
-    if dsnap["data_write_calls"] < ntasks + meta:
-        raise AssertionError(
-            f"direct mode issued {dsnap['data_write_calls']} write calls; "
-            f"expected at least {ntasks + meta}"
-        )
+    # Direct-mode handles are replay-guarded, so the counts are exact on
+    # both engines: one physical call per task plus the metadata writes.
+    _pin(dsnap["data_write_calls"], ntasks + meta, "direct write calls")
     ratio = dsnap["data_write_calls"] / csnap["data_write_calls"]
     metrics = {
         "collective_write_calls": Metric(

@@ -15,10 +15,11 @@ from repro.errors import ReproError
 #: is a superset adding the wall-clock micro scenarios; ``scale`` holds
 #: the control-plane scaling benchmarks (4k-256k simulated tasks);
 #: ``collective`` holds the collector-rank aggregation benchmarks
-#: (4k-64k tasks).  The latter two are selected explicitly — they are
-#: *not* part of ``full``, because tens of thousands of simulated tasks
-#: per scenario is not a casual run.
-SUITES = ("smoke", "full", "scale", "collective")
+#: (4k-64k tasks); ``repartition`` holds the m-readers-over-n-writers
+#: read benchmarks (4k-64k writer streams).  The latter three are
+#: selected explicitly — they are *not* part of ``full``, because tens
+#: of thousands of simulated tasks per scenario is not a casual run.
+SUITES = ("smoke", "full", "scale", "collective", "repartition")
 
 
 @dataclass

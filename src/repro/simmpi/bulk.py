@@ -43,17 +43,15 @@ parks on (roughly the program's collective depth), not by world size.
 4. ``allgather``/``allreduce`` results are computed once and **shared**
    between ranks (the thread engine hands each rank a private copy);
    treat them as read-only.
-5. Because segments re-execute, *instrumentation* along the way counts
-   replays too: SimFS op counts, its virtual clock, and
-   ``CountingBackend`` telemetry are inflated (and scheduling-dependent)
-   under this engine, even though the bytes on disk are exact.  Measure
-   wall clock and on-disk facts under ``bulk``; use the thread engine
-   when simulated accounting itself is the experiment's output.  The
-   exception is the SION layer's *collective* mode
-   (:mod:`repro.sion.collective`): there every backend interaction is
-   ``exec_once``-guarded, so its telemetry is deterministic under both
-   engines — which is exactly what the ``collective`` benchmark suite
-   gates.
+5. Because segments re-execute, side effects your own rank body performs
+   between ops (counters, logging, ad-hoc file appends) count replays
+   too unless you guard them with ``exec_once``.  The SION layer guards
+   *all* of its backend interactions — collective mode's waves and
+   direct mode's handles (routed through
+   :class:`repro.sion.openspec.ReplayGuardedFile`) alike — so SimFS
+   accounting and ``CountingBackend`` telemetry of multifile I/O are
+   deterministic and engine-independent, which is what the
+   ``collective`` and ``repartition`` benchmark suites pin.
 
 Collective *readiness* is relaxed exactly as real MPI allows: a bcast
 returns at the root immediately, a gather blocks only the root, a barrier
@@ -556,6 +554,18 @@ class BulkComm:
         comm = self.split(color=0, key=self._lrank)
         assert comm is not None
         return comm
+
+    def subworld(self, size: int) -> "BulkComm | None":
+        """Communicator over ranks ``[0, size)``; ``COMM_NULL`` elsewhere.
+
+        Same contract as :meth:`repro.simmpi.comm.Comm.subworld` — the
+        sub-world sizing hook for partitioned readers.
+        """
+        if not 1 <= size <= self.size:
+            raise CommunicatorError(
+                f"subworld size {size} out of range for {self.size} ranks"
+            )
+        return self.split(color=0 if self._lrank < size else None, key=self._lrank)
 
     def exec_once(self, fn: Callable[[], Any]) -> Any:
         """Run ``fn`` exactly once for this rank; replays return its result.

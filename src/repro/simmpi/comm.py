@@ -465,6 +465,22 @@ class Comm:
         assert comm is not None
         return comm
 
+    def subworld(self, size: int) -> "Comm | None":
+        """Communicator over ranks ``[0, size)``; :data:`COMM_NULL` elsewhere.
+
+        Sub-world sizing for partitioned readers: a job that wrote a
+        checkpoint with ``n`` tasks re-enters the multifile with its
+        first ``m`` ranks as the analysis world (``paropen(...,
+        partitioned=True)`` on the returned communicator), while the
+        remaining ranks skip the read entirely.  Collective over the
+        parent communicator.
+        """
+        if not 1 <= size <= self.size:
+            raise CommunicatorError(
+                f"subworld size {size} out of range for {self.size} ranks"
+            )
+        return self.split(color=0 if self._rank < size else None, key=self._rank)
+
     def exec_once(self, fn: Callable[[], Any]) -> Any:
         """Run ``fn`` exactly once per rank program; returns its result.
 

@@ -32,11 +32,19 @@ from repro.sion.constants import (
 )
 from repro.sion.format import Metablock1, Metablock2
 from repro.sion.layout import ChunkLayout, align_up
-from repro.sion.mapping import TaskMapping
+from repro.sion.mapping import ReadPartition, TaskMapping
 from repro.sion.buffering import CoalescingWriter
 from repro.sion.collective import SionCollectiveFile, resolve_collectsize
 from repro.sion.hybrid import HybridParallelFile, open_rank_thread, paropen_hybrid
+from repro.sion.openspec import (
+    AccessPlan,
+    OpenSpec,
+    SionPartitionedReadFile,
+    compile_plan,
+    open_access,
+)
 from repro.sion.parallel import SionParallelFile, paropen
+from repro.sion.readwrite import PartitionStream, TaskStream
 from repro.sion.serial import SionSerialFile, open, open_rank  # noqa: A004
 from repro.sion.recovery import recover_multifile
 from repro.sion.text import TextReader, TextWriter
@@ -52,8 +60,16 @@ __all__ = [
     "ChunkLayout",
     "align_up",
     "TaskMapping",
+    "ReadPartition",
+    "OpenSpec",
+    "AccessPlan",
+    "compile_plan",
+    "open_access",
     "SionParallelFile",
     "SionCollectiveFile",
+    "SionPartitionedReadFile",
+    "PartitionStream",
+    "TaskStream",
     "resolve_collectsize",
     "paropen",
     "HybridParallelFile",

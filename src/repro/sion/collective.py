@@ -37,7 +37,10 @@ not the number of tasks.
 
 Every backend interaction (open, wave write, prefetch read) is wrapped in
 ``Comm.exec_once``, so collective-mode backend telemetry is deterministic
-even under the bulk engine's memoized replay.
+even under the bulk engine's memoized replay — as is direct mode's, whose
+handles are routed through
+:class:`~repro.sion.openspec.ReplayGuardedFile` by the shared open
+pipeline.
 """
 
 from __future__ import annotations

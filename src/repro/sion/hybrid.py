@@ -19,7 +19,8 @@ from __future__ import annotations
 from repro.backends.base import Backend
 from repro.errors import SionUsageError
 from repro.simmpi.comm import Comm
-from repro.sion.parallel import SionParallelFile, paropen
+from repro.sion.openspec import OpenSpec, open_access
+from repro.sion.parallel import SionParallelFile
 from repro.sion.serial import SionRankFile, open_rank
 
 
@@ -36,14 +37,19 @@ def paropen_hybrid(
     comm: Comm,
     nthreads: int,
     chunksize: int | list[int] | None = None,
+    *,
+    backend: Backend | None = None,
     **kwargs,
 ) -> "HybridParallelFile":
     """Collectively open one multifile per thread identifier.
 
     ``chunksize`` may be a single value (same for all threads) or one per
-    thread.  All other keyword arguments are forwarded to
-    :func:`~repro.sion.parallel.paropen` (``nfiles``, ``backend``,
-    ``compress``, ``shadow``, ...).
+    thread.  All other keyword arguments become part of each thread's
+    :class:`~repro.sion.openspec.OpenSpec` (``nfiles``, ``compress``,
+    ``shadow``, ...), so every per-thread open goes through the same
+    validated pipeline as :func:`~repro.sion.parallel.paropen` — and a
+    contradictory option combination fails *before* thread 0's multifile
+    is touched, not halfway through the set.
 
     Every rank must call this with the same ``nthreads``; the per-thread
     opens are ordinary collectives executed in thread order, so no extra
@@ -65,16 +71,16 @@ def paropen_hybrid(
             )
     else:
         sizes = [None] * nthreads  # type: ignore[list-item]
-    handles = [
-        paropen(
-            thread_multifile_path(path, t),
-            mode,
-            comm,
+    specs = [
+        OpenSpec.for_paropen(
+            path=thread_multifile_path(path, t),
+            mode=mode,
             chunksize=sizes[t],
             **kwargs,
         )
         for t in range(nthreads)
     ]
+    handles = [open_access(spec, comm, backend) for spec in specs]
     return HybridParallelFile(path, mode, comm, handles)
 
 

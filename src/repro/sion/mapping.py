@@ -200,6 +200,89 @@ def _roundrobin_cached(ntasks: int, nfiles: int) -> TaskMapping:
     )
 
 
+@dataclass(frozen=True)
+class ReadPartition:
+    """Contiguous assignment of ``nwriters`` task streams to ``nreaders``.
+
+    The multifile is a portable container: its metadata lives in the file,
+    not in the job, so a reader world of *any* size may come back later.
+    A partition gives reader ``r`` the contiguous writer-rank range
+    ``[starts[r], starts[r] + counts[r])``; concatenating every reader's
+    logical stream in reader order reproduces the writer-order
+    concatenation byte for byte.  Like :class:`TaskMapping` the partition
+    is stored as flat per-reader arrays built with whole-array operations
+    and the balanced kind is cached, so re-deriving the partition of a
+    256k-stream multifile per rank costs microseconds.
+
+    More readers than writers is legal: the surplus readers own empty
+    ranges (an oversized analysis job must not crash on a small file).
+    """
+
+    nwriters: int
+    nreaders: int
+    starts: tuple[int, ...]  # reader -> first writer task of its slice
+    counts: tuple[int, ...]  # reader -> number of writer tasks
+
+    @classmethod
+    def balanced(cls, nwriters: int, nreaders: int) -> "ReadPartition":
+        """Balanced contiguous slices (earlier readers take the remainder)."""
+        if nwriters < 1:
+            raise SionUsageError(f"nwriters must be >= 1, got {nwriters}")
+        if nreaders < 1:
+            raise SionUsageError(f"nreaders must be >= 1, got {nreaders}")
+        return _balanced_partition_cached(nwriters, nreaders)
+
+    # -- queries -------------------------------------------------------------
+
+    def writers_of(self, reader: int) -> range:
+        """Writer global ranks consumed by ``reader``, in stream order."""
+        self._check_reader(reader)
+        start = self.starts[reader]
+        return range(start, start + self.counts[reader])
+
+    def reader_of(self, writer: int) -> int:
+        """The reader whose slice contains writer task ``writer``."""
+        if not 0 <= writer < self.nwriters:
+            raise SionUsageError(
+                f"writer {writer} out of range ({self.nwriters} writers)"
+            )
+        return int(
+            np.searchsorted(self._starts_array, writer, side="right") - 1
+        )
+
+    def count_of(self, reader: int) -> int:
+        """Number of writer streams assigned to ``reader``."""
+        self._check_reader(reader)
+        return self.counts[reader]
+
+    # -- internals -----------------------------------------------------------
+
+    @cached_property
+    def _starts_array(self) -> np.ndarray:
+        return np.asarray(self.starts, dtype=np.int64)
+
+    def _check_reader(self, reader: int) -> None:
+        if not 0 <= reader < self.nreaders:
+            raise SionUsageError(
+                f"reader {reader} out of range ({self.nreaders} readers)"
+            )
+
+
+@lru_cache(maxsize=128)
+def _balanced_partition_cached(nwriters: int, nreaders: int) -> ReadPartition:
+    base, extra = divmod(nwriters, nreaders)
+    counts = np.full(nreaders, base, dtype=np.int64)
+    counts[:extra] += 1
+    ends = np.cumsum(counts)
+    starts = ends - counts
+    return ReadPartition(
+        nwriters,
+        nreaders,
+        tuple(starts.tolist()),
+        tuple(counts.tolist()),
+    )
+
+
 def physical_path(base: str, filenum: int) -> str:
     """Path of physical file ``filenum`` in a multifile set.
 

@@ -1,0 +1,1067 @@
+"""One open pipeline: ``OpenSpec`` -> ``AccessPlan`` -> access handles.
+
+The paper's multifile is a *portable container*: all metadata lives in
+the file, not in the job, so any consumer — parallel, serial, collective,
+hybrid, or a differently sized reader world — can come back later.  This
+module is the single pipeline behind every entry point:
+
+* :class:`OpenSpec` — a validated, immutable description of *what* to
+  open (path, mode, chunk geometry, mapping, aggregation, compression,
+  shadow headers, partitioned-read opt-in).  It replaces the keyword
+  soup that was duplicated across ``paropen``, the collective mode, the
+  hybrid opener and the serial tools, and it rejects contradictory
+  option combinations up front with :class:`~repro.errors.SionUsageError`
+  (instead of silently ignoring half of them inside an SPMD program).
+* :func:`compile_plan` — the planner.  Runs the collective metadata
+  agreement (write) or the metadata probe/broadcast (read) and produces
+  each rank's :class:`AccessPlan`: physical file(s), chunk layout,
+  stream assignments, metablock duties, and the resolved aggregation
+  degree.
+* :func:`open_access` — compiles the plan and hands it to the matching
+  executor.  ``paropen`` (direct and collective), ``paropen_hybrid``,
+  and the serial ``open``/``open_rank`` are all thin shims over this
+  function or over the shared metadata helpers below.
+
+The planner's new capability is the **re-partitioned read**: a reader
+world of any size ``m`` over an ``n``-writer multifile.  Each reader is
+assigned a contiguous slice of writer task streams
+(:class:`~repro.sion.mapping.ReadPartition`) and drives them through
+multiplexed :class:`~repro.sion.readwrite.TaskStream` cursors
+(:class:`~repro.sion.readwrite.PartitionStream`), in direct mode and in
+collective-prefetch mode, on both SPMD engines — byte-identical to an
+``n``-rank read of the same file.
+
+Direct-mode backend interactions are routed through
+:class:`ReplayGuardedFile`, so instrumented backend telemetry is
+deterministic under the bulk engine's memoized replay (each physical
+call executes exactly once per rank; replays return the logged result).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from repro.backends.base import Backend, RawFile
+from repro.backends.localfs import LocalBackend
+from repro.buffers import BufferLike
+from repro.errors import SionUsageError
+from repro.sion.compression import ZlibReader
+from repro.sion.constants import (
+    FLAG_COMPRESS,
+    FLAG_SHADOW,
+    MAPPING_CUSTOM,
+    SHADOW_HEADER_SIZE,
+)
+from repro.sion.format import Metablock1, Metablock2
+from repro.sion.layout import ChunkLayout
+from repro.sion.mapping import ReadPartition, TaskMapping, physical_path
+from repro.sion.readwrite import PartitionStream, TaskStream
+
+
+# ---------------------------------------------------------------------------
+# OpenSpec: the validated, immutable description of an open request.
+
+
+@dataclass(frozen=True)
+class OpenSpec:
+    """What to open, validated once, shared by every entry point.
+
+    Write mode describes the geometry to create (``chunksize`` for the
+    collective opens where every rank states its own size, or
+    ``chunksizes`` for the serial creator that states all of them);
+    read mode must *not* prescribe geometry — the multifile itself is
+    authoritative — so any such option is rejected as contradictory.
+    """
+
+    path: str
+    mode: str
+    chunksize: int | None = None
+    chunksizes: tuple[int, ...] | None = None
+    fsblksize: int | None = None
+    nfiles: int | None = None
+    mapping: str | tuple[int, ...] | None = None
+    compress: bool = False
+    shadow: bool = False
+    collectsize: int | None = None
+    collectors: int | None = None
+    partitioned: bool = False
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("r", "w"):
+            raise SionUsageError(f"mode must be 'r' or 'w', got {self.mode!r}")
+        if self.collectsize is not None and self.collectors is not None:
+            raise SionUsageError(
+                "pass either collectsize or collectors, not both"
+            )
+        if self.collectsize is not None and self.collectsize < 1:
+            raise SionUsageError(
+                f"collectsize must be >= 1, got {self.collectsize}"
+            )
+        if self.collectors is not None and self.collectors < 1:
+            raise SionUsageError(
+                f"collectors must be >= 1, got {self.collectors}"
+            )
+        if self.fsblksize is not None and self.fsblksize < 1:
+            raise SionUsageError(
+                f"fsblksize must be positive: {self.fsblksize}"
+            )
+        if self.nfiles is not None and self.nfiles < 1:
+            raise SionUsageError(f"nfiles must be >= 1, got {self.nfiles}")
+        if self.mode == "w":
+            self._validate_write()
+        else:
+            self._validate_read()
+
+    def _validate_write(self) -> None:
+        if self.partitioned:
+            raise SionUsageError(
+                "partitioned access applies to read mode only; a write "
+                "world always owns one stream per task"
+            )
+        if self.chunksize is not None and self.chunksizes is not None:
+            raise SionUsageError(
+                "pass either chunksize (per-rank collective open) or "
+                "chunksizes (serial creation), not both"
+            )
+        if self.chunksize is None and self.chunksizes is None:
+            raise SionUsageError("write mode requires a non-negative chunksize")
+        if self.chunksize is not None and self.chunksize < 0:
+            raise SionUsageError("write mode requires a non-negative chunksize")
+        if self.chunksizes is not None:
+            if not self.chunksizes:
+                raise SionUsageError(
+                    "serial write requires the per-task chunk sizes"
+                )
+            if min(self.chunksizes) < 0:
+                raise SionUsageError("chunk sizes must be non-negative")
+
+    def _validate_read(self) -> None:
+        geometry_opts = (
+            ("chunksize", self.chunksize is not None),
+            ("chunksizes", self.chunksizes is not None),
+            ("fsblksize", self.fsblksize is not None),
+            ("nfiles", self.nfiles is not None),
+            ("mapping", self.mapping is not None),
+            ("compress", self.compress),
+            ("shadow", self.shadow),
+        )
+        for name, given in geometry_opts:
+            if given:
+                raise SionUsageError(
+                    f"{name} contradicts read mode: the multifile's own "
+                    "metadata is authoritative for its geometry and flags"
+                )
+
+    # -- constructors ---------------------------------------------------------
+
+    @classmethod
+    def for_paropen(
+        cls,
+        path: str,
+        mode: str,
+        *,
+        chunksize: int | None = None,
+        fsblksize: int | None = None,
+        nfiles: int = 1,
+        mapping: "str | list[int] | tuple[int, ...]" = "blocked",
+        compress: bool = False,
+        shadow: bool = False,
+        collectsize: int | None = None,
+        collectors: int | None = None,
+        partitioned: bool = False,
+    ) -> "OpenSpec":
+        """Build a spec from ``paropen``'s legacy keyword surface.
+
+        The legacy defaults (``nfiles=1``, ``mapping="blocked"``) are
+        normalized away in read mode — they were never consulted there —
+        while any *non-default* geometry option in read mode is a
+        contradiction the validator rejects.
+        """
+        if mode == "r":
+            if nfiles == 1:
+                nfiles = None  # type: ignore[assignment]
+            if mapping == "blocked":
+                mapping = None  # type: ignore[assignment]
+        if isinstance(mapping, list):
+            mapping = tuple(mapping)
+        return cls(
+            path=path,
+            mode=mode,
+            chunksize=chunksize,
+            fsblksize=fsblksize,
+            nfiles=nfiles,
+            mapping=mapping,
+            compress=compress,
+            shadow=shadow,
+            collectsize=collectsize,
+            collectors=collectors,
+            partitioned=partitioned,
+        )
+
+    @classmethod
+    def for_serial(
+        cls,
+        path: str,
+        mode: str,
+        *,
+        chunksizes: "Sequence[int] | None" = None,
+        fsblksize: int | None = None,
+        nfiles: int = 1,
+        mapping: "str | list[int] | tuple[int, ...]" = "blocked",
+    ) -> "OpenSpec":
+        """Build a spec from the serial ``open`` surface (Listing 3/5)."""
+        if mode == "r":
+            if nfiles == 1:
+                nfiles = None  # type: ignore[assignment]
+            if mapping == "blocked":
+                mapping = None  # type: ignore[assignment]
+        if mode == "w" and not chunksizes:
+            raise SionUsageError("serial write requires the per-task chunk sizes")
+        if isinstance(mapping, list):
+            mapping = tuple(mapping)
+        return cls(
+            path=path,
+            mode=mode,
+            chunksizes=tuple(chunksizes) if chunksizes is not None else None,
+            fsblksize=fsblksize,
+            nfiles=nfiles,
+            mapping=mapping,
+        )
+
+    # -- normalized views ------------------------------------------------------
+
+    @property
+    def effective_nfiles(self) -> int:
+        return self.nfiles if self.nfiles is not None else 1
+
+    @property
+    def effective_mapping(self) -> "str | list[int]":
+        if self.mapping is None:
+            return "blocked"
+        if isinstance(self.mapping, tuple):
+            return list(self.mapping)
+        return self.mapping
+
+    def resolved_collectsize(self, ntasks: int) -> int | None:
+        """The aggregation degree, normalized (``None`` = direct mode)."""
+        from repro.sion.collective import resolve_collectsize
+
+        return resolve_collectsize(self.collectsize, self.collectors, ntasks)
+
+
+# ---------------------------------------------------------------------------
+# Shared metadata helpers: one decode/build path for all four entry points.
+
+
+def load_set_geometry(backend: Backend, path: str) -> tuple:
+    """Decode file 0's metablock 1 into the set geometry.
+
+    Returns ``(nfiles, ntasks_global, mapping_kind, mapping_table)`` —
+    everything needed to rebuild the :class:`TaskMapping` of the whole
+    set.  Used by the parallel probe, the serial openers, and the tools.
+    """
+    raw = backend.open(path, "rb")
+    try:
+        mb1 = Metablock1.decode_from(raw)
+    finally:
+        raw.close()
+    return mb1.nfiles, mb1.ntasks_global, mb1.mapping_kind, mb1.mapping_table
+
+
+def load_metablocks(raw: RawFile) -> tuple[Metablock1, Metablock2, ChunkLayout]:
+    """Decode both metablocks (and the layout) from an open physical file."""
+    mb1 = Metablock1.decode_from(raw)
+    mb2 = Metablock2.decode_from(raw, mb1.metablock2_offset)
+    return mb1, mb2, ChunkLayout.from_metablock1(mb1)
+
+
+def load_file_metadata(
+    backend: Backend, fpath: str
+) -> tuple[Metablock1, Metablock2, ChunkLayout]:
+    """Open one physical file, decode its metablocks, close it."""
+    raw = backend.open(fpath, "rb")
+    try:
+        return load_metablocks(raw)
+    finally:
+        raw.close()
+
+
+def build_file_metadata(
+    tmap: TaskMapping,
+    filenum: int,
+    chunksizes: Sequence[int],
+    globalranks: Sequence[int],
+    fsblksize: int,
+    flags: int,
+) -> tuple[Metablock1, ChunkLayout]:
+    """Metablock 1 + layout of one physical file about to be created.
+
+    ``chunksizes``/``globalranks`` are the file's local arrays in
+    local-rank order.  The custom mapping table rides on file 0 only.
+    The serial creator and the parallel per-file masters both build
+    their files through this one constructor, so the on-disk metadata
+    of a multifile does not depend on which entry point created it.
+    """
+    mb1 = Metablock1(
+        fsblksize=fsblksize,
+        ntasks_local=len(chunksizes),
+        nfiles=tmap.nfiles,
+        filenum=filenum,
+        ntasks_global=tmap.ntasks,
+        start_of_data=0,
+        metablock2_offset=0,
+        globalranks=list(globalranks),
+        chunksizes=list(chunksizes),
+        flags=flags,
+        mapping_kind=tmap.kind,
+        mapping_table=(
+            tmap.table_pairs()
+            if filenum == 0 and tmap.kind == MAPPING_CUSTOM
+            else []
+        ),
+    )
+    layout = ChunkLayout(fsblksize, list(chunksizes), mb1.encoded_size)
+    mb1.start_of_data = layout.start_of_data
+    return mb1, layout
+
+
+# ---------------------------------------------------------------------------
+# Replay-guarded handles: deterministic backend telemetry under bulk replay.
+
+
+def unwrap_raw(raw: RawFile) -> RawFile:
+    """The physical handle underneath a replay guard (identity otherwise)."""
+    return raw.unguarded if isinstance(raw, ReplayGuardedFile) else raw
+
+
+class ReplayGuardedFile(RawFile):
+    """Route every backend interaction of a handle through ``exec_once``.
+
+    Direct-mode streams issue their positioned calls straight against
+    the store.  Under the bulk engine's memoized replay a rank body may
+    re-execute, and although re-issuing an idempotent positioned write
+    leaves the bytes exact, it inflates instrumented call counts
+    (``CountingBackend``, SimFS accounting).  Wrapping the handle makes
+    each physical call an ``exec_once`` op: it executes exactly once per
+    rank and replays its logged result, so direct-mode telemetry is as
+    deterministic as collective mode's.
+
+    Composite operations that must count as *one* backend call (e.g.
+    ``persist_metablock2``'s seek/write/patch/flush sequence, itself
+    wrapped in ``exec_once``) unwrap via :func:`unwrap_raw` — nesting
+    ``exec_once`` inside ``exec_once`` is an op-log violation.
+    """
+
+    def __init__(self, raw: RawFile, comm: Any) -> None:
+        self._raw = raw
+        self._comm = comm
+
+    @property
+    def unguarded(self) -> RawFile:
+        """The wrapped physical handle (for composite exec_once blocks)."""
+        return self._raw
+
+    def _once(self, fn: Callable[[], Any]) -> Any:
+        return self._comm.exec_once(fn)
+
+    # -- streaming surface --------------------------------------------------
+
+    def seek(self, offset: int, whence: int = 0) -> int:
+        return self._once(lambda: self._raw.seek(offset, whence))
+
+    def tell(self) -> int:
+        return self._once(self._raw.tell)
+
+    def read(self, n: int = -1) -> bytes:
+        return self._once(lambda: self._raw.read(n))
+
+    def write(self, data: BufferLike) -> int:
+        return self._once(lambda: self._raw.write(data))
+
+    def write_zeros(self, n: int) -> int:
+        return self._once(lambda: self._raw.write_zeros(n))
+
+    def truncate(self, size: int) -> None:
+        return self._once(lambda: self._raw.truncate(size))
+
+    def flush(self) -> None:
+        return self._once(self._raw.flush)
+
+    def close(self) -> None:
+        return self._once(self._raw.close)
+
+    # -- positioned / vectored surface --------------------------------------
+
+    def pwrite(self, offset: int, data: BufferLike) -> int:
+        return self._once(lambda: self._raw.pwrite(offset, data))
+
+    def pread(self, offset: int, n: int) -> bytes:
+        return self._once(lambda: self._raw.pread(offset, n))
+
+    def pwritev(self, offset: int, views: Sequence[BufferLike]) -> int:
+        return self._once(lambda: self._raw.pwritev(offset, views))
+
+    def preadv(self, offset: int, sizes: Sequence[int]) -> list[bytes]:
+        return self._once(lambda: self._raw.preadv(offset, sizes))
+
+    def scatter_write(self, fragments) -> int:
+        # Materialize the fragment list before the guard: the caller may
+        # pass a generator, which must not be consumed twice (it is not —
+        # exec_once runs the closure at most once — but a logged empty
+        # result from an exhausted iterator would be silent corruption).
+        frags = list(fragments)
+        return self._once(lambda: self._raw.scatter_write(frags))
+
+    def gather_read(self, requests: Sequence[tuple[int, int]]) -> list[bytes]:
+        reqs = list(requests)
+        return self._once(lambda: self._raw.gather_read(reqs))
+
+
+def open_guarded(
+    backend: Backend, path: str, mode: str, comm: Any
+) -> ReplayGuardedFile:
+    """Open a physical file once per rank and wrap it in a replay guard."""
+    return ReplayGuardedFile(
+        comm.exec_once(lambda: backend.open(path, mode)), comm
+    )
+
+
+# ---------------------------------------------------------------------------
+# AccessPlan: what one rank physically does.
+
+
+@dataclass(frozen=True)
+class StreamAssignment:
+    """One writer task stream a reader consumes (partitioned read)."""
+
+    grank: int  # writer global rank
+    filenum: int
+    lrank: int  # writer's local rank within its physical file
+    path: str
+    blocksizes: tuple[int, ...]
+
+
+@dataclass
+class AccessPlan:
+    """Per-rank physical access plan compiled from an :class:`OpenSpec`.
+
+    Write mode / matched read: the single-stream fields (``filenum``,
+    ``lrank``, ``my_path``, ``layout``, ``mb1``/``mb2``, ``lcom``)
+    describe this rank's chunk schedule and its metablock duties (the
+    per-file master — ``lcom.rank == 0`` — writes metablock 1 and later
+    metablock 2).  Partitioned read: ``partition`` plus one
+    :class:`StreamAssignment` per assigned writer stream, with the
+    per-file metadata in ``file_layouts``.
+    """
+
+    spec: OpenSpec
+    ntasks: int
+    mapping: TaskMapping
+    collectsize: int | None
+    compress: bool = False
+    shadow: bool = False
+    # -- single-stream (write / matched read) --------------------------------
+    filenum: int | None = None
+    lrank: int | None = None
+    my_path: str | None = None
+    layout: ChunkLayout | None = None
+    mb1: Metablock1 | None = None
+    mb2: Metablock2 | None = None
+    lcom: Any = None
+    # -- partitioned read ----------------------------------------------------
+    partition: ReadPartition | None = None
+    assignments: tuple[StreamAssignment, ...] = ()
+    file_layouts: dict[int, ChunkLayout] = field(default_factory=dict)
+
+
+# ---------------------------------------------------------------------------
+# The pipeline.
+
+
+def open_access(spec: OpenSpec, comm: Any, backend: Backend | None = None):
+    """Compile ``spec`` into this rank's plan and open the access handle.
+
+    The one pipeline behind ``paropen`` (direct, collective, partitioned)
+    and ``paropen_hybrid``.  Collective over ``comm``.
+    """
+    backend = backend if backend is not None else LocalBackend()
+    if spec.mode == "w":
+        plan = compile_write_plan(spec, comm, backend)
+        return _execute_write(plan, comm, backend)
+    plan = compile_read_plan(spec, comm, backend)
+    if plan.partition is not None:
+        return _execute_partitioned_read(plan, comm, backend)
+    return _execute_matched_read(plan, comm, backend)
+
+
+def compile_plan(spec: OpenSpec, comm: Any, backend: Backend) -> AccessPlan:
+    """Compile an :class:`AccessPlan` without opening data handles."""
+    if spec.mode == "w":
+        return compile_write_plan(spec, comm, backend)
+    return compile_read_plan(spec, comm, backend)
+
+
+def compile_write_plan(spec: OpenSpec, comm: Any, backend: Backend) -> AccessPlan:
+    """The collective write agreement (paper Listing 1, metadata half).
+
+    Tasks agree on the task-to-file mapping and alignment granularity,
+    per-file masters persist metablock 1, and every rank leaves with the
+    shared layout of its physical file.
+    """
+    chunksize = spec.chunksize
+    if chunksize is None or chunksize < 0:
+        raise SionUsageError("write mode requires a non-negative chunksize")
+    ntasks = comm.size
+    collectsize = spec.resolved_collectsize(ntasks)
+    tmap = TaskMapping.create(ntasks, spec.effective_nfiles, spec.effective_mapping)
+    myfile = tmap.file_of(comm.rank)
+    lrank = tmap.local_rank(comm.rank)
+    mypath = physical_path(spec.path, myfile)
+
+    # Rank 0 determines the alignment granularity for the whole set.
+    fsblksize = spec.fsblksize
+    if fsblksize is None:
+        probed = backend.stat_blocksize(spec.path) if comm.rank == 0 else None
+        fsblksize = comm.bcast(probed, root=0)
+    assert fsblksize is not None
+    if fsblksize < 1:
+        raise SionUsageError(f"fsblksize must be positive: {fsblksize}")
+
+    lcom = comm.split(color=myfile, key=comm.rank)
+    assert lcom is not None
+
+    flags = (FLAG_COMPRESS if spec.compress else 0) | (
+        FLAG_SHADOW if spec.shadow else 0
+    )
+    # Per-file master gathers (global rank, chunksize) and writes metablock 1.
+    gathered = lcom.gather((comm.rank, int(chunksize)), root=0)
+    layout: ChunkLayout
+    if lcom.rank == 0:
+        assert gathered is not None
+        granks = [g for g, _ in gathered]
+        chunks = [c for _, c in gathered]
+        mb1, layout = build_file_metadata(
+            tmap, myfile, chunks, granks, fsblksize, flags
+        )
+        # exec_once: the truncating create must not repeat if the bulk
+        # engine replays this rank body (thread engine: plain call).
+        lcom.exec_once(lambda: _create_with_metablock1(backend, mypath, mb1))
+        # The root adopts the *broadcast* objects too: under bulk-engine
+        # replay the locally rebuilt layout/mb1 would be fresh instances,
+        # and parclose's metablock2_offset patch must land on the single
+        # mb1 every rank of this file shares.
+        layout, mb1 = lcom.bcast((layout, mb1), root=0)
+    else:
+        # bcast alone orders the create: a non-root rank cannot return
+        # before the root deposited, and the root deposits only after the
+        # exec_once above persisted metablock 1 — so the file exists for
+        # everyone here without an extra barrier wave.
+        layout, mb1 = lcom.bcast(None, root=0)
+    return AccessPlan(
+        spec=spec,
+        ntasks=ntasks,
+        mapping=tmap,
+        collectsize=collectsize,
+        compress=spec.compress,
+        shadow=spec.shadow,
+        filenum=myfile,
+        lrank=lrank,
+        my_path=mypath,
+        layout=layout,
+        mb1=mb1,
+        lcom=lcom,
+    )
+
+
+def _create_with_metablock1(backend: Backend, path: str, mb1: Metablock1) -> None:
+    """Create/truncate one physical file and persist its metablock 1."""
+    raw = backend.open(path, "w+b")
+    try:
+        raw.write(mb1.encode())
+        raw.flush()
+    finally:
+        raw.close()
+
+
+def compile_read_plan(spec: OpenSpec, comm: Any, backend: Backend) -> AccessPlan:
+    """The read-side metadata probe: set geometry, then per-rank duties.
+
+    A matched world (``comm.size == ntasks`` recorded in the file, and
+    ``partitioned`` unset) keeps the historical per-file broadcast plan;
+    a partitioned world of any size gets a :class:`ReadPartition` over
+    the writer task streams with one :class:`StreamAssignment` per
+    stream in its contiguous slice.
+    """
+    # Rank 0 reads file 0's metablock 1 to learn the set geometry
+    # (exec_once: decoding a 256k-task metablock is worth not replaying).
+    info = (
+        comm.exec_once(lambda: load_set_geometry(backend, spec.path))
+        if comm.rank == 0
+        else None
+    )
+    nfiles, ntasks_global, kind, table = comm.bcast(info, root=0)
+    collectsize = spec.resolved_collectsize(comm.size)
+    tmap = TaskMapping.from_kind_code(ntasks_global, nfiles, kind, table)
+    if not spec.partitioned:
+        if ntasks_global != comm.size:
+            raise SionUsageError(
+                f"multifile was written by {ntasks_global} tasks but the "
+                f"communicator has {comm.size}; re-open with "
+                "partitioned=True (any reader count) or use the serial API"
+            )
+        myfile = tmap.file_of(comm.rank)
+        return AccessPlan(
+            spec=spec,
+            ntasks=ntasks_global,
+            mapping=tmap,
+            collectsize=collectsize,
+            filenum=myfile,
+            lrank=tmap.local_rank(comm.rank),
+            my_path=physical_path(spec.path, myfile),
+        )
+
+    # Partitioned read: rank 0 loads every physical file's metadata once
+    # and broadcasts it; readers whose slices span several files need no
+    # further per-file choreography.
+    partition = ReadPartition.balanced(ntasks_global, comm.size)
+    if comm.rank == 0:
+        metadata = comm.exec_once(
+            lambda: [
+                load_file_metadata(backend, physical_path(spec.path, f))
+                for f in range(nfiles)
+            ]
+        )
+        metadata = comm.bcast(metadata, root=0)
+    else:
+        metadata = comm.bcast(None, root=0)
+    flags = metadata[0][0].flags
+    file_layouts = {f: metadata[f][2] for f in range(nfiles)}
+    assignments = []
+    for grank in partition.writers_of(comm.rank):
+        f = tmap.file_of(grank)
+        lrank = tmap.local_rank(grank)
+        assignments.append(
+            StreamAssignment(
+                grank=grank,
+                filenum=f,
+                lrank=lrank,
+                path=physical_path(spec.path, f),
+                blocksizes=tuple(metadata[f][1].blocksizes[lrank]),
+            )
+        )
+    return AccessPlan(
+        spec=spec,
+        ntasks=ntasks_global,
+        mapping=tmap,
+        collectsize=collectsize,
+        compress=bool(flags & FLAG_COMPRESS),
+        shadow=bool(flags & FLAG_SHADOW),
+        mb1=metadata[0][0],
+        partition=partition,
+        assignments=tuple(assignments),
+        file_layouts=file_layouts,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Executors.
+
+
+def _execute_write(plan: AccessPlan, comm: Any, backend: Backend):
+    from repro.sion.parallel import SionParallelFile
+
+    assert plan.layout is not None and plan.mb1 is not None
+    assert plan.my_path is not None and plan.lrank is not None
+    if plan.collectsize is not None:
+        from repro.sion.collective import open_collective_write
+
+        return open_collective_write(
+            comm, plan.lcom, plan.lrank, plan.collectsize, backend,
+            plan.spec.path, plan.my_path, plan.layout, plan.mb1,
+            plan.mapping, plan.compress, plan.shadow,
+        )
+    raw = open_guarded(backend, plan.my_path, "r+b", plan.lcom)
+    stream = TaskStream(raw, plan.layout, plan.lrank, "w", shadow=plan.shadow)
+    return SionParallelFile(
+        mode="w",
+        comm=comm,
+        lcom=plan.lcom,
+        backend=backend,
+        base_path=plan.spec.path,
+        my_path=plan.my_path,
+        raw=raw,
+        stream=stream,
+        layout=plan.layout,
+        mb1=plan.mb1,
+        mapping=plan.mapping,
+        compress=plan.compress,
+    )
+
+
+def _execute_matched_read(plan: AccessPlan, comm: Any, backend: Backend):
+    from repro.sion.parallel import SionParallelFile
+
+    assert plan.my_path is not None and plan.lrank is not None
+    lcom = comm.split(color=plan.filenum, key=comm.rank)
+    assert lcom is not None
+    my_path = plan.my_path
+
+    if lcom.rank == 0:
+        mb1, mb2, layout = lcom.exec_once(
+            lambda: load_file_metadata(backend, my_path)
+        )
+        lcom.bcast((mb1, mb2, layout), root=0)
+    else:
+        mb1, mb2, layout = lcom.bcast(None, root=0)
+    compress = bool(mb1.flags & FLAG_COMPRESS)
+    shadow = bool(mb1.flags & FLAG_SHADOW)
+    if plan.collectsize is not None:
+        from repro.sion.collective import open_collective_read
+
+        return open_collective_read(
+            comm, lcom, plan.lrank, plan.collectsize, backend,
+            plan.spec.path, my_path, layout, mb1, mb2, plan.mapping,
+            compress=compress, shadow=shadow,
+        )
+    raw = open_guarded(backend, my_path, "rb", lcom)
+    stream = TaskStream(
+        raw,
+        layout,
+        plan.lrank,
+        "r",
+        blocksizes=mb2.blocksizes[plan.lrank],
+        shadow=shadow,
+    )
+    return SionParallelFile(
+        mode="r",
+        comm=comm,
+        lcom=lcom,
+        backend=backend,
+        base_path=plan.spec.path,
+        my_path=my_path,
+        raw=raw,
+        stream=stream,
+        layout=layout,
+        mb1=mb1,
+        mapping=plan.mapping,
+        compress=compress,
+    )
+
+
+def _execute_partitioned_read(plan: AccessPlan, comm: Any, backend: Backend):
+    if plan.collectsize is not None:
+        return _open_partitioned_prefetch(plan, comm, backend)
+    # Direct partitioned mode: each reader opens every physical file its
+    # slice touches exactly once (replay-guarded), and the multiplexed
+    # cursor batches the streams' fragment plans so a whole-slice read
+    # costs one vectored call per touched file — O(readers) physical
+    # data calls for the world, however many writer streams there are.
+    raws: dict[int, RawFile] = {}
+    streams: list[TaskStream] = []
+    for a in plan.assignments:
+        raw = raws.get(a.filenum)
+        if raw is None:
+            raw = raws[a.filenum] = open_guarded(backend, a.path, "rb", comm)
+        streams.append(
+            TaskStream(
+                raw,
+                plan.file_layouts[a.filenum],
+                a.lrank,
+                "r",
+                blocksizes=list(a.blocksizes),
+                shadow=plan.shadow,
+            )
+        )
+    return SionPartitionedReadFile(
+        comm=comm,
+        backend=backend,
+        base_path=plan.spec.path,
+        plan=plan,
+        streams=streams,
+        own_raws=list(raws.values()),
+        close_via=comm,
+    )
+
+
+def _open_partitioned_prefetch(plan: AccessPlan, comm: Any, backend: Backend):
+    """Collective-prefetch partitioned read: one wave per collector group.
+
+    Readers are grouped world-wide by the resolved ``collectsize``; each
+    sender plans the complete request list of *every* writer stream in
+    its slice, the group's collector fetches all of them in one
+    ``gather_read`` per touched physical file, and ``scatterv`` hands
+    each sender its per-stream fragments.  Later reads are served from
+    :class:`~repro.sion.collective.PreloadedFragments` without touching
+    the store — physical data calls scale with collectors x files, not
+    with readers or writer streams.
+    """
+    from repro.sion.collective import PreloadedFragments
+
+    assert plan.collectsize is not None
+    ccom = comm.split(color=comm.rank // plan.collectsize, key=comm.rank)
+    assert ccom is not None
+    data_offset = SHADOW_HEADER_SIZE if plan.shadow else 0
+    per_stream_requests = []
+    for a in plan.assignments:
+        layout = plan.file_layouts[a.filenum]
+        per_stream_requests.append(
+            (
+                a.path,
+                tuple(
+                    layout.read_requests(a.lrank, list(a.blocksizes), data_offset)
+                ),
+            )
+        )
+    gathered = ccom.gather(tuple(per_stream_requests), root=0)
+    collector_raws: list[RawFile] = []
+    if ccom.rank == 0:
+        assert gathered is not None
+        # Bucket every (sender, stream) request list by physical path,
+        # preserving order, and fetch each path's bucket in one call.
+        order: list[str] = []
+        buckets: dict[str, list[tuple[int, int]]] = {}
+        slices: list[list[tuple[str, int, int]]] = []
+        for sender_reqs in gathered:
+            sender_slices = []
+            for path, reqs in sender_reqs:
+                if path not in buckets:
+                    buckets[path] = []
+                    order.append(path)
+                start = len(buckets[path])
+                buckets[path].extend(reqs)
+                sender_slices.append((path, start, len(reqs)))
+            slices.append(sender_slices)
+        pieces_by_path: dict[str, list[bytes]] = {}
+        for path in order:
+            raw = ccom.exec_once(lambda p=path: backend.open(p, "rb"))
+            collector_raws.append(raw)
+            reqs = buckets[path]
+            handle = raw
+            pieces_by_path[path] = (
+                ccom.exec_once(lambda h=handle, r=reqs: h.gather_read(r))
+                if reqs
+                else []
+            )
+        per_sender = [
+            [
+                tuple(pieces_by_path[path][start : start + count])
+                for path, start, count in sender_slices
+            ]
+            for sender_slices in slices
+        ]
+        mine = ccom.scatterv(per_sender, root=0)
+    else:
+        mine = ccom.scatterv(None, root=0)
+    streams: list[TaskStream] = []
+    for (path, reqs), pieces, a in zip(per_stream_requests, mine, plan.assignments):
+        preloaded = PreloadedFragments(
+            list(zip([off for off, _ in reqs], pieces))
+        )
+        streams.append(
+            TaskStream(
+                preloaded,
+                plan.file_layouts[a.filenum],
+                a.lrank,
+                "r",
+                blocksizes=list(a.blocksizes),
+                shadow=plan.shadow,
+            )
+        )
+    return SionPartitionedReadFile(
+        comm=comm,
+        backend=backend,
+        base_path=plan.spec.path,
+        plan=plan,
+        streams=streams,
+        own_raws=collector_raws,
+        close_via=ccom,
+    )
+
+
+# ---------------------------------------------------------------------------
+# The partitioned read handle.
+
+
+class SionPartitionedReadFile:
+    """One reader's handle on a multifile opened with ``partitioned=True``.
+
+    The reader owns a contiguous slice of writer task streams; its
+    logical stream is their concatenation in writer-rank order, so the
+    world's readers together reproduce an ``n``-rank read byte for byte.
+    The read API mirrors :class:`~repro.sion.parallel.SionParallelFile`
+    (``fread``/``read``/``read_all``/``feof``/``bytes_avail_in_chunk``),
+    with the multiplexed cursor crossing writer-stream boundaries the
+    way the single-stream cursor crosses chunk boundaries.
+    """
+
+    mode = "r"
+
+    def __init__(
+        self,
+        comm: Any,
+        backend: Backend,
+        base_path: str,
+        plan: AccessPlan,
+        streams: list[TaskStream],
+        own_raws: list[RawFile],
+        close_via: Any,
+    ) -> None:
+        self.comm = comm
+        self.backend = backend
+        self.base_path = base_path
+        self.plan = plan
+        self.mapping = plan.mapping
+        self.compress = plan.compress
+        self._streams = streams
+        self._own_raws = own_raws
+        self._close_via = close_via
+        self._mux = PartitionStream(streams)
+        self._closed = False
+        # Compressed sets: every writer stream is an independent zlib
+        # stream, decompressed separately and concatenated.
+        self._zrs = [ZlibReader() for _ in streams] if plan.compress else None
+        self._zidx = 0
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def partition(self) -> ReadPartition:
+        """The world's reader -> writer-slice assignment."""
+        assert self.plan.partition is not None
+        return self.plan.partition
+
+    @property
+    def writer_ranks(self) -> range:
+        """Writer global ranks this reader consumes, in stream order."""
+        return self.partition.writers_of(self.comm.rank)
+
+    @property
+    def nwriters(self) -> int:
+        """Number of logical task streams recorded in the multifile."""
+        return self.plan.ntasks
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def tell_logical(self) -> int:
+        """Raw chunk-stream bytes consumed so far across the slice."""
+        self._check_open()
+        return self._mux.tell_logical()
+
+    # -- read API -----------------------------------------------------------
+
+    def feof(self) -> bool:
+        """True once every assigned writer stream is exhausted."""
+        self._check_open()
+        if self._zrs is not None:
+            return self._zcur() is None
+        return self._mux.feof()
+
+    def bytes_avail_in_chunk(self) -> int:
+        """Unread data bytes in the current writer stream's chunk."""
+        self._check_open()
+        self._no_compress("bytes_avail_in_chunk")
+        return self._mux.bytes_avail_in_chunk()
+
+    def read(self, n: int) -> bytes:
+        """Read within the current chunk of the current writer stream."""
+        self._check_open()
+        self._no_compress("read")
+        return self._mux.read(n)
+
+    def fread(self, n: int) -> bytes:
+        """Read up to ``n`` logical bytes, crossing chunk *and* writer
+        stream boundaries."""
+        self._check_open()
+        if n < 0:
+            raise SionUsageError("read size must be non-negative")
+        if self._zrs is None:
+            return self._mux.fread(n)
+        parts: list[bytes] = []
+        want = n
+        while want > 0:
+            cur = self._zcur()
+            if cur is None:
+                break
+            zr, stream = cur
+            self._zpump(zr, stream, want)
+            piece = zr.take(want)
+            if not piece and zr.exhausted:
+                self._zidx += 1
+                continue
+            if not piece:
+                break
+            parts.append(piece)
+            want -= len(piece)
+        return b"".join(parts)
+
+    def read_all(self) -> bytes:
+        """Everything that remains of this reader's slice."""
+        self._check_open()
+        if self._zrs is None:
+            return self._mux.read_all()
+        parts = []
+        while True:
+            piece = self.fread(1 << 20)
+            if not piece:
+                break
+            parts.append(piece)
+        return b"".join(parts)
+
+    # -- collective close ---------------------------------------------------
+
+    def parclose(self) -> None:
+        """Collective close of the reader world."""
+        if self._closed:
+            raise SionUsageError("multifile already closed")
+        for raw in self._own_raws:
+            if isinstance(raw, ReplayGuardedFile):
+                raw.close()
+            else:
+                # Prefetch-mode collector handles were opened under
+                # exec_once and are shared across bulk-engine replays;
+                # they must close exactly once.
+                self._close_via.exec_once(raw.close)
+        self._closed = True
+        self.comm.barrier()
+
+    def __enter__(self) -> "SionPartitionedReadFile":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        if not self._closed:
+            self.parclose()
+
+    # -- internals ----------------------------------------------------------
+
+    def _zcur(self):
+        assert self._zrs is not None
+        while self._zidx < len(self._streams):
+            zr = self._zrs[self._zidx]
+            stream = self._streams[self._zidx]
+            if not zr.exhausted or zr.available():
+                return zr, stream
+            self._zidx += 1
+        return None
+
+    def _zpump(self, zr: ZlibReader, stream: TaskStream, want: int) -> None:
+        while zr.available() < want and not stream.feof():
+            piece = stream.fread(64 * 1024)
+            if not piece:
+                break
+            zr.feed(piece)
+        if stream.feof():
+            zr.source_exhausted()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise SionUsageError("multifile is closed")
+
+    def _no_compress(self, op: str) -> None:
+        if self.compress:
+            raise SionUsageError(
+                f"{op} is unavailable with transparent compression; "
+                "use fread/read_all, which manage boundaries internally"
+            )

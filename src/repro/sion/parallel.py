@@ -7,6 +7,12 @@ layout information is distributed, and every task receives a
 and close, reads and writes are completely independent (no communication).
 :meth:`SionParallelFile.parclose` is the matching collective close, where
 masters collect per-task byte counts and append metablock 2.
+
+The metadata agreement itself lives in :mod:`repro.sion.openspec`:
+``paropen`` is a thin shim building an
+:class:`~repro.sion.openspec.OpenSpec` and handing it to the shared
+``OpenSpec -> AccessPlan`` pipeline, the same one behind the collective,
+hybrid, serial, and partitioned entry points.
 """
 
 from __future__ import annotations
@@ -14,14 +20,13 @@ from __future__ import annotations
 from typing import Any
 
 from repro.backends.base import Backend, RawFile
-from repro.backends.localfs import LocalBackend
 from repro.buffers import BufferLike, as_view
 from repro.errors import SionUsageError
-from repro.sion.constants import FLAG_COMPRESS, FLAG_SHADOW, MAPPING_CUSTOM
 from repro.sion.compression import ZlibReader, ZlibWriter
 from repro.sion.format import Metablock1, Metablock2
 from repro.sion.layout import ChunkLayout
-from repro.sion.mapping import TaskMapping, physical_path
+from repro.sion.mapping import TaskMapping
+from repro.sion.openspec import OpenSpec, open_access, unwrap_raw
 from repro.sion.readwrite import TaskStream
 from repro.simmpi.comm import Comm
 
@@ -40,6 +45,7 @@ def paropen(
     shadow: bool = False,
     collectsize: int | None = None,
     collectors: int | None = None,
+    partitioned: bool = False,
 ) -> "SionParallelFile":
     """Collectively open a multifile for parallel access.
 
@@ -47,7 +53,7 @@ def paropen(
 
     ``chunksize``
         Maximum bytes this task writes *in one piece* (write mode).  May
-        differ per task.  Ignored when reading.
+        differ per task.
     ``fsblksize``
         Alignment granularity.  Defaults to the file system's block size
         (determined via the backend's ``stat_blocksize``, the paper's
@@ -68,136 +74,39 @@ def paropen(
         of tasks.  ``collectors=N`` is sugar for ``collectsize =
         ceil(ntasks / N)``.  Files are byte-identical to direct mode; see
         :mod:`repro.sion.collective`.
+    ``partitioned``
+        Read mode only: accept a reader world of **any** size over the
+        multifile.  Each reader receives a contiguous slice of the
+        recorded writer task streams
+        (:class:`~repro.sion.mapping.ReadPartition`) and a
+        :class:`~repro.sion.openspec.SionPartitionedReadFile` handle
+        whose multiplexed cursor concatenates them — byte-identical to a
+        matched-world read.  Works with ``collectsize``/``collectors``
+        (collective-prefetch partitioned read).
+
+    Write-mode geometry options are contradictory in read mode (the
+    multifile's own metadata is authoritative) and rejected with
+    :class:`~repro.errors.SionUsageError` by the
+    :class:`~repro.sion.openspec.OpenSpec` validator.
 
     Returns each task's :class:`SionParallelFile` handle (a
     :class:`~repro.sion.collective.SionCollectiveFile` in collective
-    mode).
+    mode, a partitioned read handle with ``partitioned=True``).
     """
-    if mode not in ("r", "w"):
-        raise SionUsageError(f"mode must be 'r' or 'w', got {mode!r}")
-    backend = backend if backend is not None else LocalBackend()
-    from repro.sion.collective import resolve_collectsize
-
-    collectsize = resolve_collectsize(collectsize, collectors, comm.size)
-    if mode == "w":
-        return _paropen_write(
-            path, comm, chunksize, fsblksize, nfiles, mapping, backend,
-            compress, shadow, collectsize,
-        )
-    return _paropen_read(path, comm, backend, collectsize)
-
-
-def _paropen_write(
-    path: str,
-    comm: Comm,
-    chunksize: int | None,
-    fsblksize: int | None,
-    nfiles: int,
-    mapping: str | list[int],
-    backend: Backend,
-    compress: bool,
-    shadow: bool,
-    collectsize: int | None = None,
-) -> "SionParallelFile":
-    if chunksize is None or chunksize < 0:
-        raise SionUsageError("write mode requires a non-negative chunksize")
-    ntasks = comm.size
-    tmap = TaskMapping.create(ntasks, nfiles, mapping)
-    myfile = tmap.file_of(comm.rank)
-    lrank = tmap.local_rank(comm.rank)
-    mypath = physical_path(path, myfile)
-
-    # Rank 0 determines the alignment granularity for the whole set.
-    if fsblksize is None:
-        probed = backend.stat_blocksize(path) if comm.rank == 0 else None
-        fsblksize = comm.bcast(probed, root=0)
-    assert fsblksize is not None
-    if fsblksize < 1:
-        raise SionUsageError(f"fsblksize must be positive: {fsblksize}")
-
-    lcom = comm.split(color=myfile, key=comm.rank)
-    assert lcom is not None
-
-    flags = (FLAG_COMPRESS if compress else 0) | (FLAG_SHADOW if shadow else 0)
-    # Per-file master gathers (global rank, chunksize) and writes metablock 1.
-    gathered = lcom.gather((comm.rank, int(chunksize)), root=0)
-    layout: ChunkLayout
-    if lcom.rank == 0:
-        assert gathered is not None
-        granks = [g for g, _ in gathered]
-        chunks = [c for _, c in gathered]
-        mb1 = Metablock1(
-            fsblksize=fsblksize,
-            ntasks_local=len(chunks),
-            nfiles=tmap.nfiles,
-            filenum=myfile,
-            ntasks_global=ntasks,
-            start_of_data=0,
-            metablock2_offset=0,
-            globalranks=granks,
-            chunksizes=chunks,
-            flags=flags,
-            mapping_kind=tmap.kind,
-            mapping_table=(
-                tmap.table_pairs()
-                if myfile == 0 and tmap.kind == MAPPING_CUSTOM
-                else []
-            ),
-        )
-        layout = ChunkLayout(fsblksize, chunks, mb1.encoded_size)
-        mb1.start_of_data = layout.start_of_data
-        # exec_once: the truncating create must not repeat if the bulk
-        # engine replays this rank body (thread engine: plain call).
-        lcom.exec_once(lambda: _create_with_metablock1(backend, mypath, mb1))
-        # The root adopts the *broadcast* objects too: under bulk-engine
-        # replay the locally rebuilt layout/mb1 would be fresh instances,
-        # and parclose's metablock2_offset patch must land on the single
-        # mb1 every rank of this file shares.
-        layout, mb1 = lcom.bcast((layout, mb1), root=0)
-    else:
-        # bcast alone orders the create: a non-root rank cannot return
-        # before the root deposited, and the root deposits only after the
-        # exec_once above persisted metablock 1 — so the file exists for
-        # everyone here without an extra barrier wave.
-        layout, mb1 = lcom.bcast(None, root=0)
-    if collectsize is not None:
-        from repro.sion.collective import open_collective_write
-
-        return open_collective_write(
-            comm, lcom, lrank, collectsize, backend, path, mypath,
-            layout, mb1, tmap, compress, shadow,
-        )
-    # Opened per execution on purpose: under bulk-engine replay the
-    # direct-mode stream re-issues its (idempotent) positioned writes, so
-    # the handle must be fresh each run.  Collective mode, whose data
-    # moves only through exec_once-guarded waves, reuses one logged
-    # handle instead (see repro.sion.collective).
-    raw = backend.open(mypath, "r+b")
-    stream = TaskStream(raw, layout, lrank, "w", shadow=shadow)
-    return SionParallelFile(
-        mode="w",
-        comm=comm,
-        lcom=lcom,
-        backend=backend,
-        base_path=path,
-        my_path=mypath,
-        raw=raw,
-        stream=stream,
-        layout=layout,
-        mb1=mb1,
-        mapping=tmap,
+    spec = OpenSpec.for_paropen(
+        path=path,
+        mode=mode,
+        chunksize=chunksize,
+        fsblksize=fsblksize,
+        nfiles=nfiles,
+        mapping=mapping,
         compress=compress,
+        shadow=shadow,
+        collectsize=collectsize,
+        collectors=collectors,
+        partitioned=partitioned,
     )
-
-
-def _create_with_metablock1(backend: Backend, path: str, mb1: Metablock1) -> None:
-    """Create/truncate one physical file and persist its metablock 1."""
-    raw = backend.open(path, "w+b")
-    try:
-        raw.write(mb1.encode())
-        raw.flush()
-    finally:
-        raw.close()
+    return open_access(spec, comm, backend)
 
 
 def persist_metablock2(
@@ -212,7 +121,9 @@ def persist_metablock2(
     Shared by direct and collective parclose.  Wrapped in ``exec_once``:
     a bulk-engine replay of the close sequence must not re-write the
     metablock (the bytes would be identical, but instrumented backends
-    would double-count the boundary crossing).
+    would double-count the boundary crossing).  Callers pass the
+    *unguarded* physical handle — the sequence is one composite op, and
+    a replay-guarded handle would nest ``exec_once`` inside ``exec_once``.
     """
     mb2 = Metablock2(blocksizes=blocksizes)
     offset = layout.end_of_blocks(mb2.maxblocks)
@@ -224,87 +135,6 @@ def persist_metablock2(
         raw.flush()
 
     lcom.exec_once(_persist)
-
-
-def _paropen_read(
-    path: str, comm: Comm, backend: Backend, collectsize: int | None = None
-) -> "SionParallelFile":
-    # Rank 0 reads file 0's metablock 1 to learn the set geometry
-    # (exec_once: decoding a 256k-task metablock is worth not replaying).
-    def _probe() -> tuple:
-        probe = backend.open(path, "rb")
-        try:
-            mb1_0 = Metablock1.decode_from(probe)
-        finally:
-            probe.close()
-        return (
-            mb1_0.nfiles,
-            mb1_0.ntasks_global,
-            mb1_0.mapping_kind,
-            mb1_0.mapping_table,
-        )
-
-    info = comm.exec_once(_probe) if comm.rank == 0 else None
-    nfiles, ntasks_global, kind, table = comm.bcast(info, root=0)
-    if ntasks_global != comm.size:
-        raise SionUsageError(
-            f"multifile was written by {ntasks_global} tasks but the "
-            f"communicator has {comm.size}; use the serial API for other shapes"
-        )
-    tmap = TaskMapping.from_kind_code(ntasks_global, nfiles, kind, table)
-    myfile = tmap.file_of(comm.rank)
-    lrank = tmap.local_rank(comm.rank)
-    mypath = physical_path(path, myfile)
-
-    lcom = comm.split(color=myfile, key=comm.rank)
-    assert lcom is not None
-
-    def _load_metadata() -> tuple:
-        raw0 = backend.open(mypath, "rb")
-        try:
-            mb1 = Metablock1.decode_from(raw0)
-            mb2 = Metablock2.decode_from(raw0, mb1.metablock2_offset)
-        finally:
-            raw0.close()
-        return mb1, mb2, ChunkLayout.from_metablock1(mb1)
-
-    if lcom.rank == 0:
-        mb1, mb2, layout = lcom.exec_once(_load_metadata)
-        lcom.bcast((mb1, mb2, layout), root=0)
-    else:
-        mb1, mb2, layout = lcom.bcast(None, root=0)
-    if collectsize is not None:
-        from repro.sion.collective import open_collective_read
-
-        return open_collective_read(
-            comm, lcom, lrank, collectsize, backend, path, mypath,
-            layout, mb1, mb2, tmap,
-            compress=bool(mb1.flags & FLAG_COMPRESS),
-            shadow=bool(mb1.flags & FLAG_SHADOW),
-        )
-    raw = backend.open(mypath, "rb")
-    stream = TaskStream(
-        raw,
-        layout,
-        lrank,
-        "r",
-        blocksizes=mb2.blocksizes[lrank],
-        shadow=bool(mb1.flags & FLAG_SHADOW),
-    )
-    return SionParallelFile(
-        mode="r",
-        comm=comm,
-        lcom=lcom,
-        backend=backend,
-        base_path=path,
-        my_path=mypath,
-        raw=raw,
-        stream=stream,
-        layout=layout,
-        mb1=mb1,
-        mapping=tmap,
-        compress=bool(mb1.flags & FLAG_COMPRESS),
-    )
 
 
 class SionParallelFile:
@@ -482,7 +312,8 @@ class SionParallelFile:
             if self.lcom.rank == 0:
                 assert gathered is not None and self._raw is not None
                 persist_metablock2(
-                    self.lcom, self._raw, self.layout, self.mb1, gathered
+                    self.lcom, unwrap_raw(self._raw), self.layout, self.mb1,
+                    gathered,
                 )
         self._close_raw()
         self._closed = True

@@ -338,3 +338,131 @@ class TaskStream:
         if self.mode != mode:
             verb = "write" if mode == "w" else "read"
             raise SionUsageError(f"stream is not open for {verb} (mode={self.mode!r})")
+
+
+class PartitionStream:
+    """Multiplexed read cursor over several tasks' streams.
+
+    A partitioned reader consumes a contiguous slice of writer task
+    streams; this cursor presents their concatenation (in writer-rank
+    order) with the same semantics a single :class:`TaskStream` offers.
+    The chunk-spanning :meth:`fread` extends the single-stream plan one
+    level up: it collects the *complete* fragment plan across writer
+    streams, merges the requests of streams sharing a physical handle,
+    and issues **one** vectored ``gather_read`` per distinct handle — so
+    a reader draining its whole slice costs one physical call per
+    touched file, not one per writer stream.
+
+    Streams must be read-mode :class:`TaskStream` instances.  The cursor
+    owns their advancement; do not interleave direct stream reads.
+    """
+
+    def __init__(self, streams: "list[TaskStream]") -> None:
+        for s in streams:
+            if s.mode != "r":
+                raise SionUsageError("PartitionStream requires read-mode streams")
+        self._streams = streams
+        self._idx = 0
+
+    # -- cursor state --------------------------------------------------------
+
+    @property
+    def nstreams(self) -> int:
+        """Writer streams multiplexed by this cursor."""
+        return len(self._streams)
+
+    def _advance(self) -> None:
+        while self._idx < len(self._streams) and self._streams[self._idx].feof():
+            self._idx += 1
+
+    def _current(self) -> "TaskStream | None":
+        self._advance()
+        if self._idx >= len(self._streams):
+            return None
+        return self._streams[self._idx]
+
+    def feof(self) -> bool:
+        """True once every multiplexed stream is exhausted."""
+        return self._current() is None
+
+    def tell_logical(self) -> int:
+        """Bytes consumed so far across the whole slice."""
+        return sum(s.tell_logical() for s in self._streams)
+
+    # -- chunk-local operations (current stream) -----------------------------
+
+    def bytes_avail_in_chunk(self) -> int:
+        """Unread data bytes in the current stream's current chunk."""
+        s = self._current()
+        return s.bytes_avail_in_chunk() if s is not None else 0
+
+    def read(self, n: int) -> bytes:
+        """Read within the current chunk of the current stream."""
+        s = self._current()
+        return s.read(n) if s is not None else b""
+
+    # -- slice-spanning operations -------------------------------------------
+
+    def fread(self, n: int) -> bytes:
+        """Read up to ``n`` bytes, crossing chunk and stream boundaries.
+
+        The plan is pure local arithmetic (every stream's chunk
+        addresses are computable without communication); the physical
+        fetch is one ``gather_read`` per distinct handle.  On a short
+        read (truncated or damaged file) only the bytes that actually
+        arrived are consumed — later streams' cursors stay untouched, so
+        ``feof()`` remains False and tooling can tell the shortfall from
+        a clean end of slice.
+        """
+        if n < 0:
+            raise SionUsageError("read size must be non-negative")
+        self._advance()
+        plans: list[tuple[TaskStream, list, int, int, int]] = []
+        remaining = n
+        i = self._idx
+        while remaining > 0 and i < len(self._streams):
+            s = self._streams[i]
+            requests, blk, pos = s._plan_read(remaining)
+            expected = sum(size for _, size in requests)
+            if expected:
+                plans.append((s, requests, blk, pos, expected))
+                remaining -= expected
+            i += 1
+        if not plans:
+            return b""
+        # Merge per-handle: one vectored call per distinct raw handle,
+        # remembering each plan's slice of its handle's piece list.
+        buckets: dict[int, tuple[object, list]] = {}
+        placements: list[tuple[int, int, int]] = []  # (raw id, start, count)
+        for s, requests, _, _, _ in plans:
+            key = id(s.raw)
+            if key not in buckets:
+                buckets[key] = (s.raw, [])
+            reqs = buckets[key][1]
+            placements.append((key, len(reqs), len(requests)))
+            reqs.extend(requests)
+        pieces_by_bucket = {
+            key: raw.gather_read(reqs) for key, (raw, reqs) in buckets.items()
+        }
+        out: list[bytes] = []
+        for (s, requests, blk, pos, expected), (key, start, count) in zip(
+            plans, placements
+        ):
+            pieces = pieces_by_bucket[key][start : start + count]
+            got = sum(len(p) for p in pieces)
+            out.extend(pieces)
+            if got == expected:
+                s.cur_block, s.pos = blk, pos
+            else:
+                _, s.cur_block, s.pos = s._plan_read(got)
+                break  # shortfall: later streams were not consumed
+        self._advance()
+        return concat_views(out)
+
+    def read_all(self) -> bytes:
+        """Everything that remains of the slice, in one vectored pass."""
+        remaining = 0
+        for s in self._streams[self._idx :]:
+            assert s._blocksizes is not None
+            remaining += sum(s._blocksizes[s.cur_block :]) - s.pos
+        return self.fread(max(remaining, 0))

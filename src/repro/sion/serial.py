@@ -22,11 +22,12 @@ from repro.backends.base import Backend, RawFile
 from repro.backends.localfs import LocalBackend
 from repro.buffers import BufferLike, as_view
 from repro.errors import SionUsageError
-from repro.sion.constants import FLAG_COMPRESS, FLAG_SHADOW, MAPPING_CUSTOM
+from repro.sion.constants import FLAG_COMPRESS, FLAG_SHADOW
 from repro.sion.compression import ZlibReader
 from repro.sion.format import Metablock1, Metablock2
 from repro.sion.layout import ChunkLayout
 from repro.sion.mapping import TaskMapping, physical_path
+from repro.sion.openspec import OpenSpec, build_file_metadata, load_metablocks
 from repro.sion.readwrite import TaskStream
 
 
@@ -76,25 +77,39 @@ def open(  # noqa: A001 - mirrors the paper's sion_open
     mapping: str | list[int] = "blocked",
     backend: Backend | None = None,
 ) -> "SionSerialFile":
-    """Open a multifile from a serial program (global view)."""
+    """Open a multifile from a serial program (global view).
+
+    A thin shim over the shared pipeline: the options are validated as
+    an :class:`~repro.sion.openspec.OpenSpec` (so contradictory
+    combinations fail identically across every entry point) before the
+    serial executor runs.
+    """
     backend = backend if backend is not None else LocalBackend()
-    if mode == "r":
+    spec = OpenSpec.for_serial(
+        path,
+        mode,
+        chunksizes=chunksizes,
+        fsblksize=fsblksize,
+        nfiles=nfiles,
+        mapping=mapping,
+    )
+    if spec.mode == "r":
         return SionSerialFile._open_read(path, backend)
-    if mode == "w":
-        if not chunksizes:
-            raise SionUsageError("serial write requires the per-task chunk sizes")
-        return SionSerialFile._open_write(
-            path, backend, chunksizes, fsblksize, nfiles, mapping
-        )
-    raise SionUsageError(f"mode must be 'r' or 'w', got {mode!r}")
+    return SionSerialFile._open_write(spec, backend)
 
 
 def open_rank(
     path: str, rank: int, backend: Backend | None = None
 ) -> "SionRankFile":
-    """Open the task-local view of a single rank (read-only)."""
+    """Open the task-local view of a single rank (read-only).
+
+    Shares the pipeline's validated spec and metadata decode helpers
+    with every other entry point (the task-local view is a read spec
+    narrowed to one stream).
+    """
     backend = backend if backend is not None else LocalBackend()
-    return SionRankFile(path, rank, backend)
+    spec = OpenSpec.for_serial(path, "r")
+    return SionRankFile(spec.path, rank, backend)
 
 
 class SionSerialFile:
@@ -129,63 +144,45 @@ class SionSerialFile:
     @classmethod
     def _open_read(cls, path: str, backend: Backend) -> "SionSerialFile":
         raw0 = backend.open(path, "rb")
-        mb1_0 = Metablock1.decode_from(raw0)
+        mb1_0, mb2_0, layout_0 = load_metablocks(raw0)
         tmap = TaskMapping.from_kind_code(
             mb1_0.ntasks_global, mb1_0.nfiles, mb1_0.mapping_kind, mb1_0.mapping_table
         )
         files: list[_PhysFile] = []
         for f in range(mb1_0.nfiles):
             fpath = physical_path(path, f)
-            raw = raw0 if f == 0 else backend.open(fpath, "rb")
-            mb1 = mb1_0 if f == 0 else Metablock1.decode_from(raw)
-            pf = _PhysFile(f, fpath, raw, mb1, ChunkLayout.from_metablock1(mb1))
-            pf.mb2 = Metablock2.decode_from(raw, mb1.metablock2_offset)
+            if f == 0:
+                raw, (mb1, mb2, layout) = raw0, (mb1_0, mb2_0, layout_0)
+            else:
+                raw = backend.open(fpath, "rb")
+                mb1, mb2, layout = load_metablocks(raw)
+            pf = _PhysFile(f, fpath, raw, mb1, layout)
+            pf.mb2 = mb2
             files.append(pf)
         return cls("r", backend, path, files, tmap)
 
     @classmethod
-    def _open_write(
-        cls,
-        path: str,
-        backend: Backend,
-        chunksizes: list[int],
-        fsblksize: int | None,
-        nfiles: int,
-        mapping: str | list[int],
-    ) -> "SionSerialFile":
+    def _open_write(cls, spec: OpenSpec, backend: Backend) -> "SionSerialFile":
+        assert spec.chunksizes is not None
+        chunksizes = list(spec.chunksizes)
         ntasks = len(chunksizes)
-        tmap = TaskMapping.create(ntasks, nfiles, mapping)
+        tmap = TaskMapping.create(
+            ntasks, spec.effective_nfiles, spec.effective_mapping
+        )
+        fsblksize = spec.fsblksize
         if fsblksize is None:
-            fsblksize = backend.stat_blocksize(path)
+            fsblksize = backend.stat_blocksize(spec.path)
         files: list[_PhysFile] = []
         for f in range(tmap.nfiles):
             members = tmap.tasks_of_file(f)
-            local_chunks = [chunksizes[r] for r in members]
-            mb1 = Metablock1(
-                fsblksize=fsblksize,
-                ntasks_local=len(members),
-                nfiles=tmap.nfiles,
-                filenum=f,
-                ntasks_global=ntasks,
-                start_of_data=0,
-                metablock2_offset=0,
-                globalranks=list(members),
-                chunksizes=local_chunks,
-                flags=0,
-                mapping_kind=tmap.kind,
-                mapping_table=(
-                    tmap.table_pairs()
-                    if f == 0 and tmap.kind == MAPPING_CUSTOM
-                    else []
-                ),
+            mb1, layout = build_file_metadata(
+                tmap, f, [chunksizes[r] for r in members], members, fsblksize, 0
             )
-            layout = ChunkLayout(fsblksize, local_chunks, mb1.encoded_size)
-            mb1.start_of_data = layout.start_of_data
-            fpath = physical_path(path, f)
+            fpath = physical_path(spec.path, f)
             raw = backend.open(fpath, "w+b")
             raw.write(mb1.encode())
             files.append(_PhysFile(f, fpath, raw, mb1, layout))
-        return cls("w", backend, path, files, tmap)
+        return cls("w", backend, spec.path, files, tmap)
 
     # -- metadata (Listing 5) ------------------------------------------------
 
@@ -481,11 +478,12 @@ class SionRankFile:
         lrank = tmap.local_rank(rank)
         if filenum == 0:
             raw, mb1 = raw0, mb1_0
+            mb2 = Metablock2.decode_from(raw, mb1.metablock2_offset)
+            layout = ChunkLayout.from_metablock1(mb1)
         else:
             raw0.close()
             raw = backend.open(physical_path(path, filenum), "rb")
-            mb1 = Metablock1.decode_from(raw)
-        mb2 = Metablock2.decode_from(raw, mb1.metablock2_offset)
+            mb1, mb2, layout = load_metablocks(raw)
         self.rank = rank
         self.path = path
         self._raw = raw
@@ -493,7 +491,7 @@ class SionRankFile:
         self.compressed = bool(mb1.flags & FLAG_COMPRESS)
         self._stream = TaskStream(
             raw,
-            ChunkLayout.from_metablock1(mb1),
+            layout,
             lrank,
             "r",
             blocksizes=mb2.blocksizes[lrank],

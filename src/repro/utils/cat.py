@@ -39,3 +39,44 @@ def cat_rank(
             sink.write(piece)
             total += len(piece)
     return total
+
+
+def cat_reader(
+    path: str,
+    reader: int,
+    readers: int,
+    out: io.RawIOBase | io.BufferedIOBase | None = None,
+    backend: Backend | None = None,
+) -> int:
+    """Stream one reader's slice of an ``readers``-way partitioned read.
+
+    The serial mirror of ``paropen(..., partitioned=True)``: reader
+    ``reader`` of a ``readers``-rank analysis world owns a contiguous
+    slice of the recorded task streams, and this streams their
+    concatenation — still in bounded pieces, one logical file at a time.
+    The set's metadata is decoded **once** (a 64k-entry metablock per
+    stream would be O(n²/m) work); returns the number of bytes written.
+    """
+    from repro.sion import serial
+    from repro.sion.mapping import ReadPartition
+
+    sink = out if out is not None else sys.stdout.buffer
+    total = 0
+    with serial.open(path, "r", backend=backend) as sf:
+        part = ReadPartition.balanced(sf.ntasks, readers)
+        for writer in part.writers_of(reader):
+            if sf.compressed:
+                # Transparent decompression materializes one logical
+                # task at a time (each stream is its own zlib stream).
+                data = sf.read_task(writer)
+                sink.write(data)
+                total += len(data)
+                continue
+            sf.seek(writer, 0, 0)
+            while True:
+                piece = sf.fread(_PIECE)
+                if not piece:
+                    break
+                sink.write(piece)
+                total += len(piece)
+    return total

@@ -11,15 +11,15 @@ import sys
 
 from repro.errors import ReproError
 from repro.sion.recovery import recover_multifile
-from repro.utils.cat import cat_rank
+from repro.utils.cat import cat_rank, cat_reader
 from repro.utils.defrag import defragment
-from repro.utils.dump import dump_multifile, format_dump
+from repro.utils.dump import dump_multifile, format_dump, format_partition
 from repro.utils.split import split_multifile
 from repro.utils.verify import format_report, verify_multifile
 
 
 def main_dump(argv: list[str] | None = None) -> int:
-    """``siondump [-v] MULTIFILE``"""
+    """``siondump [-v] [--readers M] MULTIFILE``"""
     p = argparse.ArgumentParser(
         prog="siondump", description="Print SION multifile metadata."
     )
@@ -27,8 +27,24 @@ def main_dump(argv: list[str] | None = None) -> int:
     p.add_argument(
         "-v", "--verbose", action="store_true", help="one line per task"
     )
+    p.add_argument(
+        "--readers",
+        type=int,
+        default=None,
+        metavar="M",
+        help="also print the reader->task assignment of an M-reader "
+        "partitioned read",
+    )
     args = p.parse_args(argv)
-    return _run(lambda: print(format_dump(dump_multifile(args.multifile), args.verbose)))
+
+    def run() -> None:
+        summary = dump_multifile(args.multifile)
+        text = format_dump(summary, args.verbose)
+        if args.readers is not None:
+            text += "\n" + format_partition(summary, args.readers)
+        print(text)
+
+    return _run(run)
 
 
 def main_split(argv: list[str] | None = None) -> int:
@@ -103,7 +119,7 @@ def main_recover(argv: list[str] | None = None) -> int:
 
 
 def main_verify(argv: list[str] | None = None) -> int:
-    """``sionverify [--deep] MULTIFILE``"""
+    """``sionverify [--deep] [--readers M] MULTIFILE``"""
     p = argparse.ArgumentParser(
         prog="sionverify",
         description="Check the consistency of a SION multifile set.",
@@ -114,10 +130,20 @@ def main_verify(argv: list[str] | None = None) -> int:
         action="store_true",
         help="also validate shadow headers against metablock 2",
     )
+    p.add_argument(
+        "--readers",
+        type=int,
+        default=None,
+        metavar="M",
+        help="also execute an M-reader partitioned read and cross-check "
+        "it against the serial global view",
+    )
     args = p.parse_args(argv)
 
     def run() -> None:
-        report = verify_multifile(args.multifile, deep=args.deep)
+        report = verify_multifile(
+            args.multifile, deep=args.deep, readers=args.readers
+        )
         print(format_report(report))
         if not report.ok:
             raise SystemExit(2)
@@ -129,14 +155,29 @@ def main_verify(argv: list[str] | None = None) -> int:
 
 
 def main_cat(argv: list[str] | None = None) -> int:
-    """``sioncat MULTIFILE RANK``"""
+    """``sioncat MULTIFILE RANK [--readers M]``"""
     p = argparse.ArgumentParser(
         prog="sioncat",
         description="Stream one logical task-local file to stdout.",
     )
     p.add_argument("multifile", help="path of physical file 0")
-    p.add_argument("rank", type=int, help="logical file (global rank) to print")
+    p.add_argument(
+        "rank",
+        type=int,
+        help="logical file (global rank) to print; with --readers M, the "
+        "reader index whose whole slice is printed",
+    )
+    p.add_argument(
+        "--readers",
+        type=int,
+        default=None,
+        metavar="M",
+        help="treat RANK as a reader of an M-reader partitioned read and "
+        "stream its contiguous slice of task streams",
+    )
     args = p.parse_args(argv)
+    if args.readers is not None:
+        return _run(lambda: cat_reader(args.multifile, args.rank, args.readers))
     return _run(lambda: cat_rank(args.multifile, args.rank))
 
 

@@ -11,6 +11,7 @@ from dataclasses import dataclass
 
 from repro.backends.base import Backend
 from repro.sion import serial
+from repro.sion.mapping import ReadPartition
 
 
 @dataclass
@@ -68,4 +69,39 @@ def format_dump(summary: MultifileSummary, verbose: bool = False) -> str:
             f"{summary.nblocks[t]:>6}  {summary.bytes_per_task[t]}"
             for t in range(summary.ntasks)
         )
+    return "\n".join(lines)
+
+
+def partition_table(
+    summary: MultifileSummary, readers: int
+) -> list[tuple[int, int, int, int]]:
+    """Reader assignments of an ``m``-reader partitioned read.
+
+    Returns ``(reader, first_task, ntasks, bytes)`` rows — what each
+    rank of a ``--readers m`` analysis job would consume.  Pure metadata
+    arithmetic: the partition is derivable from the dump alone, which is
+    the point of keeping the mapping in the file.
+    """
+    part = ReadPartition.balanced(summary.ntasks, readers)
+    return [
+        (
+            r,
+            part.starts[r],
+            part.counts[r],
+            sum(summary.bytes_per_task[w] for w in part.writers_of(r)),
+        )
+        for r in range(readers)
+    ]
+
+
+def format_partition(summary: MultifileSummary, readers: int) -> str:
+    """Render the ``--readers m`` assignment table."""
+    lines = [
+        f"partitioned read with {readers} reader(s):",
+        "reader  first task  ntasks  bytes",
+    ]
+    lines.extend(
+        f"{r:>6}  {first:>10}  {count:>6}  {nbytes}"
+        for r, first, count, nbytes in partition_table(summary, readers)
+    )
     return "\n".join(lines)

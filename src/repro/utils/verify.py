@@ -48,13 +48,19 @@ class VerifyReport:
 
 
 def verify_multifile(
-    path: str, backend: Backend | None = None, deep: bool = False
+    path: str,
+    backend: Backend | None = None,
+    deep: bool = False,
+    readers: int | None = None,
 ) -> VerifyReport:
     """Verify a multifile set; returns a report rather than raising.
 
     ``deep=True`` additionally validates every shadow header against the
     recorded metablock-2 byte counts (only for sets written with
-    ``shadow=True``).
+    ``shadow=True``).  ``readers=m`` additionally executes an ``m``-rank
+    partitioned read of the whole set and cross-checks every reader's
+    slice against the serial global view — proving the container can be
+    consumed by a differently sized world, byte for byte.
     """
     backend = backend if backend is not None else LocalBackend()
     report = VerifyReport(path=path)
@@ -87,7 +93,52 @@ def verify_multifile(
         f"global ranks covered by the set are incomplete: "
         f"{len(seen_ranks)}/{mb1_0.ntasks_global}",
     )
+    if readers is not None and report.ok:
+        _verify_partitioned_read(path, backend, readers, report)
     return report
+
+
+def _verify_partitioned_read(
+    path: str, backend: Backend, readers: int, report: VerifyReport
+) -> None:
+    """Cross-check an m-reader partitioned read against the serial view."""
+    from repro.sion import paropen, serial
+    from repro.sion.mapping import ReadPartition
+    from repro.simmpi import run_spmd
+
+    if readers < 1:
+        report.error(f"--readers must be >= 1, got {readers}")
+        return
+    part = ReadPartition.balanced(report.ntasks, readers)
+
+    def read_task(comm):
+        f = paropen(path, "r", comm, backend=backend, partitioned=True)
+        data = f.read_all()
+        eof = f.feof()
+        f.parclose()
+        return data, eof
+
+    try:
+        # Bulk engine: a reader world is allowed to be huge (that is the
+        # feature), and one OS thread per reader stops working around a
+        # few thousand — the SION layer is replay-safe by construction.
+        out = run_spmd(readers, read_task, engine="bulk")
+    except Exception as exc:  # noqa: BLE001 - report, don't raise
+        report.error(f"{path}: partitioned read with {readers} readers failed: {exc}")
+        return
+    with serial.open(path, "r", backend=backend) as sf:
+        for r, (data, eof) in enumerate(out):
+            expected = b"".join(sf.read_task(w) for w in part.writers_of(r))
+            report.check(
+                eof,
+                f"{path}: reader {r}/{readers} left data unread "
+                "(shortfall against recorded metadata)",
+            )
+            report.check(
+                data == expected,
+                f"{path}: reader {r}/{readers} diverged from the serial "
+                f"view ({len(data)} vs {len(expected)} bytes)",
+            )
 
 
 def _verify_one(

@@ -11,6 +11,7 @@ measurements generated:
 :mod:`~repro.workloads.taskbw`       Fig. 5a/5b — SION vs. task-local bandwidth over task counts
 :mod:`~repro.workloads.mp2c_io`      Fig. 6     — MP2C restart I/O: single-file-sequential vs. SION
 :mod:`~repro.workloads.scalasca_io`  Table 2    — Scalasca measurement activation and write bandwidth
+:mod:`~repro.workloads.repartition`  §1/§3 scenario — checkpoint with n tasks, analyze with m readers
 ========================  =============================================
 """
 

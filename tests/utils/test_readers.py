@@ -1,0 +1,126 @@
+"""The ``--readers m`` surface of the tools: dump, cat, verify."""
+
+import io
+
+from repro.sion import paropen
+from repro.simmpi import run_spmd
+from repro.utils.cat import cat_rank, cat_reader
+from repro.utils.cli import main_cat, main_dump, main_verify
+from repro.utils.dump import dump_multifile, format_partition, partition_table
+from repro.utils.verify import verify_multifile
+from tests.conftest import TEST_BLKSIZE
+
+
+def _payload(rank, n=600):
+    return bytes((rank * 7 + i) % 256 for i in range(n))
+
+
+def _make(path, backend, ntasks=6, nfiles=2, compress=False):
+    def task(comm):
+        f = paropen(path, "w", comm, chunksize=TEST_BLKSIZE, nfiles=nfiles,
+                    compress=compress, backend=backend)
+        f.fwrite(_payload(comm.rank))
+        f.parclose()
+
+    run_spmd(ntasks, task)
+
+
+class TestDumpReaders:
+    def test_partition_table_accounts_every_byte(self, any_backend):
+        backend, base = any_backend
+        path = f"{base}/dp.sion"
+        _make(path, backend)
+        summary = dump_multifile(path, backend=backend)
+        rows = partition_table(summary, 4)
+        assert [r[1:3] for r in rows] == [(0, 2), (2, 2), (4, 1), (5, 1)]
+        assert sum(r[3] for r in rows) == summary.total_bytes
+        text = format_partition(summary, 4)
+        assert "partitioned read with 4 reader(s):" in text
+
+    def test_cli_prints_partition(self, tmp_path, capsys):
+        path = str(tmp_path / "dc.sion")
+        from repro.backends.localfs import LocalBackend
+
+        _make(path, LocalBackend(blocksize_override=TEST_BLKSIZE))
+        assert main_dump([path, "--readers", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "partitioned read with 3 reader(s):" in out
+        assert "reader  first task  ntasks  bytes" in out
+
+
+class TestCatReaders:
+    def test_reader_slice_is_writer_concatenation(self, any_backend):
+        backend, base = any_backend
+        path = f"{base}/cp.sion"
+        _make(path, backend)
+        for readers in (1, 2, 4, 6):
+            pieces = []
+            for r in range(readers):
+                sink = io.BytesIO()
+                n = cat_reader(path, r, readers, out=sink, backend=backend)
+                assert n == len(sink.getvalue())
+                pieces.append(sink.getvalue())
+            assert b"".join(pieces) == b"".join(
+                _payload(r) for r in range(6)
+            )
+
+    def test_reader_slice_matches_rank_cats(self, any_backend):
+        backend, base = any_backend
+        path = f"{base}/cm.sion"
+        _make(path, backend, ntasks=5)
+        sink = io.BytesIO()
+        cat_reader(path, 0, 2, out=sink, backend=backend)
+        expected = io.BytesIO()
+        for w in (0, 1, 2):  # balanced: reader 0 of 2 takes 3 of 5
+            cat_rank(path, w, out=expected, backend=backend)
+        assert sink.getvalue() == expected.getvalue()
+
+    def test_compressed_slice_decompresses_per_stream(self, any_backend):
+        backend, base = any_backend
+        path = f"{base}/cz.sion"
+        _make(path, backend, ntasks=4, compress=True)
+        sink = io.BytesIO()
+        cat_reader(path, 0, 2, out=sink, backend=backend)
+        assert sink.getvalue() == _payload(0) + _payload(1)
+
+    def test_cli_readers_flag(self, tmp_path, capsysbinary):
+        path = str(tmp_path / "cc.sion")
+        from repro.backends.localfs import LocalBackend
+
+        _make(path, LocalBackend(blocksize_override=TEST_BLKSIZE), ntasks=4)
+        assert main_cat([path, "1", "--readers", "2"]) == 0
+        out = capsysbinary.readouterr().out
+        assert out == _payload(2) + _payload(3)
+
+
+class TestVerifyReaders:
+    def test_partitioned_read_cross_check_passes(self, any_backend):
+        backend, base = any_backend
+        path = f"{base}/vp.sion"
+        _make(path, backend)
+        for readers in (1, 3, 6, 8):
+            report = verify_multifile(path, backend=backend, readers=readers)
+            assert report.ok, report.errors
+
+    def test_compressed_sets_cross_check(self, any_backend):
+        backend, base = any_backend
+        path = f"{base}/vz.sion"
+        _make(path, backend, compress=True)
+        report = verify_multifile(path, backend=backend, readers=4)
+        assert report.ok, report.errors
+
+    def test_bad_reader_count_reported(self, any_backend):
+        backend, base = any_backend
+        path = f"{base}/vb.sion"
+        _make(path, backend)
+        report = verify_multifile(path, backend=backend, readers=0)
+        assert not report.ok
+        assert any("--readers" in e for e in report.errors)
+
+    def test_cli_readers_flag(self, tmp_path, capsys):
+        path = str(tmp_path / "vc.sion")
+        from repro.backends.localfs import LocalBackend
+
+        _make(path, LocalBackend(blocksize_override=TEST_BLKSIZE))
+        assert main_verify([path, "--readers", "3"]) == 0
+        assert "status: OK" in capsys.readouterr().out

@@ -1,0 +1,97 @@
+"""The restart/analysis repartition workload: model and real-library driver."""
+
+import pytest
+
+from repro.backends.simfs_backend import SimBackend
+from repro.errors import ReproError, SpmdWorkerError
+from repro.fs.simfs import SimFS
+from repro.fs.systems import get_system
+from repro.workloads.repartition import (
+    repartition_roundtrip,
+    run_restart_analysis,
+    sweep_reader_counts,
+)
+
+GB = 10**9
+
+
+def _payload(rank, n=200):
+    return bytes((rank * 13 + i) % 256 for i in range(n))
+
+
+def _backend(blk=512):
+    fs = SimFS(blocksize_override=blk)
+    fs.mkdir("/w")
+    return SimBackend(fs)
+
+
+class TestModel:
+    def test_cycle_prices_write_and_read(self):
+        profile = get_system("jugene")
+        res = run_restart_analysis(profile, 4096, 128, 10 * GB / 4096)
+        assert res.write.time_s > 0 and res.read.time_s > 0
+        assert res.cycle_time_s == res.write.time_s + res.read.time_s
+        assert res.read_fanin == 32.0
+        # Both phases move the same total data.
+        assert res.write.total_mb == pytest.approx(res.read.total_mb)
+
+    def test_fewer_readers_cannot_read_faster_than_more(self):
+        """Shrinking the analysis world sheds aggregate client bandwidth."""
+        profile = get_system("jugene")
+        sweep = sweep_reader_counts(profile, 4096, [64, 512, 4096], 10 * GB / 4096)
+        times = [p.read.time_s for p in sweep]
+        assert times[0] >= times[1] >= times[2]
+
+    def test_rejects_empty_worlds(self):
+        profile = get_system("jugene")
+        with pytest.raises(ReproError):
+            run_restart_analysis(profile, 0, 4, 1.0)
+        with pytest.raises(ReproError):
+            run_restart_analysis(profile, 4, 0, 1.0)
+
+
+class TestDriver:
+    @pytest.mark.parametrize("engine", ["threads", "bulk"])
+    def test_roundtrip_verifies_bytes(self, engine):
+        res = repartition_roundtrip(
+            _backend(), 8, 3, _payload, chunksize=128, fsblksize=512,
+            nfiles=2, engine=engine, path="/w/r.sion",
+        )
+        assert res.bytes_total == 8 * 200
+        assert res.reader_bytes == [600, 600, 400]
+        assert res.read_fanin == pytest.approx(8 / 3)
+
+    def test_roundtrip_with_aggregation_on_both_sides(self):
+        res = repartition_roundtrip(
+            _backend(), 8, 4, _payload, chunksize=128, fsblksize=512,
+            write_collectors=2, read_collectsize=2, path="/w/c.sion",
+        )
+        assert res.bytes_total == 8 * 200
+
+    def test_divergence_is_loud(self):
+        backend = _backend()
+        repartition_roundtrip(
+            backend, 4, 2, _payload, chunksize=128, fsblksize=512,
+            path="/w/d.sion",
+        )
+        # Corrupt one payload byte inside task 0's chunk, then re-read.
+        with backend.open("/w/d.sion", "r+b") as f:
+            f.pwrite(512, b"\xff")  # first data byte (start_of_data = 512)
+
+        from repro.sion import paropen
+        from repro.simmpi import run_spmd
+        from repro.sion.mapping import ReadPartition
+
+        part = ReadPartition.balanced(4, 2)
+
+        def read_task(comm):
+            f = paropen("/w/d.sion", "r", comm, backend=backend, partitioned=True)
+            data = f.read_all()
+            f.parclose()
+            expected = b"".join(_payload(w) for w in part.writers_of(comm.rank))
+            if data != expected:
+                raise ReproError("diverged")
+            return True
+
+        with pytest.raises(SpmdWorkerError):
+            run_spmd(2, read_task)
