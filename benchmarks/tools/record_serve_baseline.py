@@ -1,0 +1,143 @@
+"""(Re)capture the ``serve`` suite baselines with provenance sidecars.
+
+Runs the registered ``serve/*`` scenarios of the *current* checkout and
+writes two committed baselines, mirroring the role the other
+``record_*_baseline.py`` tools play for their suites:
+
+* ``benchmarks/baselines/serve.json`` — the full suite (the 256/1024/
+  4096-session load grid, the mixed-op point, and the concurrency
+  sweep); diffed by the nightly workflow.
+* ``benchmarks/baselines/serve_ci.json`` — the ``ci-grid`` slice
+  (256/1024-session load + the mixed-op point) the ``serve-bench`` CI
+  job gates on every push with ``compare --baseline-only``.
+
+Next to each baseline a ``<name>.meta.json`` provenance sidecar records
+the capture command, git SHA, timestamp, environment fingerprint, and
+the pre-serve context: before ISSUE 6 every consumer of a sealed
+container paid the full metadata decode *per open* and every read went
+straight to the backend — `repro.fs.cache` only *modelled* client-side
+caching.  The measured reference below (backend data reads for one full
+sweep over the container, repeated twice with no cache) is what the
+gateway's warm-pass pin of **zero** backend reads is measured against.
+
+Latency metrics are wall-clock, so baselines should be recorded on a
+quiet machine; the in-scenario pins (hit rates, call counts, byte
+verification) are deterministic and recorded as exact values.
+
+Usage:
+    PYTHONPATH=src python benchmarks/tools/record_serve_baseline.py \
+        [-o benchmarks/baselines] [--ci-only]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def _capture(suite_tags: tuple[str, ...]):
+    from repro.bench.runner import run_suite
+
+    def progress(msg: str) -> None:
+        print(msg, flush=True)
+
+    return run_suite(suite="serve", tags=suite_tags, progress=progress)
+
+
+def _preserve_context() -> dict:
+    """The uncached reference the serve layer's warm pass is measured against.
+
+    Two full sweeps over a small sealed container through the plain
+    serial view: without a chunk cache the second sweep costs exactly as
+    many backend data reads as the first — re-reads never get cheaper.
+    """
+    from repro.backends.instrument import CountingBackend
+    from repro.backends.simfs_backend import SimBackend
+    from repro.bench.collective import _write_cycle
+    from repro.fs.simfs import SimFS
+    from repro.sion import serial
+
+    ntasks = 256
+    backend = CountingBackend(SimBackend(SimFS(blocksize_override=4096)))
+    _write_cycle(backend, ntasks, "threads", path="/pre.sion")
+
+    def sweep() -> int:
+        before = backend.snapshot()["data_read_calls"]
+        with serial.open("/pre.sion", "r", backend=backend) as sf:
+            for rank in range(ntasks):
+                sf.read_task(rank)
+        return backend.snapshot()["data_read_calls"] - before
+
+    first, second = sweep(), sweep()
+    assert second >= first > 0
+    return {
+        "mode": "uncached serial view (pre-serve)",
+        "measured_ntasks": ntasks,
+        "first_sweep_read_calls": first,
+        "repeat_sweep_read_calls": second,
+        "uncached_closed_form": "every sweep pays O(n) backend reads; "
+        "re-reads never get cheaper without a cache",
+        "serve_warm_pass_pin": "0 backend data reads, hit-rate > 0.9, "
+        "all logical bytes served from the shared chunk cache",
+    }
+
+
+def _write_with_sidecar(report, path: Path, context: dict, argv: list[str]) -> None:
+    from repro.bench.results import utc_now_iso
+
+    report.save(path)
+    sidecar = {
+        "artifact": path.name,
+        "suite": report.suite,
+        "scenarios": sorted(report.scenarios),
+        "git_sha": report.git_sha,
+        "created": utc_now_iso(),
+        "environment": report.environment,
+        "capture_command": "PYTHONPATH=src python "
+        "benchmarks/tools/record_serve_baseline.py " + " ".join(argv),
+        "pre_serve_reference": context,
+    }
+    path.with_suffix(".meta.json").write_text(
+        json.dumps(sidecar, indent=2, sort_keys=True) + "\n"
+    )
+    print(f"wrote {path} (+ {path.with_suffix('.meta.json').name})")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "-o", "--output-dir", default="benchmarks/baselines",
+        help="directory receiving serve.json / serve_ci.json",
+    )
+    parser.add_argument(
+        "--ci-only", action="store_true",
+        help="recapture only the ci-grid slice (serve_ci.json)",
+    )
+    args = parser.parse_args(argv)
+    argv = argv if argv is not None else sys.argv[1:]
+
+    out_dir = Path(args.output_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    context = _preserve_context()
+
+    ci_report = _capture(("ci-grid",))
+    if ci_report.failed:
+        for res in ci_report.failed:
+            print(f"FAILED {res.name}:\n{res.error}", file=sys.stderr)
+        return 1
+    _write_with_sidecar(ci_report, out_dir / "serve_ci.json", context, argv)
+
+    if not args.ci_only:
+        full_report = _capture(())
+        if full_report.failed:
+            for res in full_report.failed:
+                print(f"FAILED {res.name}:\n{res.error}", file=sys.stderr)
+            return 1
+        _write_with_sidecar(full_report, out_dir / "serve.json", context, argv)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -220,3 +220,16 @@ class Backend(abc.ABC):
     @abc.abstractmethod
     def allocated_size(self, path: str) -> int:
         """Physically allocated bytes (for sparseness/defrag verification)."""
+
+    def identity_token(self, path: str) -> tuple:
+        """Cheap change-detection token for ``path`` (stat, not data reads).
+
+        Two calls returning the same token mean the file content is
+        unchanged with the fidelity the backend can offer; any mutation
+        should change the token.  Caches (the read gateway's container
+        table) use it as the close-to-open revalidation probe.  The
+        default folds the sizes; real backends override with stronger
+        signals (mtime/inode on the local FS, the mutation version in
+        the simulator).
+        """
+        return (self.file_size(path), self.allocated_size(path))

@@ -262,3 +262,6 @@ class CountingBackend(Backend):
 
     def allocated_size(self, path: str) -> int:
         return self.inner.allocated_size(path)
+
+    def identity_token(self, path: str) -> tuple:
+        return self.inner.identity_token(path)

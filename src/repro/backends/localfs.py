@@ -215,3 +215,8 @@ class LocalBackend(Backend):
         st = os.stat(path)
         # st_blocks counts 512-byte sectors on Linux.
         return getattr(st, "st_blocks", 0) * 512
+
+    def identity_token(self, path: str) -> tuple:
+        """Inode identity, nanosecond mtime, and size — one stat call."""
+        st = os.stat(path)
+        return (st.st_ino, st.st_mtime_ns, st.st_size)

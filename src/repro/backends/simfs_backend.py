@@ -81,3 +81,8 @@ class SimBackend(Backend):
 
     def allocated_size(self, path: str) -> int:
         return self.fs.stat(path).allocated_bytes
+
+    def identity_token(self, path: str) -> tuple:
+        """Size plus the simulator's exact mutation version."""
+        st = self.fs.stat(path)
+        return (st.st_size, st.version)

@@ -16,10 +16,12 @@ from repro.errors import ReproError
 #: the control-plane scaling benchmarks (4k-256k simulated tasks);
 #: ``collective`` holds the collector-rank aggregation benchmarks
 #: (4k-64k tasks); ``repartition`` holds the m-readers-over-n-writers
-#: read benchmarks (4k-64k writer streams).  The latter three are
-#: selected explicitly — they are *not* part of ``full``, because tens
-#: of thousands of simulated tasks per scenario is not a casual run.
-SUITES = ("smoke", "full", "scale", "collective", "repartition")
+#: read benchmarks (4k-64k writer streams); ``serve`` holds the read-
+#: gateway load benchmarks (256-4096 concurrent sessions).  The latter
+#: four are selected explicitly — they are *not* part of ``full``,
+#: because tens of thousands of simulated tasks (or thousands of
+#: concurrent sessions) per scenario is not a casual run.
+SUITES = ("smoke", "full", "scale", "collective", "repartition", "serve")
 
 
 @dataclass

@@ -666,10 +666,12 @@ def micro_metablock(ctx) -> ScenarioOutput:
 # --------------------------------------------------------------------------
 # core-io — copy/backend-call counts of the zero-copy vectored data plane
 # (registered on import, like everything above) — plus the scale suite's
-# control-plane scenarios (4k-256k tasks on the bulk SPMD engine) and the
-# collective suite's collector-rank aggregation scenarios (4k-64k tasks).
+# control-plane scenarios (4k-256k tasks on the bulk SPMD engine), the
+# collective suite's collector-rank aggregation scenarios (4k-64k tasks),
+# and the serve suite's read-gateway session-load scenarios.
 
 import repro.bench.collective  # noqa: E402,F401
 import repro.bench.core_io  # noqa: E402,F401
 import repro.bench.repartition  # noqa: E402,F401
 import repro.bench.scale  # noqa: E402,F401
+import repro.bench.serve  # noqa: E402,F401

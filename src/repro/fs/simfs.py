@@ -17,6 +17,7 @@ from __future__ import annotations
 import posixpath
 import threading
 from bisect import bisect_left, bisect_right
+import itertools
 from dataclasses import dataclass
 from functools import lru_cache
 
@@ -31,14 +32,21 @@ from repro.fs.systems import SystemProfile
 
 _DEFAULT_BLKSIZE = 2 * (1 << 20)
 
+#: Process-wide mutation clock backing :attr:`SparseFile.version`.
+_version_clock = itertools.count(1)
+
 
 class SparseFile:
     """Byte store holding only materialized extents; holes read as zeros."""
 
-    __slots__ = ("size", "_starts", "_chunks")
+    __slots__ = ("size", "version", "_starts", "_chunks")
 
     def __init__(self) -> None:
         self.size = 0
+        # Monotonic change token: every mutation takes the next tick of a
+        # process-wide clock, so (any two states of) any two files never
+        # share a version — the stat-based revalidation signal caches use.
+        self.version = next(_version_clock)
         self._starts: list[int] = []
         self._chunks: list[bytearray] = []
 
@@ -68,6 +76,7 @@ class SparseFile:
         n = view.nbytes
         if n == 0:
             return 0
+        self.version = next(_version_clock)
         lo, hi = offset, offset + n
         first, last = self._overlap_range(lo, hi)
         if first == last:
@@ -107,6 +116,7 @@ class SparseFile:
             raise ValueError("offset and n must be non-negative")
         if n == 0:
             return 0
+        self.version = next(_version_clock)
         lo, hi = offset, offset + n
         first, last = self._overlap_range(lo, hi)
         # Punch the range out of any overlapping extents.
@@ -131,6 +141,8 @@ class SparseFile:
         """Cut or extend (with a hole) to exactly ``size`` bytes."""
         if size < 0:
             raise ValueError("negative size")
+        if size != self.size:
+            self.version = next(_version_clock)
         if size < self.size:
             first, last = self._overlap_range(size, self.size)
             keep_starts: list[int] = []
@@ -207,6 +219,7 @@ class SimStat:
     st_blksize: int
     allocated_bytes: int
     is_dir: bool
+    version: int = 0
 
 
 class _Inode:
@@ -492,7 +505,10 @@ class SimFS:
         if inode.kind == "dir":
             return SimStat(0, blk, 0, True)
         assert inode.data is not None
-        return SimStat(inode.data.size, blk, inode.data.allocated_bytes, False)
+        return SimStat(
+            inode.data.size, blk, inode.data.allocated_bytes, False,
+            inode.data.version,
+        )
 
     def unlink(self, path: str) -> None:
         """Remove a file."""

@@ -1,0 +1,44 @@
+"""``repro.serve`` — a long-lived read gateway over sealed containers.
+
+The paper's multifile is a *portable container*: all metadata lives in
+the file, not in the job, so a sealed checkpoint can be consumed by any
+later consumer.  This package serves that capability as a store:
+
+* :class:`ReadGateway` — the in-process client API.  Opens a sealed
+  multifile **once**, keeps its decoded metadata resident (the metadata
+  half of the cache), compiles read-only access plans on demand, and
+  answers concurrent ranged and record reads from thousands of
+  simultaneous asyncio sessions over the existing
+  :class:`~repro.sion.mapping.ReadPartition` + vectored ``gather_read``
+  storage engine.
+* :class:`~repro.fs.cache.ChunkCache` — the shared LRU chunk cache
+  (re-exported here) sitting between the planner and the backends, with
+  a configurable byte budget, per-entry generation tags keyed on
+  metablock identity, and hit/miss/eviction/bytes-served telemetry
+  surfaced through the gateway's :meth:`ReadGateway.stats` endpoint.
+* :class:`GatewayServer` / :class:`GatewayClient` — an asyncio TCP
+  frame protocol exposing the same operations over a socket, for
+  out-of-process consumers (``python -m repro.serve PATH`` runs one).
+
+Example (in-process)::
+
+    gateway = ReadGateway(backend=backend, cache_bytes=64 << 20)
+    session = await gateway.open_session("/ckpt.sion", readers=32, reader=0)
+    record = await gateway.read(session, 4096)     # crosses stream bounds
+    stats = await gateway.stats()                  # incl. cache telemetry
+"""
+
+from repro.backends.caching import CachingRawFile
+from repro.fs.cache import ChunkCache
+from repro.serve.gateway import ContainerHandle, GatewaySession, ReadGateway
+from repro.serve.server import GatewayClient, GatewayServer
+
+__all__ = [
+    "CachingRawFile",
+    "ChunkCache",
+    "ContainerHandle",
+    "GatewayClient",
+    "GatewayServer",
+    "GatewaySession",
+    "ReadGateway",
+]

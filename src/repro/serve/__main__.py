@@ -1,0 +1,77 @@
+"""``python -m repro.serve``: run a read gateway over TCP.
+
+Serves one or more sealed multifiles::
+
+    python -m repro.serve out.sion --port 7777 --cache-bytes 67108864
+
+Containers named on the command line are opened eagerly (fail fast on a
+damaged set); any path a client asks for is opened on demand.  Stop with
+Ctrl-C.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+
+from repro.errors import ReproError
+from repro.fs.cache import DEFAULT_CACHE_BLOCK
+from repro.serve.gateway import DEFAULT_CACHE_BYTES, ReadGateway
+from repro.serve.server import GatewayServer
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    ap = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="serve sealed multifile containers over TCP",
+    )
+    ap.add_argument("paths", nargs="*", help="containers to open eagerly")
+    ap.add_argument("--host", default="127.0.0.1", help="bind address")
+    ap.add_argument("--port", type=int, default=0, help="port (0 = OS-assigned)")
+    ap.add_argument(
+        "--cache-bytes",
+        type=int,
+        default=DEFAULT_CACHE_BYTES,
+        help="chunk-cache byte budget (0 disables payload caching)",
+    )
+    ap.add_argument(
+        "--cache-block",
+        type=int,
+        default=DEFAULT_CACHE_BLOCK,
+        help="chunk-cache block granularity in bytes",
+    )
+    args = ap.parse_args(argv)
+
+    gateway = ReadGateway(
+        cache_bytes=args.cache_bytes, cache_block=args.cache_block
+    )
+    try:
+        for path in args.paths:
+            handle = gateway.open_container(path)
+            print(
+                f"opened {path}: {handle.ntasks} streams in "
+                f"{handle.nfiles} file(s)",
+                file=sys.stderr,
+            )
+    except (ReproError, OSError) as exc:
+        print(f"repro-serve: {exc}", file=sys.stderr)
+        return 1
+
+    server = GatewayServer(gateway, host=args.host, port=args.port)
+
+    async def _run() -> None:
+        await server.start()
+        print(f"serving on {server.host}:{server.port}", file=sys.stderr)
+        await server.serve_forever()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,628 @@
+"""The asyncio read gateway: sealed containers served as a long-lived store.
+
+One :class:`ReadGateway` owns three resident layers:
+
+* a **container table** — each sealed multifile is opened once, its
+  metablocks decoded once, and every later session is compiled from the
+  in-memory metadata (this is the metadata half of the cache);
+* a shared :class:`~repro.fs.cache.ChunkCache` — chunk payload served
+  block-granularly with LRU eviction against a byte budget, entries
+  tagged with the container's *generation* so a re-sealed file never
+  serves stale bytes;
+* **sessions** — read cursors compiled on demand from the same
+  :class:`~repro.sion.mapping.ReadPartition` arithmetic the SPMD
+  partitioned read uses: a session owns a contiguous slice of writer
+  task streams and drains it with record (``fread``) semantics, while
+  stateless ranged reads address any writer stream at any logical
+  offset.
+
+Freshness contract (generation tags): every opened container carries a
+fingerprint of its *metablock identity* — per physical file, a digest of
+metablock 1, the metablock-2 offset and CRC, and the file size.  Session
+opens revalidate cheaply with the backend's stat-level
+``identity_token`` (mtime/inode on the local FS, the exact mutation
+version in the simulator — never a data read); any token mismatch
+triggers a full metadata reload under a fresh generation, and the old
+generation's cache entries are dropped wholesale (chunk payload can
+mutate without the metablocks changing, so a mismatched token is never
+second-guessed).  On a backend whose token cannot see a given re-seal
+(the default token folds only sizes), call :meth:`ReadGateway.refresh`
+to force a new generation.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import itertools
+import threading
+import zlib
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.backends.base import Backend, RawFile
+from repro.backends.caching import CachingRawFile
+from repro.backends.localfs import LocalBackend
+from repro.errors import SionUsageError
+from repro.fs.cache import DEFAULT_CACHE_BLOCK, ChunkCache
+from repro.sion.compression import ZlibReader
+from repro.sion.constants import FLAG_COMPRESS, FLAG_SHADOW
+from repro.sion.format import Metablock1, Metablock2
+from repro.sion.layout import ChunkLayout
+from repro.sion.mapping import ReadPartition, TaskMapping, physical_path
+from repro.sion.openspec import load_metablocks
+from repro.sion.readwrite import PartitionStream, TaskStream
+
+#: Default chunk-cache byte budget of a gateway that is not given one.
+DEFAULT_CACHE_BYTES = 64 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class _FileInfo:
+    """Decoded metadata plus the cached read handle of one physical file."""
+
+    path: str
+    mb1: Metablock1
+    mb2: Metablock2
+    layout: ChunkLayout
+    raw: RawFile
+    size: int
+    token: tuple
+
+
+@dataclass
+class GatewayStats:
+    """Gateway-level telemetry (the cache keeps its own, see ``snapshot``)."""
+
+    containers_opened: int = 0
+    container_reuses: int = 0
+    reseals_detected: int = 0
+    sessions_opened: int = 0
+    sessions_active: int = 0
+    sessions_peak: int = 0
+    reads: int = 0
+    bytes_served: int = 0
+
+
+class ContainerHandle:
+    """One sealed multifile held open by the gateway.
+
+    Owns the decoded metadata of every physical file, the caching read
+    handles, and the per-stream prefix sums that turn a logical byte
+    offset into a ``(block, pos)`` cursor for ranged reads.  All state is
+    immutable after construction; sessions share it freely.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        generation: int,
+        tmap: TaskMapping,
+        files: "list[_FileInfo]",
+    ) -> None:
+        """Bind the decoded metadata of ``path`` under ``generation``."""
+        self.path = path
+        self.generation = generation
+        self.tmap = tmap
+        self.files = files
+        flags = files[0].mb1.flags
+        self.compress = bool(flags & FLAG_COMPRESS)
+        self.shadow = bool(flags & FLAG_SHADOW)
+        self._prefix_cache: dict[int, list[int]] = {}
+        self._lock = threading.Lock()
+
+    # -- identity ------------------------------------------------------------
+
+    @property
+    def ntasks(self) -> int:
+        """Writer task streams recorded in the container."""
+        return self.tmap.ntasks
+
+    @property
+    def nfiles(self) -> int:
+        """Physical files of the container."""
+        return self.tmap.nfiles
+
+    @property
+    def fingerprint(self) -> tuple:
+        """Metablock identity: digests of both metablocks plus file sizes.
+
+        The metablock-2 CRC is taken over the encoded payload *without*
+        its trailing stored CRC — a CRC over the self-checksummed bytes
+        would be the constant CRC-32 residue for every container.
+        """
+        return tuple(
+            (
+                hashlib.sha256(fi.mb1.encode()).hexdigest(),
+                fi.mb1.metablock2_offset,
+                zlib.crc32(fi.mb2.encode()[:-4]) & 0xFFFFFFFF,
+                fi.size,
+            )
+            for fi in self.files
+        )
+
+    @property
+    def tokens(self) -> tuple:
+        """Per-file identity tokens at open time (the revalidation probe)."""
+        return tuple(fi.token for fi in self.files)
+
+    # -- per-stream access ----------------------------------------------------
+
+    def blocksizes_of(self, grank: int) -> list[int]:
+        """Recorded per-block byte counts of writer stream ``grank``."""
+        self._check_rank(grank)
+        f = self.tmap.file_of(grank)
+        return list(self.files[f].mb2.blocksizes[self.tmap.local_rank(grank)])
+
+    def stream_bytes(self, grank: int) -> int:
+        """Total recorded (compressed) bytes of writer stream ``grank``."""
+        return self._prefix(grank)[-1]
+
+    def stream(self, grank: int) -> TaskStream:
+        """A fresh read cursor over writer stream ``grank``.
+
+        Cursors are cheap: the handle, layout and block sizes are all
+        shared; only the cursor position is per-stream state.
+        """
+        self._check_rank(grank)
+        f = self.tmap.file_of(grank)
+        fi = self.files[f]
+        return TaskStream(
+            fi.raw,
+            fi.layout,
+            self.tmap.local_rank(grank),
+            "r",
+            blocksizes=self.blocksizes_of(grank),
+            shadow=self.shadow,
+        )
+
+    def read_task(self, grank: int) -> bytes:
+        """Entire logical content of writer stream ``grank``.
+
+        Transparently decompresses when the container was sealed with
+        ``compress=True`` (each writer stream is an independent zlib
+        stream).
+        """
+        raw = self.stream(grank).read_all()
+        if not self.compress:
+            return raw
+        zr = ZlibReader()
+        zr.feed(raw)
+        zr.source_exhausted()
+        return zr.take(zr.available())
+
+    def read_range(self, grank: int, offset: int, n: int) -> bytes:
+        """Up to ``n`` bytes of stream ``grank`` starting at logical ``offset``.
+
+        The offset addresses the *recorded* chunk-stream bytes; ranged
+        addressing of a compressed stream is rejected (offsets into
+        deflate output are not meaningful record positions — use
+        :meth:`read_task` or a session).
+
+        Raises :class:`~repro.errors.SionUsageError` on a negative
+        offset/size or a compressed container.
+        """
+        if self.compress:
+            raise SionUsageError(
+                "ranged reads are unavailable with transparent compression; "
+                "use read_task or a record session"
+            )
+        if offset < 0 or n < 0:
+            raise SionUsageError("offset and size must be non-negative")
+        prefix = self._prefix(grank)
+        total = prefix[-1]
+        if offset >= total or n == 0:
+            return b""
+        block = bisect_right(prefix, offset) - 1
+        stream = self.stream(grank)
+        stream.seek_logical(block, offset - prefix[block])
+        return stream.fread(n)
+
+    def close(self) -> None:
+        """Close the physical handles (cached blocks stay resident)."""
+        for fi in self.files:
+            fi.raw.close()
+
+    # -- internals ----------------------------------------------------------
+
+    def _prefix(self, grank: int) -> list[int]:
+        """Cumulative byte offsets of ``grank``'s blocks (cached)."""
+        self._check_rank(grank)
+        with self._lock:
+            prefix = self._prefix_cache.get(grank)
+            if prefix is None:
+                prefix = [0]
+                for b in self.blocksizes_of(grank):
+                    prefix.append(prefix[-1] + b)
+                self._prefix_cache[grank] = prefix
+            return prefix
+
+    def _check_rank(self, grank: int) -> None:
+        if not 0 <= grank < self.ntasks:
+            raise SionUsageError(
+                f"writer rank {grank} out of range ({self.ntasks} streams)"
+            )
+
+
+class GatewaySession:
+    """One client's record-read cursor over a slice of writer streams.
+
+    Mirrors the SPMD partitioned read: the session owns a contiguous
+    slice of the container's task streams (``readers``/``reader`` name
+    the slice exactly like :class:`~repro.sion.mapping.ReadPartition`,
+    ``rank`` selects a single stream) and drains it with ``fread``
+    semantics across chunk and stream boundaries.  Compressed containers
+    are served through per-stream zlib readers, like
+    :class:`~repro.sion.openspec.SionPartitionedReadFile`.
+    """
+
+    def __init__(
+        self, session_id: int, container: ContainerHandle, writers: Sequence[int]
+    ) -> None:
+        """Compile the session's cursor over ``writers`` (global ranks)."""
+        self.id = session_id
+        self.container = container
+        self.writers = tuple(writers)
+        self.reads = 0
+        self.bytes_read = 0
+        self.closed = False
+        self._streams = [container.stream(g) for g in self.writers]
+        self._mux = PartitionStream(self._streams)
+        self._zrs = (
+            [ZlibReader() for _ in self._streams] if container.compress else None
+        )
+        self._zidx = 0
+
+    def feof(self) -> bool:
+        """True once every stream of the slice is exhausted."""
+        if self._zrs is not None:
+            return self._zcur() is None
+        return self._mux.feof()
+
+    def fread(self, n: int) -> bytes:
+        """Read up to ``n`` logical bytes, crossing chunk/stream boundaries.
+
+        Raises :class:`~repro.errors.SionUsageError` on a negative size
+        or a closed session.
+        """
+        if self.closed:
+            raise SionUsageError(f"session {self.id} is closed")
+        if n < 0:
+            raise SionUsageError("read size must be non-negative")
+        if self._zrs is None:
+            out = self._mux.fread(n)
+        else:
+            out = self._zread(n)
+        self.reads += 1
+        self.bytes_read += len(out)
+        return out
+
+    def read_all(self) -> bytes:
+        """Everything that remains of the slice."""
+        if self._zrs is None:
+            if self.closed:
+                raise SionUsageError(f"session {self.id} is closed")
+            out = self._mux.read_all()
+            self.reads += 1
+            self.bytes_read += len(out)
+            return out
+        parts = []
+        while True:
+            piece = self.fread(1 << 20)
+            if not piece:
+                break
+            parts.append(piece)
+        return b"".join(parts)
+
+    def close(self) -> None:
+        """Retire the cursor (the container stays open for other sessions)."""
+        self.closed = True
+
+    # -- compressed multiplexing (mirrors SionPartitionedReadFile) ----------
+
+    def _zcur(self):
+        assert self._zrs is not None
+        while self._zidx < len(self._streams):
+            zr = self._zrs[self._zidx]
+            if not zr.exhausted or zr.available():
+                return zr, self._streams[self._zidx]
+            self._zidx += 1
+        return None
+
+    def _zread(self, n: int) -> bytes:
+        parts: list[bytes] = []
+        want = n
+        while want > 0:
+            cur = self._zcur()
+            if cur is None:
+                break
+            zr, stream = cur
+            while zr.available() < want and not stream.feof():
+                piece = stream.fread(64 * 1024)
+                if not piece:
+                    break
+                zr.feed(piece)
+            if stream.feof():
+                zr.source_exhausted()
+            piece = zr.take(want)
+            if not piece and zr.exhausted:
+                self._zidx += 1
+                continue
+            if not piece:
+                break
+            parts.append(piece)
+            want -= len(piece)
+        return b"".join(parts)
+
+
+class ReadGateway:
+    """Long-lived asyncio read gateway over sealed multifile containers.
+
+    The in-process client API: open a container once, compile read
+    sessions on demand, answer concurrent ranged/record reads from any
+    number of asyncio tasks.  All session state is per-session, so
+    thousands of coroutines interleave freely; each read yields to the
+    event loop once for fairness.
+
+    The synchronous core (:meth:`open_container`,
+    :meth:`ContainerHandle.read_range`, ...) is also usable directly
+    from non-async code — the SPMD engines, tools, and tests do so.
+    """
+
+    def __init__(
+        self,
+        backend: "Backend | None" = None,
+        *,
+        cache: "ChunkCache | None" = None,
+        cache_bytes: int = DEFAULT_CACHE_BYTES,
+        cache_block: int = DEFAULT_CACHE_BLOCK,
+    ) -> None:
+        """Create a gateway over ``backend`` (default: the local FS).
+
+        ``cache`` shares an existing :class:`ChunkCache` between several
+        gateways; otherwise a private cache with ``cache_bytes`` budget
+        and ``cache_block`` granularity is created.  ``cache_bytes=0``
+        disables payload caching without changing any code path.
+        """
+        self.backend = backend if backend is not None else LocalBackend()
+        self.cache = cache if cache is not None else ChunkCache(cache_bytes, cache_block)
+        self.stats_gateway = GatewayStats()
+        self._containers: dict[str, ContainerHandle] = {}
+        self._sessions: dict[int, GatewaySession] = {}
+        self._session_ids = itertools.count(1)
+        self._generations = itertools.count(1)
+        self._lock = threading.RLock()
+
+    # -- container management (sync core) ------------------------------------
+
+    def open_container(self, path: str, *, refresh: bool = False) -> ContainerHandle:
+        """Open (or reuse) the sealed container at ``path``.
+
+        The fast path — container already resident and every physical
+        file's ``identity_token`` unchanged — costs one stat per file,
+        never a data read.  A token mismatch means the file mutated: the
+        metadata is reloaded under a fresh generation and the old
+        generation's cache entries are dropped.  ``refresh=True`` forces
+        the same reload unconditionally (the escape hatch for a re-seal
+        the backend's token cannot see).
+
+        Raises :class:`~repro.errors.SionFormatError` on a damaged
+        container and ``OSError``-family errors from the backend.
+        """
+        with self._lock:
+            handle = self._containers.get(path)
+            if handle is not None and not refresh and self._tokens_unchanged(handle):
+                self.stats_gateway.container_reuses += 1
+                return handle
+            fresh = self._load(path)
+            if handle is not None:
+                # Reaching a reload with a resident handle means the token
+                # mismatched (or refresh was forced): the file mutated, and
+                # chunk payload can change without the metablocks changing,
+                # so the old generation is retired wholesale.
+                self.cache.drop_generation(handle.generation)
+                handle.close()
+                self.stats_gateway.reseals_detected += 1
+            self._containers[path] = fresh
+            self.stats_gateway.containers_opened += 1
+            return fresh
+
+    def refresh(self, path: str) -> ContainerHandle:
+        """Force-reload ``path`` under a new generation (drop cached bytes)."""
+        return self.open_container(path, refresh=True)
+
+    def close(self) -> None:
+        """Close every container handle and retire all sessions."""
+        with self._lock:
+            for session in self._sessions.values():
+                session.close()
+            self._sessions.clear()
+            self.stats_gateway.sessions_active = 0
+            for handle in self._containers.values():
+                self.cache.drop_generation(handle.generation)
+                handle.close()
+            self._containers.clear()
+
+    def _tokens_unchanged(self, handle: ContainerHandle) -> bool:
+        """The cheap per-session-open revalidation probe (stat, no data reads)."""
+        try:
+            return handle.tokens == tuple(
+                self.backend.identity_token(fi.path) for fi in handle.files
+            )
+        except Exception:  # noqa: BLE001 - a vanished file is "changed"
+            return False
+
+    def _load(self, path: str) -> ContainerHandle:
+        """Decode the whole set's metadata once and wrap cached handles."""
+        generation = next(self._generations)
+        raw0 = self.backend.open(path, "rb")
+        try:
+            mb1_0 = Metablock1.decode_from(raw0)
+        finally:
+            raw0.close()
+        tmap = TaskMapping.from_kind_code(
+            mb1_0.ntasks_global, mb1_0.nfiles, mb1_0.mapping_kind, mb1_0.mapping_table
+        )
+        files: list[_FileInfo] = []
+        for f in range(mb1_0.nfiles):
+            fpath = physical_path(path, f)
+            raw = CachingRawFile(
+                self.backend.open(fpath, "rb"), self.cache, generation, fpath
+            )
+            mb1, mb2, layout = load_metablocks(raw)
+            files.append(
+                _FileInfo(
+                    path=fpath,
+                    mb1=mb1,
+                    mb2=mb2,
+                    layout=layout,
+                    raw=raw,
+                    size=self.backend.file_size(fpath),
+                    token=self.backend.identity_token(fpath),
+                )
+            )
+        return ContainerHandle(path, generation, tmap, files)
+
+    # -- async session API ----------------------------------------------------
+
+    async def open_session(
+        self,
+        path: str,
+        *,
+        readers: "int | None" = None,
+        reader: "int | None" = None,
+        rank: "int | None" = None,
+    ) -> int:
+        """Open a record-read session; returns its session id.
+
+        Two slice shapes exist:
+
+        * ``readers=m, reader=r`` — the session owns reader ``r``'s
+          contiguous slice of an ``m``-way balanced
+          :class:`~repro.sion.mapping.ReadPartition` over the writer
+          streams (exactly what an SPMD partitioned reader would see);
+        * ``rank=g`` — the session owns the single writer stream ``g``.
+
+        Raises :class:`~repro.errors.SionUsageError` when neither or
+        both shapes are given, or when the indices are out of range.
+        """
+        await asyncio.sleep(0)
+        if (rank is None) == (readers is None and reader is None):
+            raise SionUsageError(
+                "pass either rank=g or readers=m with reader=r"
+            )
+        if rank is None and (readers is None or reader is None):
+            raise SionUsageError("readers and reader must be given together")
+        handle = self.open_container(path)
+        if rank is not None:
+            writers: Sequence[int] = (rank,) if handle.ntasks > rank >= 0 else ()
+            if not writers:
+                raise SionUsageError(
+                    f"writer rank {rank} out of range ({handle.ntasks} streams)"
+                )
+        else:
+            assert readers is not None and reader is not None
+            part = ReadPartition.balanced(handle.ntasks, readers)
+            if not 0 <= reader < readers:
+                raise SionUsageError(
+                    f"reader {reader} out of range ({readers} readers)"
+                )
+            writers = part.writers_of(reader)
+        with self._lock:
+            sid = next(self._session_ids)
+            session = GatewaySession(sid, handle, writers)
+            self._sessions[sid] = session
+            gs = self.stats_gateway
+            gs.sessions_opened += 1
+            gs.sessions_active += 1
+            gs.sessions_peak = max(gs.sessions_peak, gs.sessions_active)
+        return sid
+
+    async def read(self, session_id: int, n: int) -> bytes:
+        """Read up to ``n`` record bytes from session ``session_id``."""
+        await asyncio.sleep(0)
+        out = self._session(session_id).fread(n)
+        self._count_read(len(out))
+        return out
+
+    async def read_all(self, session_id: int) -> bytes:
+        """Drain everything that remains of the session's slice."""
+        await asyncio.sleep(0)
+        out = self._session(session_id).read_all()
+        self._count_read(len(out))
+        return out
+
+    async def session_eof(self, session_id: int) -> bool:
+        """True once the session's slice is exhausted."""
+        await asyncio.sleep(0)
+        return self._session(session_id).feof()
+
+    async def read_task(self, path: str, rank: int) -> bytes:
+        """Whole logical stream of writer ``rank`` (stateless record read)."""
+        await asyncio.sleep(0)
+        out = self.open_container(path).read_task(rank)
+        self._count_read(len(out))
+        return out
+
+    async def read_range(self, path: str, rank: int, offset: int, n: int) -> bytes:
+        """Stateless ranged read inside writer ``rank``'s logical stream."""
+        await asyncio.sleep(0)
+        out = self.open_container(path).read_range(rank, offset, n)
+        self._count_read(len(out))
+        return out
+
+    async def close_session(self, session_id: int) -> None:
+        """Retire one session (idempotent per id; unknown ids raise)."""
+        await asyncio.sleep(0)
+        with self._lock:
+            session = self._sessions.pop(session_id, None)
+            if session is None:
+                raise SionUsageError(f"unknown session {session_id}")
+            session.close()
+            self.stats_gateway.sessions_active -= 1
+
+    async def stats(self) -> dict[str, Any]:
+        """The stats endpoint: gateway counters plus cache telemetry."""
+        await asyncio.sleep(0)
+        return self.snapshot()
+
+    # -- sync introspection ---------------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """Synchronous form of :meth:`stats` (tools, tests, bench)."""
+        with self._lock:
+            gs = self.stats_gateway
+            return {
+                "containers": {
+                    p: {
+                        "generation": h.generation,
+                        "ntasks": h.ntasks,
+                        "nfiles": h.nfiles,
+                        "compress": h.compress,
+                        "shadow": h.shadow,
+                    }
+                    for p, h in self._containers.items()
+                },
+                "containers_opened": gs.containers_opened,
+                "container_reuses": gs.container_reuses,
+                "reseals_detected": gs.reseals_detected,
+                "sessions_opened": gs.sessions_opened,
+                "sessions_active": gs.sessions_active,
+                "sessions_peak": gs.sessions_peak,
+                "reads": gs.reads,
+                "bytes_served": gs.bytes_served,
+                "cache": self.cache.snapshot(),
+            }
+
+    def _session(self, session_id: int) -> GatewaySession:
+        with self._lock:
+            session = self._sessions.get(session_id)
+        if session is None:
+            raise SionUsageError(f"unknown session {session_id}")
+        return session
+
+    def _count_read(self, nbytes: int) -> None:
+        with self._lock:
+            self.stats_gateway.reads += 1
+            self.stats_gateway.bytes_served += nbytes

@@ -474,6 +474,15 @@ class Comm:
         partitioned=True)`` on the returned communicator), while the
         remaining ranks skip the read entirely.  Collective over the
         parent communicator.
+
+        Raises :class:`CommunicatorError` unless ``1 <= size <=
+        self.size``.
+
+        Example::
+
+            sub = comm.subworld(32)
+            if sub is not COMM_NULL:
+                f = sion.paropen(path, "r", sub, partitioned=True)
         """
         if not 1 <= size <= self.size:
             raise CommunicatorError(

@@ -216,6 +216,15 @@ class ReadPartition:
 
     More readers than writers is legal: the surplus readers own empty
     ranges (an oversized analysis job must not crash on a small file).
+
+    :meth:`balanced` raises :class:`~repro.errors.SionUsageError` when
+    either count is below one.
+
+    Example::
+
+        part = ReadPartition.balanced(nwriters=4096, nreaders=32)
+        part.writers_of(0)      # range(0, 128)
+        part.reader_of(4095)    # 31
     """
 
     nwriters: int

@@ -72,6 +72,18 @@ class OpenSpec:
     ``chunksizes`` for the serial creator that states all of them);
     read mode must *not* prescribe geometry — the multifile itself is
     authoritative — so any such option is rejected as contradictory.
+
+    Every contradictory combination (both ``collectsize`` and
+    ``collectors``, geometry options in read mode, ``partitioned`` in
+    write mode, ...) raises :class:`~repro.errors.SionUsageError` at
+    construction time — identically for every entry point, before any
+    file is touched.
+
+    Example::
+
+        spec = OpenSpec.for_paropen(path="/out.sion", mode="r",
+                                    partitioned=True)
+        handle = open_access(spec, comm, backend)
     """
 
     path: str
@@ -233,10 +245,12 @@ class OpenSpec:
 
     @property
     def effective_nfiles(self) -> int:
+        """The physical file count with the default (1) applied."""
         return self.nfiles if self.nfiles is not None else 1
 
     @property
     def effective_mapping(self) -> "str | list[int]":
+        """The task→file mapping with the default (``"blocked"``) applied."""
         if self.mapping is None:
             return "blocked"
         if isinstance(self.mapping, tuple):
@@ -354,6 +368,7 @@ class ReplayGuardedFile(RawFile):
     """
 
     def __init__(self, raw: RawFile, comm: Any) -> None:
+        """Guard ``raw`` with ``comm``'s ``exec_once`` replay log."""
         self._raw = raw
         self._comm = comm
 
@@ -368,44 +383,57 @@ class ReplayGuardedFile(RawFile):
     # -- streaming surface --------------------------------------------------
 
     def seek(self, offset: int, whence: int = 0) -> int:
+        """``seek`` as a replay-guarded op (executes once per rank)."""
         return self._once(lambda: self._raw.seek(offset, whence))
 
     def tell(self) -> int:
+        """``tell`` as a replay-guarded op (executes once per rank)."""
         return self._once(self._raw.tell)
 
     def read(self, n: int = -1) -> bytes:
+        """``read`` as a replay-guarded op (executes once per rank)."""
         return self._once(lambda: self._raw.read(n))
 
     def write(self, data: BufferLike) -> int:
+        """``write`` as a replay-guarded op (executes once per rank)."""
         return self._once(lambda: self._raw.write(data))
 
     def write_zeros(self, n: int) -> int:
+        """``write_zeros`` as a replay-guarded op (executes once per rank)."""
         return self._once(lambda: self._raw.write_zeros(n))
 
     def truncate(self, size: int) -> None:
+        """``truncate`` as a replay-guarded op (executes once per rank)."""
         return self._once(lambda: self._raw.truncate(size))
 
     def flush(self) -> None:
+        """``flush`` as a replay-guarded op (executes once per rank)."""
         return self._once(self._raw.flush)
 
     def close(self) -> None:
+        """``close`` as a replay-guarded op (executes once per rank)."""
         return self._once(self._raw.close)
 
     # -- positioned / vectored surface --------------------------------------
 
     def pwrite(self, offset: int, data: BufferLike) -> int:
+        """Positioned write as a replay-guarded op."""
         return self._once(lambda: self._raw.pwrite(offset, data))
 
     def pread(self, offset: int, n: int) -> bytes:
+        """Positioned read as a replay-guarded op."""
         return self._once(lambda: self._raw.pread(offset, n))
 
     def pwritev(self, offset: int, views: Sequence[BufferLike]) -> int:
+        """Contiguous gather-write as a replay-guarded op."""
         return self._once(lambda: self._raw.pwritev(offset, views))
 
     def preadv(self, offset: int, sizes: Sequence[int]) -> list[bytes]:
+        """Contiguous scatter-read as a replay-guarded op."""
         return self._once(lambda: self._raw.preadv(offset, sizes))
 
     def scatter_write(self, fragments) -> int:
+        """Vectored write as a replay-guarded op (fragments materialized)."""
         # Materialize the fragment list before the guard: the caller may
         # pass a generator, which must not be consumed twice (it is not —
         # exec_once runs the closure at most once — but a logged empty
@@ -414,6 +442,7 @@ class ReplayGuardedFile(RawFile):
         return self._once(lambda: self._raw.scatter_write(frags))
 
     def gather_read(self, requests: Sequence[tuple[int, int]]) -> list[bytes]:
+        """Vectored read as a replay-guarded op (requests materialized)."""
         reqs = list(requests)
         return self._once(lambda: self._raw.gather_read(reqs))
 
@@ -453,6 +482,15 @@ class AccessPlan:
     metablock 2).  Partitioned read: ``partition`` plus one
     :class:`StreamAssignment` per assigned writer stream, with the
     per-file metadata in ``file_layouts``.
+
+    Produced by :func:`compile_plan` (collectively — read mode decodes
+    the metablocks on one rank and broadcasts them); consumed by the
+    executor, which turns the plan into an open handle.
+
+    Example::
+
+        plan = compile_plan(spec, comm, backend)
+        assert plan.layout is not None or plan.partition is not None
     """
 
     spec: OpenSpec
@@ -907,6 +945,7 @@ class SionPartitionedReadFile:
         own_raws: list[RawFile],
         close_via: Any,
     ) -> None:
+        """Bind the reader's compiled slice (built by the executor)."""
         self.comm = comm
         self.backend = backend
         self.base_path = base_path
@@ -943,6 +982,7 @@ class SionPartitionedReadFile:
 
     @property
     def closed(self) -> bool:
+        """True once :meth:`parclose` has run."""
         return self._closed
 
     def tell_logical(self) -> int:

@@ -92,6 +92,18 @@ def paropen(
     Returns each task's :class:`SionParallelFile` handle (a
     :class:`~repro.sion.collective.SionCollectiveFile` in collective
     mode, a partitioned read handle with ``partitioned=True``).
+
+    Example — every rank writes one record, then reads it back::
+
+        def program(comm):
+            f = sion.paropen("/scratch/out.sion", "w", comm, chunksize=1 << 16)
+            f.fwrite(payload_of(comm.rank))
+            f.parclose()
+            f = sion.paropen("/scratch/out.sion", "r", comm)
+            assert f.read_all() == payload_of(comm.rank)
+            f.parclose()
+
+        simmpi.run_spmd(1024, program)
     """
     spec = OpenSpec.for_paropen(
         path=path,

@@ -1,7 +1,9 @@
 """Argparse entry points for the multifile command-line utilities.
 
-Installed as ``siondump``, ``sionsplit``, ``siondefrag`` and
-``sionrecover`` (see ``pyproject.toml``).
+Installed as ``siondump``, ``sionsplit``, ``siondefrag``,
+``sionrecover``, ``sionverify`` and ``sioncat`` (see
+``pyproject.toml``); also reachable without an install as
+``python -m repro.utils <tool>``.
 """
 
 from __future__ import annotations
@@ -19,7 +21,15 @@ from repro.utils.verify import format_report, verify_multifile
 
 
 def main_dump(argv: list[str] | None = None) -> int:
-    """``siondump [-v] [--readers M] MULTIFILE``"""
+    """``siondump [-v] [--readers M] MULTIFILE``
+
+    Print the multifile's metadata summary; ``-v`` adds one line per
+    task, ``--readers M`` appends the reader→stream assignment table of
+    an ``M``-reader partitioned read.  Returns 0 on success, 1 (with a
+    message on stderr) on a damaged or missing multifile.
+
+    Example: ``siondump --readers 4 out.sion``.
+    """
     p = argparse.ArgumentParser(
         prog="siondump", description="Print SION multifile metadata."
     )
@@ -32,8 +42,8 @@ def main_dump(argv: list[str] | None = None) -> int:
         type=int,
         default=None,
         metavar="M",
-        help="also print the reader->task assignment of an M-reader "
-        "partitioned read",
+        help="also print the reader→stream assignment table of an "
+        "M-reader partitioned read",
     )
     args = p.parse_args(argv)
 
@@ -119,7 +129,16 @@ def main_recover(argv: list[str] | None = None) -> int:
 
 
 def main_verify(argv: list[str] | None = None) -> int:
-    """``sionverify [--deep] [--readers M] MULTIFILE``"""
+    """``sionverify [--deep] [--readers M] MULTIFILE``
+
+    Check the consistency of a multifile set.  ``--deep`` additionally
+    validates shadow headers against metablock 2; ``--readers M``
+    executes a real ``M``-reader partitioned read and cross-checks it
+    against the serial global view.  Returns 0 when the set verifies,
+    2 when it does not, 1 on I/O errors.
+
+    Example: ``sionverify --deep --readers 4 out.sion``.
+    """
     p = argparse.ArgumentParser(
         prog="sionverify",
         description="Check the consistency of a SION multifile set.",
@@ -155,7 +174,15 @@ def main_verify(argv: list[str] | None = None) -> int:
 
 
 def main_cat(argv: list[str] | None = None) -> int:
-    """``sioncat MULTIFILE RANK [--readers M]``"""
+    """``sioncat MULTIFILE RANK [--readers M]``
+
+    Stream one logical task-local file to stdout; with ``--readers M``,
+    ``RANK`` is instead a reader index of an ``M``-reader partitioned
+    read and that reader's whole contiguous slice is streamed.  Returns
+    0 on success, 1 (message on stderr) on bad ranks or a damaged set.
+
+    Example: ``sioncat out.sion 2 --readers 4 > slice2.bin``.
+    """
     p = argparse.ArgumentParser(
         prog="sioncat",
         description="Stream one logical task-local file to stdout.",

@@ -1,0 +1,148 @@
+"""The TCP gateway: frame protocol round-trips, errors, session reaping."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.backends.simfs_backend import SimBackend
+from repro.errors import SionUsageError
+from repro.fs.simfs import SimFS
+from repro.serve import GatewayClient, GatewayServer, ReadGateway
+from repro.simmpi import run_spmd
+from repro.sion import paropen, serial
+from repro.sion.mapping import ReadPartition
+
+NTASKS = 12
+PATH = "/scratch/srv.sion"
+
+
+def _payload(rank: int) -> bytes:
+    return bytes((rank * 17 + i) % 256 for i in range(30 + rank * 5))
+
+
+@pytest.fixture
+def backend():
+    fs = SimFS(blocksize_override=512)
+    fs.mkdir("/scratch")
+    backend = SimBackend(fs)
+
+    def program(comm):
+        f = paropen(PATH, "w", comm, chunksize=256, backend=backend)
+        f.fwrite(_payload(comm.rank))
+        f.parclose()
+
+    run_spmd(NTASKS, program, engine="threads")
+    return backend
+
+
+def _expected(backend):
+    with serial.open(PATH, "r", backend=backend) as sf:
+        return {r: sf.read_task(r) for r in range(NTASKS)}
+
+
+def _run_with_server(backend, coro_fn):
+    """Start a server on an OS port, run ``coro_fn(client)``, tear down."""
+
+    async def runner():
+        server = GatewayServer(ReadGateway(backend=backend, cache_bytes=1 << 20))
+        await server.start()
+        client = await GatewayClient.connect("127.0.0.1", server.port)
+        try:
+            return await coro_fn(client, server)
+        finally:
+            await client.close()
+            await server.stop()
+
+    return asyncio.run(runner())
+
+
+def test_roundtrip_sessions_and_stateless_reads(backend):
+    expected = _expected(backend)
+
+    async def scenario(client, server):
+        assert await client.ping()
+        part = ReadPartition.balanced(NTASKS, 3)
+        for r in range(3):
+            sid = await client.open_session(PATH, readers=3, reader=r)
+            data = await client.read_all(sid)
+            assert data == b"".join(expected[w] for w in part.writers_of(r))
+            assert await client.session_eof(sid)
+            await client.close_session(sid)
+        # rank session with chunked reads
+        sid = await client.open_session(PATH, rank=4)
+        out = b""
+        while True:
+            piece = await client.read(sid, 7)
+            if not piece:
+                break
+            out += piece
+        assert out == expected[4]
+        await client.close_session(sid)
+        # stateless ops
+        assert await client.read_task(PATH, 2) == expected[2]
+        assert await client.read_range(PATH, 2, 3, 8) == expected[2][3:11]
+        stats = await client.stats()
+        assert stats["sessions_opened"] == 4
+        assert stats["cache"]["lookups"] > 0
+
+    _run_with_server(backend, scenario)
+
+
+def test_errors_cross_the_wire_as_exceptions(backend):
+    async def scenario(client, server):
+        with pytest.raises(SionUsageError, match="out of range"):
+            await client.open_session(PATH, rank=NTASKS)
+        with pytest.raises(SionUsageError, match="unknown session"):
+            await client.read(12345, 4)
+        with pytest.raises(SionUsageError, match="unknown op"):
+            await client._call({"op": "explode"})
+        # The connection survives errors: a valid op still works.
+        assert await client.ping()
+
+    _run_with_server(backend, scenario)
+
+
+def test_dead_connection_reaps_its_sessions(backend):
+    async def runner():
+        gw = ReadGateway(backend=backend, cache_bytes=1 << 20)
+        server = GatewayServer(gw)
+        await server.start()
+        client = await GatewayClient.connect("127.0.0.1", server.port)
+        await client.open_session(PATH, rank=1)
+        await client.open_session(PATH, rank=2)
+        assert gw.snapshot()["sessions_active"] == 2
+        await client.close()  # drop without closing sessions
+        for _ in range(100):  # let the server notice the EOF
+            await asyncio.sleep(0.01)
+            if gw.snapshot()["sessions_active"] == 0:
+                break
+        assert gw.snapshot()["sessions_active"] == 0
+        await server.stop()
+
+    asyncio.run(runner())
+
+
+def test_many_clients_share_one_cache(backend):
+    expected = _expected(backend)
+
+    async def runner():
+        gw = ReadGateway(backend=backend, cache_bytes=1 << 20)
+        server = GatewayServer(gw)
+        await server.start()
+
+        async def one_client(rank):
+            client = await GatewayClient.connect("127.0.0.1", server.port)
+            try:
+                return rank, await client.read_task(PATH, rank)
+            finally:
+                await client.close()
+
+        results = await asyncio.gather(*(one_client(r) for r in range(NTASKS)))
+        for rank, data in results:
+            assert data == expected[rank]
+        assert gw.snapshot()["containers_opened"] == 1
+        await server.stop()
+
+    asyncio.run(runner())
