@@ -1,0 +1,128 @@
+"""(Re)capture the ``scale/taskbw`` data-plane baselines with sidecars.
+
+Runs the task-local write-bandwidth grid (1/2/4 workers, real bytes over
+``LocalBackend`` into a tempdir) of the *current* checkout and writes two
+committed baselines, mirroring the role ``record_scale_preopt.py`` plays
+for the control-plane grid:
+
+* ``benchmarks/baselines/scale_taskbw.json`` — the grid under the
+  process engine (``engine="proc"``, the shipped default).  The
+  ``scale-bench`` CI job gates its slice of the ``ci-grid`` run against
+  this file with ``--baseline-only``.
+* ``benchmarks/baselines/scale_taskbw_preopt.json`` — the same grid
+  forced onto the thread-per-rank engine via the runner's parameter
+  override.  This is the pre-optimization reference: one interpreter
+  lock, so aggregate bandwidth stays flat (or falls) as workers are
+  added no matter how many cores the machine has.  It is recorded as a
+  reference, not a CI gate — the scaling acceptance itself lives in
+  ``benchmarks/bench_scale.py`` and compares proc@4 against proc@1
+  *within one run on one machine*, because absolute MB/s never
+  transfers between hosts.
+
+Next to each baseline a ``<name>.meta.json`` provenance sidecar records
+the capture command, git SHA, timestamp, environment fingerprint, and —
+crucially for this family — the capture host's core count.  On a
+single-core host the proc grid cannot show scaling (all workers
+time-share one core and the fork/IPC overhead makes proc *slower* than
+threads); the committed numbers are then only a regression floor, and
+the sidecar says so.
+
+Usage:
+    PYTHONPATH=src python benchmarks/tools/record_taskbw_baseline.py \
+        [-o benchmarks/baselines]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+
+def _capture(engine_override: str | None):
+    from repro.bench.runner import run_suite
+
+    def progress(msg: str) -> None:
+        print(msg, flush=True)
+
+    overrides = {"engine": engine_override} if engine_override else None
+    return run_suite(
+        suite="scale", tags=("taskbw",), progress=progress, param_overrides=overrides
+    )
+
+
+def _write_with_sidecar(report, path: Path, role: str, argv: list[str]) -> None:
+    from repro.bench.results import utc_now_iso
+
+    report.save(path)
+    ncpu = os.cpu_count() or 1
+    sidecar = {
+        "artifact": path.name,
+        "suite": report.suite,
+        "scenarios": sorted(report.scenarios),
+        "git_sha": report.git_sha,
+        "created": utc_now_iso(),
+        "environment": report.environment,
+        "capture_command": "PYTHONPATH=src python "
+        "benchmarks/tools/record_taskbw_baseline.py " + " ".join(argv),
+        "role": role,
+        "capture_cpu_count": ncpu,
+        "scaling_visible_at_capture": ncpu >= 4,
+        "notes": (
+            "Aggregate MB/s is hardware-bound; cross-host comparisons are "
+            "meaningless.  The scaling acceptance (proc@4 >= 2x proc@1) is "
+            "asserted within-run by benchmarks/bench_scale.py on hosts with "
+            ">= 4 cores; this file only floors per-point regressions."
+        ),
+    }
+    path.with_suffix(".meta.json").write_text(
+        json.dumps(sidecar, indent=2, sort_keys=True) + "\n"
+    )
+    print(f"wrote {path} (+ {path.with_suffix('.meta.json').name})")
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "-o",
+        "--outdir",
+        default="benchmarks/baselines",
+        help="directory receiving the baseline files (default: %(default)s)",
+    )
+    args = parser.parse_args(argv)
+    outdir = Path(args.outdir)
+    outdir.mkdir(parents=True, exist_ok=True)
+
+    print("== proc engine (shipped default) ==")
+    current = _capture(None)
+    if current.failed:
+        for res in current.failed:
+            print(f"FAILED {res.name}:\n{res.error}", file=sys.stderr)
+        return 1
+    _write_with_sidecar(
+        current,
+        outdir / "scale_taskbw.json",
+        "current implementation (proc engine); CI regression floor",
+        argv,
+    )
+
+    print("== thread engine (pre-optimization reference) ==")
+    preopt = _capture("threads")
+    if preopt.failed:
+        for res in preopt.failed:
+            print(f"FAILED {res.name}:\n{res.error}", file=sys.stderr)
+        return 1
+    _write_with_sidecar(
+        preopt,
+        outdir / "scale_taskbw_preopt.json",
+        "thread-per-rank engine (pre-proc single-GIL reference)",
+        argv,
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

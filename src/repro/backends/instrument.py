@@ -23,6 +23,8 @@ payloads, so upstream ``bytearray`` buffers remain resizable.
 from __future__ import annotations
 
 import threading
+import uuid
+import weakref
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
@@ -34,6 +36,27 @@ DATA_WRITE_METHODS = ("write", "pwrite", "pwritev", "scatter_write")
 
 #: RawFile methods that fetch payload bytes from the store.
 DATA_READ_METHODS = ("read", "pread", "preadv", "gather_read")
+
+#: Every live :class:`IOStats` in this process, by token.  The process
+#: SPMD engine snapshots this registry around a rank body and ships the
+#: counter *deltas* back to the parent, where :func:`apply_stats_deltas`
+#: folds them into the parent's objects — so ``CountingBackend``
+#: telemetry aggregates across processes the same way it does across
+#: threads.  Weak values: registration must not keep stats (and the
+#: backends holding them) alive.
+_LIVE_STATS: "weakref.WeakValueDictionary[str, IOStats]" = (
+    weakref.WeakValueDictionary()
+)
+
+#: Scalar counter fields carried by cross-process deltas.
+_COUNTER_FIELDS = (
+    "bytes_written",
+    "bytes_read",
+    "fragments_written",
+    "fragments_read",
+    "tracked_fragments",
+    "copied_fragments",
+)
 
 
 @dataclass
@@ -53,8 +76,50 @@ class IOStats:
     fragments_read: int = 0
     tracked_fragments: int = 0
     copied_fragments: int = 0
+    #: Stable cross-process identity: a child's counter deltas find the
+    #: parent's object by this token after the run joins.
+    token: str = field(default_factory=lambda: uuid.uuid4().hex)
     _sources: set[int] = field(default_factory=set)
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def __post_init__(self) -> None:
+        _LIVE_STATS[self.token] = self
+
+    def __getstate__(self) -> dict:
+        """Picklable state: everything but the lock.
+
+        ``_sources`` travels along but is only meaningful in-process
+        (it holds ``id()`` values); cross-process zero-copy attribution
+        is per-child and merged via the counter deltas.
+        """
+        state = self.__dict__.copy()
+        state.pop("_lock", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+        # Register only if the token is not already live: when a clone is
+        # unpickled in the *same* process (or a spawn child that already
+        # holds the original), the existing object stays authoritative —
+        # deltas must merge into it, not into the latest copy.
+        _LIVE_STATS.setdefault(self.token, self)
+
+    def raw_state(self) -> dict:
+        """Copy of the mergeable counters (atomic)."""
+        with self._lock:
+            out: dict = {"calls": dict(self.calls)}
+            for name in _COUNTER_FIELDS:
+                out[name] = getattr(self, name)
+            return out
+
+    def merge_raw(self, delta: dict) -> None:
+        """Fold another process's counter delta into this object."""
+        with self._lock:
+            for method, n in delta.get("calls", {}).items():
+                self.calls[method] = self.calls.get(method, 0) + n
+            for name in _COUNTER_FIELDS:
+                setattr(self, name, getattr(self, name) + delta.get(name, 0))
 
     def count(self, method: str, n: int = 1) -> None:
         with self._lock:
@@ -136,6 +201,52 @@ class IOStats:
                 "bytes_written": self.bytes_written,
                 "bytes_read": self.bytes_read,
             }
+
+
+def snapshot_live_stats() -> dict[str, dict]:
+    """Raw counter state of every live :class:`IOStats`, by token."""
+    return {token: stats.raw_state() for token, stats in list(_LIVE_STATS.items())}
+
+
+def stats_deltas(
+    before: dict[str, dict], after: dict[str, dict]
+) -> list[tuple[str, dict]]:
+    """Non-zero per-token counter deltas between two snapshots.
+
+    Tokens present only in ``after`` (stats created inside the child)
+    contribute their full state; tokens that vanished are dropped — the
+    parent has no object to merge them into anyway.
+    """
+    out: list[tuple[str, dict]] = []
+    for token, state in after.items():
+        base = before.get(token, {})
+        base_calls = base.get("calls", {})
+        delta: dict = {
+            "calls": {
+                m: n - base_calls.get(m, 0)
+                for m, n in state["calls"].items()
+                if n - base_calls.get(m, 0)
+            }
+        }
+        for name in _COUNTER_FIELDS:
+            d = state[name] - base.get(name, 0)
+            if d:
+                delta[name] = d
+        if delta["calls"] or len(delta) > 1:
+            out.append((token, delta))
+    return out
+
+
+def apply_stats_deltas(deltas: Iterable[tuple[str, dict]]) -> None:
+    """Merge per-token deltas into this process's live stats objects.
+
+    Deltas whose token has no live counterpart here are ignored: the
+    child created (and discarded) that backend wrapper itself.
+    """
+    for token, delta in deltas:
+        stats = _LIVE_STATS.get(token)
+        if stats is not None:
+            stats.merge_raw(delta)
 
 
 class CountingRawFile(RawFile):

@@ -31,10 +31,43 @@ _HAVE_PREADV = hasattr(os, "preadv")
 
 
 class LocalRawFile(RawFile):
-    """Adapter around an unbuffered binary file object."""
+    """Adapter around an unbuffered binary file object.
+
+    Open handles are **picklable** (a requirement of the process SPMD
+    engine): the pickle records the path, an equivalent reopen mode, and
+    the file position, and unpickling reopens the file and seeks back.
+    Create/truncate modes (``w``/``x``) are rewritten to ``r+`` for the
+    reopen — the file already exists by pickle time, and a child process
+    re-truncating the parent's file would destroy data.  The two handles
+    are then independent descriptors on the same file, exactly like a
+    ``dup``'d fd with a private offset.
+    """
 
     def __init__(self, fobj) -> None:
         self._f = fobj
+
+    def __getstate__(self) -> dict:
+        f = self._f
+        if f.closed:
+            raise TypeError("cannot pickle a closed LocalRawFile")
+        path = getattr(f, "name", None)
+        if not isinstance(path, (str, bytes, os.PathLike)):
+            raise TypeError(
+                "cannot pickle a LocalRawFile without a filesystem path "
+                f"(name={path!r}); open it by path to make it portable"
+            )
+        mode = getattr(f, "mode", "rb")
+        if "w" in mode or "x" in mode:
+            reopen = "r+b"
+        elif "b" not in mode:  # pragma: no cover - FileIO modes carry 'b'
+            reopen = mode + "b"
+        else:
+            reopen = mode
+        return {"path": os.fspath(path), "mode": reopen, "pos": f.tell()}
+
+    def __setstate__(self, state: dict) -> None:
+        self._f = open(state["path"], state["mode"], buffering=0)
+        self._f.seek(state["pos"])
 
     def seek(self, offset: int, whence: int = 0) -> int:
         return self._f.seek(offset, whence)

@@ -58,10 +58,27 @@ class SimRawFile(RawFile):
 
 
 class SimBackend(Backend):
-    """Backend view of one :class:`SimFS` instance."""
+    """Backend view of one :class:`SimFS` instance.
+
+    **In-process only.**  The simulated store is plain Python state; a
+    child process (``run_spmd(..., engine="proc")``) would get an
+    independent copy — under ``fork`` a copy-on-write snapshot, under
+    ``spawn`` a pickled clone — and every cross-rank write would silently
+    vanish at join.  Pickling therefore refuses loudly.  Use
+    :class:`~repro.backends.localfs.LocalBackend` with the process
+    engine, or keep SimBackend programs on the thread/bulk engines.
+    """
 
     def __init__(self, fs: SimFS | None = None) -> None:
         self.fs = fs if fs is not None else SimFS()
+
+    def __reduce__(self):
+        raise TypeError(
+            "SimBackend is in-process-only and cannot cross process "
+            "boundaries: each child would mutate an invisible copy of the "
+            "simulated store.  Use LocalBackend with engine='proc', or run "
+            "SimBackend programs on the thread/bulk engines."
+        )
 
     def open(self, path: str, mode: str) -> SimRawFile:
         return SimRawFile(self.fs.open(path, mode))

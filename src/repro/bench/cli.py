@@ -32,6 +32,16 @@ def _build_parser() -> argparse.ArgumentParser:
         help="require this tag (repeatable)",
     )
     run_p.add_argument(
+        "--engine",
+        default=None,
+        metavar="NAME",
+        help=(
+            "override the SPMD engine (threads|bulk|proc, aliases accepted) "
+            "for every selected scenario that has an 'engine' parameter; "
+            "the report records the effective value"
+        ),
+    )
+    run_p.add_argument(
         "-o",
         "--output",
         default=None,
@@ -79,11 +89,17 @@ def _progress(msg: str) -> None:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     progress = None if args.quiet else _progress
+    overrides = None
+    if args.engine is not None:
+        from repro.simmpi import normalize_engine
+
+        overrides = {"engine": normalize_engine(args.engine)}
     report = run_suite(
         suite=args.suite,
         pattern=args.filter,
         tags=tuple(args.tag),
         progress=progress,
+        param_overrides=overrides,
     )
     out = args.output or f"BENCH_{args.suite}.json"
     path = report.save(out)

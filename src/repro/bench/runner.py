@@ -2,10 +2,11 @@
 
 from __future__ import annotations
 
+import dataclasses
 import math
 import time
 import traceback
-from typing import Callable
+from typing import Any, Callable, Mapping
 
 from repro.bench.registry import Registry, ensure_builtin_scenarios
 from repro.bench.results import BenchReport, Metric, ScenarioResult
@@ -34,12 +35,19 @@ def run_suite(
     tags: tuple[str, ...] = (),
     registry: Registry | None = None,
     progress: Callable[[str], None] | None = None,
+    param_overrides: Mapping[str, Any] | None = None,
 ) -> BenchReport:
     """Run every scenario of ``suite`` (optionally filtered) into a report.
 
     A scenario that raises is recorded with its traceback in ``error``
     (and an empty metrics dict) rather than aborting the suite — the CLI
     turns any error into a non-zero exit.
+
+    ``param_overrides`` replaces parameter values per scenario, but only
+    for keys the scenario already declares — a scenario with no
+    ``engine`` parameter is not handed one it never reads.  The report
+    records the *effective* parameters, so an overridden run is never
+    mistaken for a stock one when diffed later.
     """
     registry = registry if registry is not None else ensure_builtin_scenarios()
     report = BenchReport(suite=suite)
@@ -50,6 +58,12 @@ def run_suite(
             f"tags={tags!r})"
         )
     for sc in selected:
+        if param_overrides:
+            applicable = {
+                k: v for k, v in param_overrides.items() if k in sc.params
+            }
+            if applicable:
+                sc = dataclasses.replace(sc, params={**sc.params, **applicable})
         if progress is not None:
             progress(f"running {sc.name} ...")
         t0 = time.perf_counter()

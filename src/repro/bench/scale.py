@@ -6,7 +6,16 @@ serial metadata scans, bare collectives) at 4k-256k simulated tasks using
 the bulk SPMD engine, and record wall clock plus deterministic geometry
 facts as gated metrics.
 
-Two committed baselines back the suite:
+The ``taskbw`` family is the suite's *data plane* counterpart: a small
+world of real OS processes (``engine="proc"``) streams real bytes
+through :class:`~repro.backends.localfs.LocalBackend` into a tempdir
+multifile, and the gated metric is aggregate write bandwidth.  Unlike
+the simulated control-plane points its walls are hardware-dependent, so
+its grid is deliberately tiny (1/2/4 workers, tens of MB per task —
+sized to stay inside the page cache so the engines are measured, not
+the disk's writeback behavior).
+
+Committed baselines backing the suite:
 
 * ``benchmarks/baselines/scale_preopt.json`` — the pre-optimization
   control plane (thread-per-rank engine, scalar metadata paths), captured
@@ -19,6 +28,11 @@ Two committed baselines back the suite:
   implementation; CI gates the reduced ``ci-grid`` (4k/16k) against
   ``scale_ci.json`` with a generous threshold (wall clock on shared
   runners is noisy; only algorithmic regressions should trip it).
+* ``benchmarks/baselines/scale_taskbw.json`` /
+  ``scale_taskbw_preopt.json`` — the data-plane family under the proc
+  engine and its thread-engine (single-GIL) reference, captured by
+  ``benchmarks/tools/record_taskbw_baseline.py``; CI gates the former
+  slice of the same ``ci-grid`` run with ``--baseline-only``.
 
 All scenarios honor ``REPRO_SPMD_TIMEOUT`` (see ``repro.simmpi.runner``):
 on very slow machines raise it before running the 256k points.
@@ -235,6 +249,105 @@ def _collectives(ctx) -> ScenarioOutput:
 
 
 # --------------------------------------------------------------------------
+# Task-local write bandwidth on real cores: the data plane the process
+# engine exists for.  Each worker streams its task-local pieces into a
+# shared multifile over LocalBackend; the gated figure is aggregate MB/s
+# across the world.  Per-task volume stays small enough (<< dirty-page
+# thresholds) that every round lands in the page cache — the scenario
+# measures the engines' data paths, not the disk.
+
+#: Worker grid of the ``taskbw`` family and its per-task write volume.
+TASKBW_WORKERS = (1, 2, 4)
+TASKBW_TASK_MB = 32
+
+
+def _taskbw_program(comm, path, npieces, piece_bytes, chunksize, fsblksize):
+    """Rank body: stream ``npieces`` task-local pieces and parclose.
+
+    Module-level (not a closure) so the spawn start method can pickle it;
+    every input is an int or a string for the same reason.
+    """
+    from repro.backends.localfs import LocalBackend
+    from repro.sion import paropen
+
+    piece = bytes([0x40 + comm.rank]) * piece_bytes
+    f = paropen(
+        path,
+        "w",
+        comm,
+        chunksize=chunksize,
+        fsblksize=fsblksize,
+        backend=LocalBackend(),
+    )
+    for _ in range(npieces):
+        f.fwrite(piece)
+    f.parclose()
+    return npieces * piece_bytes
+
+
+def _taskbw(ctx) -> ScenarioOutput:
+    import os
+    import tempfile
+
+    from repro.backends.localfs import LocalBackend
+    from repro.simmpi import run_spmd
+    from repro.sion import serial
+
+    p = ctx.params
+    workers = p["workers"]
+    piece_bytes = p["piece_kib"] * KiB
+    npieces = p["task_mb"] * KiB // p["piece_kib"]
+    per_task = npieces * piece_bytes
+    total_mb = per_task * workers / (1 << 20)
+
+    best = float("inf")
+    with tempfile.TemporaryDirectory(prefix="repro-taskbw-") as base:
+        path = os.path.join(base, "bw.sion")
+        for rnd in range(p["rounds"]):
+            t0 = time.perf_counter()
+            out = run_spmd(
+                workers,
+                _taskbw_program,
+                path,
+                npieces,
+                piece_bytes,
+                p["chunksize"],
+                p["fsblksize"],
+                engine=p["engine"],
+            )
+            best = min(best, time.perf_counter() - t0)
+            if out != [per_task] * workers:
+                raise AssertionError(f"ranks reported {out}, expected {per_task} each")
+            if rnd != p["rounds"] - 1:
+                # Dropping the file between rounds discards its dirty pages,
+                # so repeated rounds never accumulate writeback pressure.
+                os.unlink(path)
+
+        # Round-trip the last file through the serial global view: exact
+        # logical volume, and the last rank's bytes byte-for-byte.
+        with serial.open(path, "r", backend=LocalBackend()) as f:
+            total = f.get_locations().total_bytes()
+            if total != per_task * workers:
+                raise AssertionError(f"multifile holds {total} logical bytes")
+            got = f.read_task(workers - 1)
+            if got != bytes([0x40 + workers - 1]) * per_task:
+                raise AssertionError(f"rank {workers - 1} round-tripped bad bytes")
+
+    agg = total_mb / best
+    metrics = {
+        "write_wall_s": Metric(best, "s", "lower"),
+        "agg_mb_per_s": Metric(agg, "MB/s", "higher"),
+        "per_task_mb": Metric(float(p["task_mb"]), "MB", "info"),
+    }
+    text = (
+        f"{workers} worker(s) x {p['task_mb']} MB task-local writes "
+        f"({p['piece_kib']} KiB pieces) via engine={p['engine']}: best of "
+        f"{p['rounds']} rounds {best:.3f} s = {agg:,.0f} MB/s aggregate"
+    )
+    return ScenarioOutput(metrics=metrics, text=text, raw={"wall": best})
+
+
+# --------------------------------------------------------------------------
 # Registration: one scenario per (family, ntasks) so the CI grid can be
 # selected by tag (fnmatch reads the bracketed grid names as character
 # classes, so tags are the reliable selector).
@@ -272,3 +385,22 @@ for _n in SCALE_TASK_COUNTS:
         tags=_tags("collectives", _n),
         params={"ntasks": _n, "rounds": 1, "engine": "bulk"},
     )(_collectives)
+
+for _w in TASKBW_WORKERS:
+    scenario(
+        f"scale/taskbw[workers={_w}]",
+        suite="scale",
+        # Always part of the CI grid: the whole family finishes in a few
+        # seconds, and the scaling claim needs the 1- and 4-worker points
+        # in the same run.
+        tags=("scale", "data-plane", "taskbw", "ci-grid"),
+        params={
+            "workers": _w,
+            "task_mb": TASKBW_TASK_MB,
+            "piece_kib": 32,
+            "chunksize": 256 * KiB,
+            "fsblksize": FSBLK,
+            "rounds": 2,
+            "engine": "proc",
+        },
+    )(_taskbw)

@@ -5,14 +5,18 @@ Serves one or more sealed multifiles::
     python -m repro.serve out.sion --port 7777 --cache-bytes 67108864
 
 Containers named on the command line are opened eagerly (fail fast on a
-damaged set); any path a client asks for is opened on demand.  Stop with
-Ctrl-C.
+damaged set); any path a client asks for is opened on demand.
+
+SIGINT (Ctrl-C) and SIGTERM trigger a graceful drain: the listener
+closes immediately, requests already on the wire are answered, idle
+connections fold, and the process exits 0 once the gateway is closed.
 """
 
 from __future__ import annotations
 
 import argparse
 import asyncio
+import signal
 import sys
 
 from repro.errors import ReproError
@@ -63,12 +67,19 @@ def main(argv: "list[str] | None" = None) -> int:
 
     async def _run() -> None:
         await server.start()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, server.request_shutdown)
+            except NotImplementedError:  # pragma: no cover - non-POSIX loop
+                pass
         print(f"serving on {server.host}:{server.port}", file=sys.stderr)
-        await server.serve_forever()
+        await server.serve_until_shutdown()
+        print("repro-serve: drained, gateway closed", file=sys.stderr)
 
     try:
         asyncio.run(_run())
-    except KeyboardInterrupt:
+    except KeyboardInterrupt:  # pragma: no cover - non-POSIX fallback path
         pass
     return 0
 

@@ -22,6 +22,14 @@ or embedded in JSON.  Errors come back as ``{"ok": false, "kind": ...,
 :class:`GatewayClient` is the matching asyncio client.  Both are plain
 asyncio — one coroutine per connection, requests on a connection are
 answered in order.
+
+Shutdown comes in two grades: :meth:`GatewayServer.stop` folds the
+listener and gateway immediately, while
+:meth:`GatewayServer.request_shutdown` (wired to SIGINT/SIGTERM by the
+``repro-serve`` CLI) starts a *graceful drain* — stop accepting, answer
+every request already on the wire, close idle connections, then close
+the gateway.  A request racing the signal is answered; one sent after
+its connection drained is not.
 """
 
 from __future__ import annotations
@@ -92,6 +100,8 @@ class GatewayServer:
         self.host = host
         self.port = port
         self._server: "asyncio.base_events.Server | None" = None
+        self._shutdown = asyncio.Event()
+        self._conn_tasks: "set[asyncio.Task]" = set()
 
     async def start(self) -> None:
         """Open the listening socket; :attr:`port` is real afterwards."""
@@ -101,28 +111,105 @@ class GatewayServer:
         self.port = self._server.sockets[0].getsockname()[1]
 
     async def stop(self) -> None:
-        """Stop listening and close the gateway's containers."""
+        """Stop listening and close the gateway's containers *now*.
+
+        The abrupt counterpart of :meth:`shutdown`: in-flight requests
+        are not waited for (their connections fold when the loop goes
+        away).  Also releases any :meth:`serve_until_shutdown` waiter.
+        """
+        self._shutdown.set()
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
         self.gateway.close()
 
+    def request_shutdown(self) -> None:
+        """Begin a graceful drain (idempotent; safe in a signal handler).
+
+        Closes the listening socket so no new connection is accepted and
+        tells every connection handler to finish the request it is
+        serving (if any) and then fold.  Returns immediately — await
+        :meth:`shutdown` or :meth:`serve_until_shutdown` for completion.
+        """
+        if self._shutdown.is_set():
+            return
+        self._shutdown.set()
+        if self._server is not None:
+            self._server.close()
+
+    async def shutdown(self) -> None:
+        """Drain gracefully: answer in-flight requests, then close up.
+
+        Triggers :meth:`request_shutdown` if nothing has yet, waits for
+        every live connection handler to retire, then closes the
+        listener and the gateway's containers.
+        """
+        self.request_shutdown()
+        if self._conn_tasks:
+            await asyncio.gather(*list(self._conn_tasks), return_exceptions=True)
+        if self._server is not None:
+            await self._server.wait_closed()
+            self._server = None
+        self.gateway.close()
+
     async def serve_forever(self) -> None:
-        """Block serving connections until cancelled (CLI entry point)."""
+        """Block serving connections until cancelled (legacy entry point)."""
         if self._server is None:
             await self.start()
         assert self._server is not None
         async with self._server:
             await self._server.serve_forever()
 
+    async def serve_until_shutdown(self) -> None:
+        """Serve until :meth:`request_shutdown` fires, then drain and stop.
+
+        The CLI entry point: wire ``loop.add_signal_handler(sig,
+        server.request_shutdown)`` and await this — it returns once
+        every in-flight request has been answered and the gateway is
+        closed.
+        """
+        if self._server is None:
+            await self.start()
+        await self._shutdown.wait()
+        await self.shutdown()
+
+    async def _next_frame(
+        self, reader: asyncio.StreamReader
+    ) -> "tuple[dict, bytes] | None":
+        """One request frame, or ``None`` on EOF *or* shutdown while idle.
+
+        Races the frame read against the drain event so an idle
+        connection folds promptly; a frame that wins the race is still
+        returned (and answered) even if the drain fires the same tick.
+        """
+        read = asyncio.ensure_future(_read_frame(reader))
+        stop = asyncio.ensure_future(self._shutdown.wait())
+        try:
+            done, _ = await asyncio.wait(
+                {read, stop}, return_when=asyncio.FIRST_COMPLETED
+            )
+        finally:
+            stop.cancel()
+        if read in done:
+            return read.result()
+        read.cancel()
+        try:
+            await read
+        except (asyncio.CancelledError, SionUsageError, ConnectionError):
+            pass
+        return None
+
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
         owned: set[int] = set()
         try:
-            while True:
-                frame = await _read_frame(reader)
+            while not self._shutdown.is_set():
+                frame = await self._next_frame(reader)
                 if frame is None:
                     break
                 header, _payload = frame
@@ -143,6 +230,8 @@ class GatewayServer:
         except (SionUsageError, ConnectionError):
             pass  # protocol violation or abrupt drop: just fold the connection
         finally:
+            if task is not None:
+                self._conn_tasks.discard(task)
             for sid in owned:
                 try:
                     await self.gateway.close_session(sid)

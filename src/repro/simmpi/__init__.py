@@ -15,7 +15,14 @@ deterministically in a single process:
 
 from repro.simmpi.bulk import BulkComm, default_nworkers, run_spmd_bulk
 from repro.simmpi.comm import ANY_SOURCE, ANY_TAG, COMM_NULL, Comm
-from repro.simmpi.runner import ENGINES, run_spmd, spmd_context
+from repro.simmpi.proc import ProcComm, run_spmd_proc
+from repro.simmpi.runner import (
+    ENGINES,
+    default_bulk_nworkers,
+    normalize_engine,
+    run_spmd,
+    spmd_context,
+)
 
 __all__ = [
     "ANY_SOURCE",
@@ -24,8 +31,12 @@ __all__ = [
     "BulkComm",
     "Comm",
     "ENGINES",
+    "ProcComm",
+    "default_bulk_nworkers",
     "default_nworkers",
+    "normalize_engine",
     "run_spmd",
     "run_spmd_bulk",
+    "run_spmd_proc",
     "spmd_context",
 ]

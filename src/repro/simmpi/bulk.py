@@ -76,8 +76,15 @@ from repro.simmpi.comm import ANY_SOURCE, ANY_TAG, COMM_NULL, _copy_payload, _fo
 
 
 def default_nworkers() -> int:
-    """Bounded pool size: enough to overlap I/O, few enough to stay cheap."""
-    return min(32, (os.cpu_count() or 1) * 4)
+    """Bounded pool size: enough to overlap I/O, few enough to stay cheap.
+
+    Thin re-export: the actual default lives in
+    :func:`repro.simmpi.runner.default_bulk_nworkers`, the single source
+    of truth the ``run_spmd`` docstring refers to.
+    """
+    from repro.simmpi.runner import default_bulk_nworkers
+
+    return default_bulk_nworkers()
 
 
 class _Suspend(BaseException):

@@ -1,0 +1,982 @@
+"""MPI-like communicators over OS processes: the true multi-core engine.
+
+The thread engine (:mod:`repro.simmpi.comm`) and the bulk engine
+(:mod:`repro.simmpi.bulk`) both execute rank code under one GIL, so
+aggregate bandwidth can never exceed one core no matter how parallel the
+byte path is.  This engine runs **one process per rank**: rank bodies
+execute preemptively on separate cores, and measured MB/s actually
+scales with workers — the property every bandwidth figure of the paper
+(weak scaling, task-local write rates) depends on.
+
+Architecture
+------------
+
+* **World collectives** go through a ``multiprocessing.shared_memory``
+  slot buffer: every rank owns a fixed slot, deposits a pickled payload,
+  and a double ``multiprocessing.Barrier`` brackets the read phase —
+  the same deposit / barrier / read / barrier discipline as the thread
+  engine, with the slot array living in a shared segment instead of a
+  Python list.  Payloads larger than a slot spill into an ephemeral
+  shared-memory segment whose name travels in the slot.
+* **Point-to-point and subgroup traffic** use a lightweight control
+  channel: one ``multiprocessing.Queue`` mailbox per rank.  Messages
+  carry their communicator id, so traffic on a ``split`` subgroup never
+  collides with world traffic.  Subgroup collectives are routed through
+  the subgroup's local rank 0 (the *hub*) over the same mailboxes —
+  process barriers cannot be conjured up after the world has started,
+  so subgroups synchronize by message passing instead.
+* **Results and telemetry** return over a queue at join.  Each child
+  ships per-:class:`~repro.backends.instrument.IOStats` counter deltas
+  alongside its result, and the parent merges them into the live stats
+  objects, so ``CountingBackend`` telemetry aggregates across processes
+  exactly as it does across threads.
+
+Payload contract
+----------------
+
+Everything crosses process boundaries **by value** (pickle) after the
+engine-wide :func:`~repro.simmpi.comm._copy_payload` normalization:
+arrays arrive as arrays, ``bytearray`` as ``bytearray``, ``memoryview``
+as immutable ``bytes``.  Identity is never preserved — two ranks can
+never share an object — which is the strictest reading of the MPI
+buffer semantics the other engines emulate.
+
+``exec_once`` semantics
+-----------------------
+
+A rank body executes exactly once per run in its own dedicated process,
+so :meth:`ProcComm.exec_once` simply calls ``fn`` — once per rank, like
+the thread engine.  The process twist is *where* the side effects land:
+in-memory effects (globals, caches) live and die with the child process
+and are never visible to the parent or sibling ranks; only external
+effects (files, sockets) outlive the run.  Programs that are portable
+across all three engines should keep ``exec_once`` bodies idempotent in
+memory and externally observable only through the backend.
+
+Backend handles
+---------------
+
+Handles a rank opens must either be created inside the rank body or be
+picklable.  :class:`~repro.backends.localfs.LocalBackend` and open
+:class:`~repro.backends.localfs.LocalRawFile` handles pickle (the file
+reopens by path and seeks back in the child).  ``SimBackend`` is
+**in-process-only**: under ``fork`` each child would get an independent
+copy-on-write snapshot of the simulated store and cross-rank writes
+would silently vanish, so it refuses to pickle and must not be shared
+across ranks of this engine — use ``LocalBackend`` (or keep SimBackend
+work on the thread/bulk engines).
+
+Scale envelope: one OS process per rank is practical to a few dozen
+ranks (``REPRO_PROC_MAX_RANKS``, default 128).  For simulated worlds of
+thousands to hundreds of thousands of ranks, use the bulk engine — this
+engine is for *real* data-plane parallelism, not rank-count scale.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import queue as queue_mod
+import struct
+import threading
+import time
+import traceback
+from multiprocessing import get_all_start_methods, get_context
+from multiprocessing.shared_memory import SharedMemory
+from typing import Any, Callable, Sequence
+
+from repro.backends.instrument import snapshot_live_stats, stats_deltas
+from repro.errors import (
+    CollectiveMismatchError,
+    CommunicatorError,
+    SimMPIError,
+)
+from repro.simmpi.comm import (
+    ANY_SOURCE,
+    ANY_TAG,
+    COMM_NULL,
+    _copy_payload,
+    _fold,
+)
+
+#: Maximum world size; one OS process per rank.  Overridable via the
+#: ``REPRO_PROC_MAX_RANKS`` environment variable.
+DEFAULT_MAX_RANKS = 128
+
+#: Per-rank slot size in the shared-memory world buffer; payloads that
+#: do not fit spill to an ephemeral segment.  Overridable via
+#: ``REPRO_PROC_SLOT_BYTES``.
+DEFAULT_SLOT_BYTES = 64 * 1024
+
+#: Slot header: 1 byte kind, 32 bytes opname (utf-8, NUL-padded),
+#: 8 bytes payload length.
+_HEADER = struct.Struct(">B32sQ")
+_KIND_INLINE = 1
+_KIND_SPILL = 2
+
+#: Mailbox poll granularity while honouring abort flags and timeouts.
+_POLL_S = 0.05
+
+#: Communicator id of the world; subgroup ids are tuples derived from it.
+_WORLD_ID = ("w",)
+
+#: Marks a hub reply in the control channel (never a valid local rank).
+_HUB = -1
+
+
+def _attach_shm(name: str) -> SharedMemory:
+    """Attach an existing segment by name.
+
+    On POSIX, attaching registers the name with the resource tracker —
+    harmlessly: rank processes share the parent's tracker (the tracker
+    fd travels through fork and spawn alike), its cache is a set, and
+    the single ``unlink()`` each segment eventually gets unregisters it
+    exactly once.  No extra bookkeeping is needed here.
+    """
+    return SharedMemory(name=name)
+
+
+def default_start_method() -> str:
+    """Start method used for rank processes.
+
+    ``REPRO_PROC_START`` overrides; otherwise ``fork`` where available
+    (fast, closures and open handles inherit) with ``spawn`` as the
+    portable fallback (rank function and arguments must pickle).
+    """
+    env = os.environ.get("REPRO_PROC_START", "").strip()
+    if env:
+        return env
+    return "fork" if "fork" in get_all_start_methods() else "spawn"
+
+
+class _ProcShared:
+    """Synchronization state shared by every rank process of one world.
+
+    Created in the parent; reaches children by inheritance (fork) or by
+    pickling through ``Process`` args (spawn) — every field is either
+    a picklable multiprocessing primitive or plain data.  The shared-
+    memory world buffer itself travels by *name* and is attached lazily
+    in each process, so both start methods take the same path.
+    """
+
+    def __init__(self, ctx, size: int, timeout: float | None, slot_bytes: int) -> None:
+        self.size = size
+        self.timeout = timeout
+        self.slot_bytes = slot_bytes
+        self.barrier = ctx.Barrier(size)
+        self.abort_event = ctx.Event()
+        self.mailboxes = [ctx.Queue() for _ in range(size)]
+        self._shm: SharedMemory | None = SharedMemory(
+            create=True, size=size * slot_bytes
+        )
+        self.shm_name = self._shm.name
+        self._owner_pid = os.getpid()
+
+    def __getstate__(self) -> dict[str, Any]:
+        state = self.__dict__.copy()
+        state["_shm"] = None  # children re-attach by name
+        return state
+
+    def buffer(self) -> memoryview:
+        """The world slot buffer, attaching on first use in this process."""
+        if self._shm is None:
+            self._shm = _attach_shm(self.shm_name)
+        return self._shm.buf
+
+    def abort(self) -> None:
+        """Break every synchronization point so blocked ranks raise."""
+        self.abort_event.set()
+        try:
+            self.barrier.abort()
+        except Exception:  # pragma: no cover - broken barrier machinery
+            pass
+
+    def wait_barrier(self) -> None:
+        if self.abort_event.is_set():
+            raise SimMPIError("communicator aborted")
+        try:
+            self.barrier.wait(timeout=self.timeout)
+        except threading.BrokenBarrierError as exc:
+            raise SimMPIError(
+                "collective aborted (another rank failed or barrier timed out)"
+            ) from exc
+
+    def detach(self) -> None:
+        """Release this process's view of the world buffer."""
+        if self._shm is not None:
+            try:
+                self._shm.close()
+            except BufferError:  # pragma: no cover - exported views alive
+                pass
+            self._shm = None
+
+    def destroy(self) -> None:
+        """Unlink the world buffer (creator only, after all ranks joined)."""
+        self.detach()
+        if os.getpid() == self._owner_pid:
+            try:
+                SharedMemory(name=self.shm_name).unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+
+class _SlotView:
+    """Lazy, cached view of the deposited slots of one world collective.
+
+    Readers index only what they need (``bcast`` touches one slot), so a
+    size-*n* world does O(n) total unpickling work for single-source
+    collectives instead of every rank unpickling every slot.
+    """
+
+    def __init__(self, shared: _ProcShared) -> None:
+        self._shared = shared
+        self._cache: dict[int, Any] = {}
+
+    def __getitem__(self, rank: int) -> Any:
+        if rank not in self._cache:
+            self._cache[rank] = _read_slot(self._shared, rank)
+        return self._cache[rank]
+
+    def all(self) -> list[Any]:
+        return [self[r] for r in range(self._shared.size)]
+
+
+class _ListSlots:
+    """Slot-view interface over a plain list (hub-routed collectives)."""
+
+    def __init__(self, slots: list[Any]) -> None:
+        self._slots = slots
+
+    def __getitem__(self, rank: int) -> Any:
+        return self._slots[rank]
+
+    def all(self) -> list[Any]:
+        return list(self._slots)
+
+
+def _write_slot(
+    shared: _ProcShared, rank: int, opname: str, value: Any
+) -> SharedMemory | None:
+    """Deposit one rank's payload; returns the spill segment if one was used.
+
+    The caller owns the returned segment and must unlink it once the
+    collective's consume barrier has passed.
+    """
+    payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+    base = rank * shared.slot_bytes
+    buf = shared.buffer()
+    op = opname.encode("utf-8")[:32]
+    spill = None
+    if _HEADER.size + len(payload) <= shared.slot_bytes:
+        _HEADER.pack_into(buf, base, _KIND_INLINE, op, len(payload))
+        buf[base + _HEADER.size : base + _HEADER.size + len(payload)] = payload
+    else:
+        spill = SharedMemory(create=True, size=len(payload))
+        spill.buf[: len(payload)] = payload
+        name = spill.name.encode("ascii")
+        _HEADER.pack_into(buf, base, _KIND_SPILL, op, len(name))
+        buf[base + _HEADER.size : base + _HEADER.size + len(name)] = name
+    return spill
+
+
+def _read_slot(shared: _ProcShared, rank: int) -> Any:
+    base = rank * shared.slot_bytes
+    buf = shared.buffer()
+    kind, _, length = _HEADER.unpack_from(buf, base)
+    raw = bytes(buf[base + _HEADER.size : base + _HEADER.size + length])
+    if kind == _KIND_INLINE:
+        return pickle.loads(raw)
+    spill = _attach_shm(raw.decode("ascii"))
+    try:
+        return pickle.loads(spill.buf)
+    finally:
+        spill.close()
+
+
+def _read_opnames(shared: _ProcShared) -> set[str]:
+    buf = shared.buffer()
+    names = set()
+    for rank in range(shared.size):
+        _, op, _ = _HEADER.unpack_from(buf, rank * shared.slot_bytes)
+        names.add(op.rstrip(b"\x00").decode("utf-8"))
+    return names
+
+
+class _Runtime:
+    """One rank process's engine state: mailbox stash and sequencers."""
+
+    def __init__(self, shared: _ProcShared, world_rank: int) -> None:
+        self.shared = shared
+        self.world_rank = world_rank
+        #: Messages pulled off the mailbox but not yet consumed.
+        self.stash: list[tuple] = []
+        #: Per-communicator collective sequence numbers (hub routing).
+        self.seq: dict[tuple, int] = {}
+        #: Per-communicator child-context counters (split determinism).
+        self.ctx_seq: dict[tuple, int] = {}
+
+    def post(self, world_dest: int, message: tuple) -> None:
+        self.shared.mailboxes[world_dest].put(message)
+
+    def wait_for(
+        self, match: Callable[[tuple], bool], what: str
+    ) -> tuple:
+        """Block until a mailbox message satisfies ``match``.
+
+        Non-matching messages are stashed for later receives.  Honours
+        the world abort flag and the communicator timeout.
+        """
+        for i, msg in enumerate(self.stash):
+            if match(msg):
+                return self.stash.pop(i)
+        mailbox = self.shared.mailboxes[self.world_rank]
+        timeout = self.shared.timeout
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            if self.shared.abort_event.is_set():
+                raise SimMPIError(
+                    "communicator aborted while waiting for a message"
+                )
+            wait = _POLL_S
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise SimMPIError(f"recv timed out waiting for {what}")
+                wait = min(wait, remaining)
+            try:
+                msg = mailbox.get(timeout=wait)
+            except queue_mod.Empty:
+                continue
+            if match(msg):
+                return msg
+            self.stash.append(msg)
+
+    def drain(self) -> None:
+        """Pull everything currently queued into the stash (probe path)."""
+        mailbox = self.shared.mailboxes[self.world_rank]
+        while True:
+            try:
+                self.stash.append(mailbox.get_nowait())
+            except queue_mod.Empty:
+                return
+
+    def next_seq(self, comm_id: tuple) -> int:
+        n = self.seq.get(comm_id, 0)
+        self.seq[comm_id] = n + 1
+        return n
+
+    def next_ctx(self, comm_id: tuple) -> int:
+        n = self.ctx_seq.get(comm_id, 0)
+        self.ctx_seq[comm_id] = n + 1
+        return n
+
+
+def _read_nothing(slots: Any) -> None:
+    return None
+
+
+class ProcComm:
+    """One rank's communicator handle on the process engine.
+
+    Mirrors the :class:`~repro.simmpi.comm.Comm` API: ``rank``/``size``,
+    all collectives (``barrier`` … ``allreduce``, ``gatherv`` /
+    ``scatterv``), point-to-point, ``split``/``dup``/``subworld`` and
+    ``exec_once``.  World collectives ride the shared-memory slot
+    buffer; subgroup collectives are hub-routed over mailboxes.
+    """
+
+    def __init__(
+        self,
+        runtime: _Runtime,
+        comm_id: tuple,
+        members: tuple[int, ...],
+        rank: int,
+    ) -> None:
+        self._rt = runtime
+        self._id = comm_id
+        self._members = members  # local rank -> world rank
+        self._rank = rank
+
+    # -- introspection ----------------------------------------------------
+
+    @property
+    def rank(self) -> int:
+        """This task's rank within the communicator (0-based)."""
+        return self._rank
+
+    @property
+    def size(self) -> int:
+        """Number of ranks in the communicator."""
+        return len(self._members)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ProcComm rank={self._rank} size={self.size}>"
+
+    # -- internal collective machinery ------------------------------------
+
+    def _check_root(self, root: int) -> None:
+        if not 0 <= root < self.size:
+            raise CommunicatorError(f"root {root} out of range for size {self.size}")
+
+    def _is_world(self) -> bool:
+        return self._id == _WORLD_ID
+
+    def _exchange(
+        self,
+        opname: str,
+        value: Any,
+        reader: Callable[[Any], Any] | None = None,
+    ) -> Any:
+        """Deposit/synchronize/read primitive behind every collective."""
+        value = _copy_payload(value)
+        if self._is_world():
+            return self._exchange_world(opname, value, reader)
+        return self._exchange_hub(opname, value, reader)
+
+    def _exchange_world(
+        self, opname: str, value: Any, reader: Callable[[Any], Any] | None
+    ) -> Any:
+        shared = self._rt.shared
+        spill = _write_slot(shared, self._rank, opname, value)
+        try:
+            shared.wait_barrier()
+            names = _read_opnames(shared)
+            if len(names) > 1:
+                shared.abort()
+                raise CollectiveMismatchError(
+                    f"ranks disagree on collective operation: {sorted(names)}"
+                )
+            slots = _SlotView(shared)
+            result = reader(slots) if reader is not None else slots.all()
+            # Second barrier: every rank has read; slots (and any spill
+            # segments) may now be reused/unlinked for the next op.
+            shared.wait_barrier()
+            return result
+        finally:
+            if spill is not None:
+                spill.close()
+                try:
+                    spill.unlink()
+                except FileNotFoundError:  # pragma: no cover - already gone
+                    pass
+
+    def _exchange_hub(
+        self, opname: str, value: Any, reader: Callable[[Any], Any] | None
+    ) -> Any:
+        """Subgroup collective routed through local rank 0 (the hub)."""
+        rt = self._rt
+        cid = self._id
+        seq = rt.next_seq(cid)
+        hub_world = self._members[0]
+        if self._rank != 0:
+            rt.post(hub_world, ("c", cid, seq, self._rank, opname, value))
+            _, _, _, _, op, slots = rt.wait_for(
+                lambda m: m[0] == "c" and m[1] == cid and m[2] == seq and m[3] == _HUB,
+                what=f"hub reply for {opname}#{seq} on {cid}",
+            )
+            if op != opname:
+                self.abort()
+                raise CollectiveMismatchError(
+                    f"ranks disagree on collective operation: {sorted({op, opname})}"
+                )
+            view = _ListSlots(slots)
+            return reader(view) if reader is not None else view.all()
+        slots = [None] * self.size
+        slots[0] = value
+        names = {opname}
+        for _ in range(self.size - 1):
+            _, _, _, src, op, payload = rt.wait_for(
+                lambda m: m[0] == "c" and m[1] == cid and m[2] == seq and m[3] != _HUB,
+                what=f"deposits for {opname}#{seq} on {cid}",
+            )
+            slots[src] = payload
+            names.add(op)
+        if len(names) > 1:
+            self.abort()
+            raise CollectiveMismatchError(
+                f"ranks disagree on collective operation: {sorted(names)}"
+            )
+        for lr in range(1, self.size):
+            rt.post(self._members[lr], ("c", cid, seq, _HUB, opname, slots))
+        view = _ListSlots(slots)
+        return reader(view) if reader is not None else view.all()
+
+    # -- collectives -------------------------------------------------------
+
+    def barrier(self) -> None:
+        """Block until every rank of the communicator has entered."""
+        self._exchange("barrier", None, reader=_read_nothing)
+
+    def bcast(self, value: Any, root: int = 0) -> Any:
+        """Broadcast ``value`` from ``root`` to every rank; returns it."""
+        self._check_root(root)
+        deposited = value if self._rank == root else None
+        return self._exchange("bcast", deposited, reader=lambda slots: slots[root])
+
+    def gather(self, value: Any, root: int = 0) -> list[Any] | None:
+        """Gather one value per rank at ``root`` (rank order; None elsewhere)."""
+        self._check_root(root)
+        reader = _read_all if self._rank == root else _read_nothing
+        return self._exchange("gather", value, reader=reader)
+
+    def allgather(self, value: Any) -> list[Any]:
+        """Gather one value per rank and return the list on every rank."""
+        return self._exchange("allgather", value)
+
+    def gatherv(
+        self, fragments: Sequence[Any], root: int = 0
+    ) -> list[tuple[Any, ...]] | None:
+        """Gather a variable-length fragment sequence per rank at ``root``.
+
+        Same contract as the thread engine: ``root`` receives the
+        rank-ordered list of fragment tuples, everyone else ``None``;
+        fragments are snapshotted at deposit per the payload contract.
+        """
+        self._check_root(root)
+        deposit = tuple(_copy_payload(f) for f in fragments)
+        reader = _read_all if self._rank == root else _read_nothing
+        return self._exchange("gatherv", deposit, reader=reader)
+
+    def scatterv(
+        self, values: Sequence[Sequence[Any]] | None, root: int = 0
+    ) -> tuple[Any, ...]:
+        """Scatter a variable-length fragment sequence to each rank."""
+        self._check_root(root)
+        if self._rank == root:
+            if values is None or len(values) != self.size:
+                self.abort()
+                raise CommunicatorError(
+                    "scatterv requires exactly one fragment sequence per rank "
+                    "at the root"
+                )
+            deposit = [tuple(_copy_payload(f) for f in seq) for seq in values]
+        else:
+            deposit = None
+        rank = self._rank
+        return self._exchange(
+            "scatterv", deposit, reader=lambda slots: slots[root][rank]
+        )
+
+    def scatter(self, values: Sequence[Any] | None, root: int = 0) -> Any:
+        """Scatter ``len == size`` values from ``root``; each rank gets one."""
+        self._check_root(root)
+        if self._rank == root:
+            if values is None or len(values) != self.size:
+                self.abort()
+                raise CommunicatorError(
+                    "scatter requires exactly one value per rank at the root"
+                )
+            deposit = [_copy_payload(v) for v in values]
+        else:
+            deposit = None
+        rank = self._rank
+        return self._exchange(
+            "scatter", deposit, reader=lambda slots: slots[root][rank]
+        )
+
+    def alltoall(self, values: Sequence[Any]) -> list[Any]:
+        """Each rank provides one value per destination; returns its column."""
+        if len(values) != self.size:
+            self.abort()
+            raise CommunicatorError("alltoall requires exactly one value per rank")
+        slots = self._exchange("alltoall", [_copy_payload(v) for v in values])
+        return [slots[src][self._rank] for src in range(self.size)]
+
+    def reduce(
+        self,
+        value: Any,
+        op: Callable[[Any, Any], Any] | None = None,
+        root: int = 0,
+    ) -> Any | None:
+        """Reduce one value per rank at ``root`` (default op: ``+``)."""
+        self._check_root(root)
+        reader = _read_all if self._rank == root else _read_nothing
+        slots = self._exchange("reduce", value, reader=reader)
+        if self._rank != root:
+            return None
+        return _fold(slots, op)
+
+    def allreduce(self, value: Any, op: Callable[[Any, Any], Any] | None = None) -> Any:
+        """Reduce one value per rank; the result is returned on every rank."""
+        slots = self._exchange("allreduce", value)
+        return _fold(slots, op)
+
+    # -- point to point ----------------------------------------------------
+
+    def send(self, value: Any, dest: int, tag: int = 0) -> None:
+        """Send ``value`` to rank ``dest`` (asynchronous, buffered)."""
+        if not 0 <= dest < self.size:
+            raise CommunicatorError(f"dest {dest} out of range for size {self.size}")
+        if tag < 0:
+            raise CommunicatorError("tags must be non-negative")
+        self._rt.post(
+            self._members[dest],
+            ("u", self._id, self._rank, tag, _copy_payload(value)),
+        )
+
+    def _match_user(self, source: int, tag: int) -> Callable[[tuple], bool]:
+        cid = self._id
+
+        def match(m: tuple) -> bool:
+            if m[0] != "u" or m[1] != cid:
+                return False
+            if source not in (ANY_SOURCE, m[2]):
+                return False
+            return tag in (ANY_TAG, m[3])
+
+        return match
+
+    def recv(
+        self, source: int = ANY_SOURCE, tag: int = ANY_TAG, return_status: bool = False
+    ) -> Any:
+        """Receive a message; blocks until a matching one arrives.
+
+        With ``return_status=True`` returns ``(value, source, tag)``.
+        """
+        if source != ANY_SOURCE and not 0 <= source < self.size:
+            raise CommunicatorError(f"source {source} out of range")
+        _, _, src, tg, payload = self._rt.wait_for(
+            self._match_user(source, tag), what=f"source={source} tag={tag}"
+        )
+        if return_status:
+            return payload, src, tg
+        return payload
+
+    def sendrecv(
+        self, value: Any, dest: int, source: int = ANY_SOURCE, tag: int = 0
+    ) -> Any:
+        """Combined send and receive (deadlock-free shift pattern)."""
+        self.send(value, dest, tag)
+        return self.recv(source, tag)
+
+    def isend(self, value: Any, dest: int, tag: int = 0) -> "ProcRequest":
+        """Non-blocking send; buffered, so it completes immediately."""
+        self.send(value, dest, tag)
+        req = ProcRequest(self, None, None)
+        req._done = True
+        return req
+
+    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> "ProcRequest":
+        """Non-blocking receive; complete it with ``wait()`` or ``test()``."""
+        if source != ANY_SOURCE and not 0 <= source < self.size:
+            raise CommunicatorError(f"source {source} out of range")
+        return ProcRequest(self, source, tag)
+
+    def iprobe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> bool:
+        """True if a matching message is already waiting (not consumed)."""
+        self._rt.drain()
+        match = self._match_user(source, tag)
+        return any(match(m) for m in self._rt.stash)
+
+    # -- communicator management -------------------------------------------
+
+    def split(self, color: int | None, key: int = 0) -> "ProcComm | None":
+        """Partition the communicator by ``color``; order subgroups by ``key``.
+
+        Every member allgathers ``(color, key)`` and computes the same
+        deterministic assignment locally; subgroup ids derive from the
+        parent id and a per-communicator split counter, so traffic on
+        different subgroups never mixes.  Ranks passing ``color=None``
+        receive :data:`~repro.simmpi.comm.COMM_NULL`.
+        """
+        ctx = self._rt.next_ctx(self._id)
+        info = self.allgather((color, key))
+        try:
+            groups: dict[int, list[tuple[int, int]]] = {}
+            for old_rank, (col, k) in enumerate(info):
+                if col is None:
+                    continue
+                groups.setdefault(col, []).append((k, old_rank))
+            my_entry: tuple[tuple, tuple[int, ...], int] | None = None
+            for col, members in groups.items():
+                members.sort()
+                locals_ = tuple(self._members[old] for _, old in members)
+                for new_rank, (_, old_rank) in enumerate(members):
+                    if old_rank == self._rank:
+                        my_entry = ((*self._id, ctx, col), locals_, new_rank)
+        except Exception as exc:  # noqa: BLE001 - mirrored thread-engine policy
+            raise CommunicatorError(f"split failed: {exc!r}") from exc
+        if my_entry is None:
+            return COMM_NULL
+        child_id, members, new_rank = my_entry
+        return ProcComm(self._rt, child_id, members, new_rank)
+
+    def dup(self) -> "ProcComm":
+        """Duplicate the communicator (fresh message context)."""
+        comm = self.split(color=0, key=self._rank)
+        assert comm is not None
+        return comm
+
+    def subworld(self, size: int) -> "ProcComm | None":
+        """Communicator over ranks ``[0, size)``; COMM_NULL elsewhere.
+
+        Same contract as the thread engine: collective over the parent,
+        raises :class:`CommunicatorError` unless ``1 <= size <=
+        self.size``.
+        """
+        if not 1 <= size <= self.size:
+            raise CommunicatorError(
+                f"subworld size {size} out of range for {self.size} ranks"
+            )
+        return self.split(color=0 if self._rank < size else None, key=self._rank)
+
+    def exec_once(self, fn: Callable[[], Any]) -> Any:
+        """Run ``fn`` exactly once per rank program; returns its result.
+
+        Rank bodies execute exactly once on this engine (no replay), so
+        this simply calls ``fn`` — but *in the rank's own process*:
+        in-memory side effects stay in the child; only external effects
+        (files, backend writes) are visible after the run.  See the
+        module docstring for the portability contract.
+        """
+        return fn()
+
+    def abort(self) -> None:
+        """Abort the world, waking all blocked ranks with errors.
+
+        Process worlds share one abort domain: unlike the thread engine,
+        aborting a subgroup tears down the whole world — the same net
+        effect as a rank failure under :func:`run_spmd`.
+        """
+        self._rt.shared.abort()
+
+
+class ProcRequest:
+    """Handle for a pending non-blocking operation (process engine)."""
+
+    def __init__(
+        self, comm: ProcComm, source: int | None, tag: int | None
+    ) -> None:
+        self._comm = comm
+        self._source = source
+        self._tag = tag
+        self._done = False
+        self._value: Any = None
+
+    @property
+    def completed(self) -> bool:
+        """True once the operation has finished (after wait/test success)."""
+        return self._done
+
+    def test(self) -> tuple[bool, Any]:
+        """Non-blocking completion check: ``(done, value_or_None)``."""
+        if self._done:
+            return True, self._value
+        comm = self._comm
+        comm._rt.drain()
+        match = comm._match_user(
+            self._source if self._source is not None else ANY_SOURCE,
+            self._tag if self._tag is not None else ANY_TAG,
+        )
+        for i, msg in enumerate(comm._rt.stash):
+            if match(msg):
+                comm._rt.stash.pop(i)
+                self._value = msg[4]
+                self._done = True
+                return True, self._value
+        return False, None
+
+    def wait(self) -> Any:
+        """Block until completion; returns the received value (sends: None)."""
+        if self._done:
+            return self._value
+        self._value = self._comm.recv(
+            self._source if self._source is not None else ANY_SOURCE,
+            self._tag if self._tag is not None else ANY_TAG,
+        )
+        self._done = True
+        return self._value
+
+
+def _read_all(slots: Any) -> list[Any]:
+    return slots.all()
+
+
+def _portable_exception(exc: BaseException) -> BaseException:
+    """An exception safe to ship over the result queue.
+
+    Returns ``exc`` itself when it pickles; otherwise a ``RuntimeError``
+    carrying the original type and traceback text (a plain RuntimeError
+    so the abort-fallout filter never mistakes a wrapped user error for
+    engine fallout).
+    """
+    try:
+        pickle.loads(pickle.dumps(exc))
+        return exc
+    except Exception:  # noqa: BLE001 - any pickling failure takes the wrap path
+        tb = "".join(traceback.format_exception(type(exc), exc, exc.__traceback__))
+        return RuntimeError(
+            f"rank raised unpicklable {type(exc).__name__}: {exc}\n{tb}"
+        )
+
+
+def _child_main(
+    shared: _ProcShared,
+    rank: int,
+    fn: Callable[..., Any],
+    args: tuple,
+    kwargs: dict,
+    result_q,
+) -> None:
+    """Rank process body: run ``fn``, ship result + telemetry deltas."""
+    shared.buffer()  # attach (and untrack) the world buffer eagerly
+    baseline = snapshot_live_stats()
+    status = "ok"
+    payload: Any = None
+    try:
+        comm = ProcComm(
+            _Runtime(shared, rank), _WORLD_ID, tuple(range(shared.size)), rank
+        )
+        payload = fn(comm, *args, **kwargs)
+    except BaseException as exc:  # noqa: BLE001 - fan out to the parent
+        shared.abort()
+        status, payload = "err", _portable_exception(exc)
+    deltas = stats_deltas(baseline, snapshot_live_stats())
+    try:
+        blob = pickle.dumps(
+            (rank, status, payload, deltas), protocol=pickle.HIGHEST_PROTOCOL
+        )
+    except Exception as exc:  # noqa: BLE001 - report instead of vanishing
+        blob = pickle.dumps(
+            (
+                rank,
+                "err",
+                RuntimeError(f"rank {rank} result not picklable: {exc!r}"),
+                deltas,
+            ),
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+    result_q.put(blob)
+    shared.detach()
+
+
+def run_spmd_proc(
+    nprocs: int,
+    fn: Callable[..., Any],
+    *args: Any,
+    timeout: float | None = None,
+    start_method: str | None = None,
+    slot_bytes: int | None = None,
+    **kwargs: Any,
+) -> list[Any]:
+    """Run ``fn(comm, *args, **kwargs)`` on ``nprocs`` rank *processes*.
+
+    The process-parallel twin of :func:`repro.simmpi.runner.run_spmd`'s
+    thread path; normally reached via ``run_spmd(..., engine="proc")``.
+    ``timeout`` has already been resolved by the caller (``None``
+    disables).  ``start_method`` overrides the world's multiprocessing
+    start method (default: :func:`default_start_method`); under
+    ``spawn``/``forkserver`` the rank function, its arguments, and its
+    return value must pickle.  ``slot_bytes`` sizes the per-rank slot of
+    the shared-memory world buffer.
+
+    Returns rank-ordered results; raises
+    :class:`~repro.errors.SpmdWorkerError` if any rank failed, with
+    abort fallout filtered by the engines' shared failure policy.
+    """
+    from repro.backends.instrument import apply_stats_deltas
+    from repro.simmpi.runner import spmd_failure_error
+
+    if nprocs < 1:
+        raise CommunicatorError(f"communicator size must be >= 1, got {nprocs}")
+    max_ranks = int(os.environ.get("REPRO_PROC_MAX_RANKS", str(DEFAULT_MAX_RANKS)))
+    if nprocs > max_ranks:
+        raise SimMPIError(
+            f"engine='proc' runs one OS process per rank and is capped at "
+            f"{max_ranks} ranks (REPRO_PROC_MAX_RANKS); for large simulated "
+            f"worlds use engine='bulk'"
+        )
+    slot_bytes = slot_bytes or int(
+        os.environ.get("REPRO_PROC_SLOT_BYTES", str(DEFAULT_SLOT_BYTES))
+    )
+    if slot_bytes <= _HEADER.size:
+        raise SimMPIError(f"slot_bytes must exceed the {_HEADER.size}-byte header")
+    ctx = get_context(start_method or default_start_method())
+    shared = _ProcShared(ctx, nprocs, timeout, slot_bytes)
+    result_q = ctx.Queue()
+    procs = [
+        ctx.Process(
+            target=_child_main,
+            args=(shared, rank, fn, args, kwargs, result_q),
+            name=f"spmd-proc-{rank}",
+            daemon=True,
+        )
+        for rank in range(nprocs)
+    ]
+    try:
+        for p in procs:
+            p.start()
+        reports = _collect_reports(shared, procs, result_q)
+    finally:
+        _reap(shared, procs)
+        shared.destroy()
+
+    results: list[Any] = [None] * nprocs
+    failures: dict[int, BaseException] = {}
+    for rank in range(nprocs):
+        status, payload, deltas = reports[rank]
+        if deltas:
+            apply_stats_deltas(deltas)
+        if status == "ok":
+            results[rank] = payload
+        else:
+            failures[rank] = payload
+    if failures:
+        raise spmd_failure_error(failures)
+    return results
+
+
+#: Grace period for a dead child's queued report to surface before the
+#: rank is declared failed, and for survivors to drain after an abort.
+_REPORT_GRACE_S = 2.0
+
+
+def _collect_reports(
+    shared: _ProcShared, procs: list, result_q
+) -> dict[int, tuple[str, Any, list]]:
+    """Gather one report per rank, detecting ranks that die silently."""
+    nprocs = len(procs)
+    reports: dict[int, tuple[str, Any, list]] = {}
+    suspects: dict[int, float] = {}
+    while len(reports) < nprocs:
+        try:
+            rank, status, payload, deltas = pickle.loads(result_q.get(timeout=0.25))
+            reports[rank] = (status, payload, deltas)
+            suspects.pop(rank, None)
+            continue
+        except queue_mod.Empty:
+            pass
+        now = time.monotonic()
+        for rank, p in enumerate(procs):
+            if rank in reports or p.exitcode is None:
+                continue
+            since = suspects.setdefault(rank, now)
+            if now - since >= _REPORT_GRACE_S:
+                reports[rank] = (
+                    "err",
+                    SimMPIError(
+                        f"rank {rank} process died without reporting "
+                        f"(exitcode {p.exitcode})"
+                    ),
+                    [],
+                )
+                shared.abort()
+    return reports
+
+
+def _reap(shared: _ProcShared, procs: list) -> None:
+    """Join all rank processes, escalating to terminate on stragglers.
+
+    Skips processes that were never started (a start-time failure, e.g.
+    unpicklable arguments under spawn, leaves the tail of the world
+    unstarted and the original error propagating).
+    """
+    started = [p for p in procs if p.pid is not None]
+    deadline = time.monotonic() + _REPORT_GRACE_S
+    for p in started:
+        p.join(timeout=max(0.0, deadline - time.monotonic()))
+    for p in started:
+        if p.is_alive():  # pragma: no cover - straggler escalation
+            shared.abort()
+            p.terminate()
+            p.join(timeout=_REPORT_GRACE_S)

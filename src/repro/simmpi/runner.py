@@ -27,7 +27,32 @@ DEFAULT_TIMEOUT = 120.0
 _TIMEOUT_UNSET = object()
 
 #: Engines selectable via ``run_spmd(..., engine=...)``.
-ENGINES = ("threads", "bulk")
+ENGINES = ("threads", "bulk", "proc")
+
+#: Accepted spellings that normalize onto :data:`ENGINES` entries.
+_ENGINE_ALIASES = {"thread": "threads", "processes": "proc", "process": "proc"}
+
+
+def default_bulk_nworkers() -> int:
+    """Bulk-engine pool default: ``min(32, (os.cpu_count() or 1) * 4)``.
+
+    Defined here — next to the engine dispatch that documents it — as the
+    single source of truth; :mod:`repro.simmpi.bulk` re-exports it as
+    ``default_nworkers``.  The ``or 1`` guard matters: ``os.cpu_count()``
+    may return ``None`` (e.g. some containers), and the pool must never
+    be empty.
+    """
+    return min(32, (os.cpu_count() or 1) * 4)
+
+
+def normalize_engine(engine: str) -> str:
+    """Canonical engine name for ``engine``; raises on unknown names."""
+    engine = _ENGINE_ALIASES.get(engine, engine)
+    if engine not in ENGINES:
+        raise SimMPIError(
+            f"unknown SPMD engine {engine!r}; expected one of {ENGINES}"
+        )
+    return engine
 
 
 def resolve_timeout(timeout: Any = _TIMEOUT_UNSET) -> float | None:
@@ -83,9 +108,15 @@ def run_spmd(
         hundreds of thousands of ranks, but rank bodies may be re-executed
         when a collective unblocks (see :mod:`repro.simmpi.bulk` for the
         contract; guard non-idempotent effects with ``Comm.exec_once``).
+        ``"proc"`` runs one OS *process* per rank with shared-memory
+        collectives — the only engine whose aggregate bandwidth scales
+        past one core; payloads cross by value and backend handles must
+        be picklable or rank-local (see :mod:`repro.simmpi.proc`).
+        ``"thread"`` is accepted as an alias of ``"threads"``.
     nworkers:
         Bulk engine only: size of the worker pool (default
-        ``min(32, os.cpu_count() * 4)``).
+        :func:`default_bulk_nworkers`, i.e.
+        ``min(32, (os.cpu_count() or 1) * 4)``).
 
     Returns
     -------
@@ -99,14 +130,17 @@ def run_spmd(
         that only failed because the world was aborted are omitted.
     """
     timeout = resolve_timeout(timeout)
+    engine = normalize_engine(engine)
     if engine == "bulk":
         from repro.simmpi.bulk import run_spmd_bulk
 
         return run_spmd_bulk(
             nprocs, fn, *args, timeout=timeout, nworkers=nworkers, **kwargs
         )
-    if engine != "threads":
-        raise SimMPIError(f"unknown SPMD engine {engine!r}; expected one of {ENGINES}")
+    if engine == "proc":
+        from repro.simmpi.proc import run_spmd_proc
+
+        return run_spmd_proc(nprocs, fn, *args, timeout=timeout, **kwargs)
     comms = make_world(nprocs, timeout=timeout)
     results: list[Any] = [None] * nprocs
     failures: dict[int, BaseException] = {}

@@ -129,15 +129,17 @@ def main_recover(argv: list[str] | None = None) -> int:
 
 
 def main_verify(argv: list[str] | None = None) -> int:
-    """``sionverify [--deep] [--readers M] MULTIFILE``
+    """``sionverify [--deep] [--readers M] [--engine NAME] MULTIFILE``
 
     Check the consistency of a multifile set.  ``--deep`` additionally
     validates shadow headers against metablock 2; ``--readers M``
     executes a real ``M``-reader partitioned read and cross-checks it
-    against the serial global view.  Returns 0 when the set verifies,
-    2 when it does not, 1 on I/O errors.
+    against the serial global view, on the SPMD engine picked by
+    ``--engine`` (default ``bulk``; ``proc`` reads on real cores).
+    Returns 0 when the set verifies, 2 when it does not, 1 on I/O
+    errors.
 
-    Example: ``sionverify --deep --readers 4 out.sion``.
+    Example: ``sionverify --deep --readers 4 --engine proc out.sion``.
     """
     p = argparse.ArgumentParser(
         prog="sionverify",
@@ -157,11 +159,18 @@ def main_verify(argv: list[str] | None = None) -> int:
         help="also execute an M-reader partitioned read and cross-check "
         "it against the serial global view",
     )
+    p.add_argument(
+        "--engine",
+        default="bulk",
+        metavar="NAME",
+        help="SPMD engine of the --readers read (threads|bulk|proc, "
+        "aliases accepted; default: bulk)",
+    )
     args = p.parse_args(argv)
 
     def run() -> None:
         report = verify_multifile(
-            args.multifile, deep=args.deep, readers=args.readers
+            args.multifile, deep=args.deep, readers=args.readers, engine=args.engine
         )
         print(format_report(report))
         if not report.ok:

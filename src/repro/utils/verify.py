@@ -52,6 +52,7 @@ def verify_multifile(
     backend: Backend | None = None,
     deep: bool = False,
     readers: int | None = None,
+    engine: str = "bulk",
 ) -> VerifyReport:
     """Verify a multifile set; returns a report rather than raising.
 
@@ -61,6 +62,12 @@ def verify_multifile(
     partitioned read of the whole set and cross-checks every reader's
     slice against the serial global view — proving the container can be
     consumed by a differently sized world, byte for byte.
+
+    ``engine`` selects the SPMD engine of that partitioned read (any
+    name :func:`repro.simmpi.normalize_engine` accepts).  The default
+    stays ``bulk`` because a reader world is allowed to be huge; with
+    ``"proc"`` the backend must be able to cross process boundaries
+    (:class:`~repro.backends.localfs.LocalBackend` can).
     """
     backend = backend if backend is not None else LocalBackend()
     report = VerifyReport(path=path)
@@ -94,20 +101,25 @@ def verify_multifile(
         f"{len(seen_ranks)}/{mb1_0.ntasks_global}",
     )
     if readers is not None and report.ok:
-        _verify_partitioned_read(path, backend, readers, report)
+        _verify_partitioned_read(path, backend, readers, report, engine)
     return report
 
 
 def _verify_partitioned_read(
-    path: str, backend: Backend, readers: int, report: VerifyReport
+    path: str, backend: Backend, readers: int, report: VerifyReport, engine: str
 ) -> None:
     """Cross-check an m-reader partitioned read against the serial view."""
     from repro.sion import paropen, serial
     from repro.sion.mapping import ReadPartition
-    from repro.simmpi import run_spmd
+    from repro.simmpi import normalize_engine, run_spmd
 
     if readers < 1:
         report.error(f"--readers must be >= 1, got {readers}")
+        return
+    try:
+        engine = normalize_engine(engine)
+    except ReproError as exc:
+        report.error(str(exc))
         return
     part = ReadPartition.balanced(report.ntasks, readers)
 
@@ -119,10 +131,11 @@ def _verify_partitioned_read(
         return data, eof
 
     try:
-        # Bulk engine: a reader world is allowed to be huge (that is the
-        # feature), and one OS thread per reader stops working around a
-        # few thousand — the SION layer is replay-safe by construction.
-        out = run_spmd(readers, read_task, engine="bulk")
+        # Default is the bulk engine: a reader world is allowed to be huge
+        # (that is the feature), and one OS thread per reader stops working
+        # around a few thousand — the SION layer is replay-safe by
+        # construction.  --engine proc trades world size for real cores.
+        out = run_spmd(readers, read_task, engine=engine)
     except Exception as exc:  # noqa: BLE001 - report, don't raise
         report.error(f"{path}: partitioned read with {readers} readers failed: {exc}")
         return

@@ -62,8 +62,13 @@ def test_builtin_scale_scenarios_registered_with_ci_grid():
     for family in ("paropen-parclose", "serial-scan", "collectives"):
         for n in (4096, 16384, 65536, 262144):
             assert f"scale/{family}[ntasks={n}]" in names
+    for w in (1, 2, 4):
+        assert f"scale/taskbw[workers={w}]" in names
     ci = [sc.name for sc in iter_scenarios(suite="scale", tags=("ci-grid",))]
-    assert len(ci) == 6 and all("4096" in n or "16384" in n for n in ci)
+    grid = [n for n in ci if "ntasks=" in n]
+    taskbw = [n for n in ci if "taskbw" in n]
+    assert len(grid) == 6 and all("4096" in n or "16384" in n for n in grid)
+    assert len(taskbw) == 3 and len(ci) == 9
 
 
 def test_builtin_collective_scenarios_registered_with_ci_grid():

@@ -91,6 +91,55 @@ def test_run_suite_jsonable_params():
     json.dumps(doc)  # fully serializable
 
 
+def test_run_suite_param_overrides_only_where_declared():
+    reg = Registry()
+
+    @reg.scenario("spmd", params={"engine": "bulk", "n": 2})
+    def spmd(ctx):
+        return {"cost_s": 1.0 if ctx.params["engine"] == "threads" else 2.0}
+
+    @reg.scenario("engineless", params={"n": 3})
+    def engineless(ctx):
+        assert "engine" not in ctx.params
+        return {"cost_s": 1.0}
+
+    report = run_suite(registry=reg, param_overrides={"engine": "threads"})
+    # The override reached the scenario body and the recorded params.
+    assert report.scenarios["spmd"].metrics["cost_s"].value == 1.0
+    assert report.scenarios["spmd"].params["engine"] == "threads"
+    assert report.scenarios["engineless"].error is None
+    assert "engine" not in report.scenarios["engineless"].params
+
+
+def test_cli_run_engine_override(tmp_path):
+    out = tmp_path / "r.json"
+    assert (
+        main(
+            [
+                "run",
+                "--suite",
+                "scale",
+                "--filter",
+                "scale/taskbw[workers=1]",
+                "--engine",
+                "thread",  # alias: must land as the canonical name
+                "-o",
+                str(out),
+                "-q",
+            ]
+        )
+        == 0
+    )
+    report = BenchReport.load(out)
+    assert report.scenarios["scale/taskbw[workers=1]"].params["engine"] == "threads"
+
+
+def test_cli_run_rejects_unknown_engine(tmp_path, capsys):
+    code = main(["run", "--engine", "nope", "-o", str(tmp_path / "x.json"), "-q"])
+    assert code == 2
+    assert "unknown SPMD engine" in capsys.readouterr().err
+
+
 def test_cli_list_and_filter(capsys):
     assert main(["list", "--filter", FAST_FILTER]) == 0
     out = capsys.readouterr().out

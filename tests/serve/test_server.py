@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import asyncio
+import pathlib
 
 import pytest
 
@@ -122,6 +123,146 @@ def test_dead_connection_reaps_its_sessions(backend):
         await server.stop()
 
     asyncio.run(runner())
+
+
+def test_graceful_shutdown_drains_in_flight_request(backend):
+    expected = _expected(backend)
+
+    async def runner():
+        gw = ReadGateway(backend=backend, cache_bytes=1 << 20)
+        server = GatewayServer(gw)
+        await server.start()
+
+        # Make read_task hold until released, so a request is provably
+        # in flight when the drain starts.
+        entered = asyncio.Event()
+        release = asyncio.Event()
+        real_read_task = gw.read_task
+
+        async def slow_read_task(path, rank):
+            entered.set()
+            await release.wait()
+            return await real_read_task(path, rank)
+
+        gw.read_task = slow_read_task
+
+        busy = await GatewayClient.connect("127.0.0.1", server.port)
+        idle = await GatewayClient.connect("127.0.0.1", server.port)
+        pending = asyncio.ensure_future(busy.read_task(PATH, 3))
+        await entered.wait()
+
+        server.request_shutdown()
+        drained = asyncio.ensure_future(server.serve_until_shutdown())
+        await asyncio.sleep(0.05)
+        assert not drained.done()  # still waiting on the in-flight reply
+        release.set()
+
+        # The in-flight request completes with its full payload...
+        assert await pending == expected[3]
+        await drained  # ...and the drain finishes once it is answered.
+
+        # Connections were folded server-side; new requests fail.
+        with pytest.raises(SionUsageError, match="closed the connection"):
+            await idle.ping()
+        # The listener is gone: no new connections.
+        with pytest.raises(OSError):
+            await GatewayClient.connect("127.0.0.1", server.port)
+        await busy.close()
+        await idle.close()
+
+    asyncio.run(runner())
+
+
+def test_request_shutdown_is_idempotent_and_instant_when_idle(backend):
+    async def runner():
+        server = GatewayServer(ReadGateway(backend=backend))
+        await server.start()
+        server.request_shutdown()
+        server.request_shutdown()  # second call is a no-op
+        await asyncio.wait_for(server.serve_until_shutdown(), timeout=5)
+
+    asyncio.run(runner())
+
+
+def test_sigterm_triggers_graceful_drain(backend):
+    import os
+    import signal
+
+    async def runner():
+        gw = ReadGateway(backend=backend, cache_bytes=1 << 20)
+        server = GatewayServer(gw)
+        await server.start()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(sig, server.request_shutdown)
+        try:
+            client = await GatewayClient.connect("127.0.0.1", server.port)
+            assert await client.read_task(PATH, 1) == _expected(backend)[1]
+            serving = asyncio.ensure_future(server.serve_until_shutdown())
+            await asyncio.sleep(0.02)
+            assert not serving.done()
+            os.kill(os.getpid(), signal.SIGTERM)  # what systemd sends
+            await asyncio.wait_for(serving, timeout=5)
+            await client.close()
+        finally:
+            for sig in (signal.SIGINT, signal.SIGTERM):
+                loop.remove_signal_handler(sig)
+
+    asyncio.run(runner())
+
+
+def test_cli_serves_and_drains_on_sigterm(tmp_path):
+    """End to end through ``python -m repro.serve``: real process, real signal."""
+    import os
+    import re
+    import signal
+    import subprocess
+    import sys
+
+    from repro.backends.localfs import LocalBackend
+
+    backend = LocalBackend(blocksize_override=512)
+    path = f"{tmp_path}/cli.sion"
+
+    def program(comm):
+        f = paropen(path, "w", comm, chunksize=256, backend=backend)
+        f.fwrite(_payload(comm.rank))
+        f.parclose()
+
+    run_spmd(4, program, engine="threads")
+
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.serve", path, "--port", "0"],
+        stderr=subprocess.PIPE,
+        text=True,
+        env={**os.environ, "PYTHONPATH": "src"},
+        cwd=str(pathlib.Path(__file__).parents[2]),
+    )
+    try:
+        for line in proc.stderr:
+            m = re.search(r"serving on [\d.]+:(\d+)", line)
+            if m:
+                port = int(m.group(1))
+                break
+        else:
+            raise AssertionError("server never reported its port")
+
+        async def read_one():
+            client = await GatewayClient.connect("127.0.0.1", port)
+            try:
+                return await client.read_task(path, 2)
+            finally:
+                await client.close()
+
+        assert asyncio.run(read_one()) == _payload(2)
+        proc.send_signal(signal.SIGTERM)
+        assert proc.wait(timeout=10) == 0
+        assert "drained" in proc.stderr.read()
+    finally:
+        proc.stderr.close()
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
 
 
 def test_many_clients_share_one_cache(backend):

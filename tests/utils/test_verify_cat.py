@@ -166,3 +166,23 @@ class TestCat:
         _make(path, backend, nfiles=2)
         backend.unlink(f"{path}.000001")
         assert main_verify([path]) == 2
+
+    def test_cli_verify_readers_on_proc_engine(self, tmp_path, capsys):
+        from repro.backends.localfs import LocalBackend
+        from repro.utils.cli import main_verify
+
+        backend = LocalBackend(blocksize_override=TEST_BLKSIZE)
+        path = f"{tmp_path}/proc.sion"
+        _make(path, backend, nfiles=1)
+        assert main_verify([path, "--readers", "2", "--engine", "proc"]) == 0
+        assert "status: OK" in capsys.readouterr().out
+
+    def test_cli_verify_rejects_unknown_engine(self, tmp_path, capsys):
+        from repro.backends.localfs import LocalBackend
+        from repro.utils.cli import main_verify
+
+        backend = LocalBackend(blocksize_override=TEST_BLKSIZE)
+        path = f"{tmp_path}/eng.sion"
+        _make(path, backend, nfiles=1)
+        assert main_verify([path, "--readers", "2", "--engine", "nope"]) == 2
+        assert "unknown SPMD engine" in capsys.readouterr().out
