@@ -1,0 +1,144 @@
+"""(Re)capture the ``resilience`` suite baselines with provenance sidecars.
+
+Runs the registered ``resilience/*`` scenarios of the *current* checkout
+and writes two committed baselines, mirroring the role
+``record_repartition_baseline.py`` plays for the ``repartition`` suite:
+
+* ``benchmarks/baselines/resilience.json`` — the full suite (the
+  4k/16k/64k buddy-restore and torn-close grids); diffed by the nightly
+  workflow.
+* ``benchmarks/baselines/resilience_ci.json`` — the ``ci-grid`` slice
+  (4k/16k) the ``resilience-bench`` CI job gates on every push.
+
+Next to each baseline a ``<name>.meta.json`` provenance sidecar records
+the capture command, git SHA, timestamp, environment fingerprint, and
+the pre-resilience context: before buddy replicas landed, the only
+repair was the shadow rebuild — which cannot restore a *lost* physical
+file at all (``recover_multifile`` raises ``SionMetadataLostError``) and
+cannot win back unflushed tails.  The sidecar demonstrates that fatal
+baseline by measurement, so the 2.0x overhead the scenarios pin is
+priced against what the container previously could not survive.
+
+Usage:
+    PYTHONPATH=src python benchmarks/tools/record_resilience_baseline.py \
+        [-o benchmarks/baselines] [--ci-only]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def _capture(suite_tags: tuple[str, ...]):
+    from repro.bench.runner import run_suite
+
+    def progress(msg: str) -> None:
+        print(msg, flush=True)
+
+    return run_suite(suite="resilience", tags=suite_tags, progress=progress)
+
+
+def _preresilience_context() -> dict:
+    """The whole-file-loss reference before buddy replicas existed.
+
+    A small measurement of the old failure mode: a non-buddy checkpoint
+    loses a physical file, and recovery has nothing to rebuild it from.
+    """
+    from repro.backends.simfs_backend import SimBackend
+    from repro.errors import ReproError
+    from repro.fs.simfs import SimFS
+    from repro.sion import paropen, recover_multifile
+    from repro.sion.mapping import physical_path
+    from repro.simmpi import run_spmd
+
+    ntasks = 256
+    backend = SimBackend(SimFS(blocksize_override=4096))
+    path = "/pre.sion"
+
+    def program(comm):
+        f = paropen(path, "w", comm, chunksize=4096, nfiles=2, shadow=True,
+                    backend=backend)
+        f.fwrite(bytes((comm.rank + i) % 256 for i in range(64)))
+        f.parclose()
+
+    run_spmd(ntasks, program, engine="bulk")
+    backend.unlink(physical_path(path, 1))
+    try:
+        recover_multifile(path, backend=backend)
+        outcome = "unexpectedly recovered"  # would invalidate the pin
+    except ReproError as exc:
+        outcome = f"{type(exc).__name__}: file loss is fatal without a buddy"
+    return {
+        "mode": "shadow rebuild only (pre-resilience)",
+        "measured_ntasks": ntasks,
+        "measured_whole_file_loss": outcome,
+        "shadow_rebuild_scope": "metablock-2 loss and torn chunk chains "
+        "within a surviving file; unflushed tails are gone",
+        "buddy_overhead_closed_form": "replica bytes == primary bytes (2.0x)",
+        "buddy_recovered_bytes_closed_form": "(ntasks / nfiles) * payload "
+        "for the lost file of a blocked mapping",
+    }
+
+
+def _write_with_sidecar(report, path: Path, context: dict, argv: list[str]) -> None:
+    from repro.bench.results import utc_now_iso
+
+    report.save(path)
+    sidecar = {
+        "artifact": path.name,
+        "suite": report.suite,
+        "scenarios": sorted(report.scenarios),
+        "git_sha": report.git_sha,
+        "created": utc_now_iso(),
+        "environment": report.environment,
+        "capture_command": "PYTHONPATH=src python "
+        "benchmarks/tools/record_resilience_baseline.py " + " ".join(argv),
+        "pre_resilience_reference": context,
+    }
+    path.with_suffix(".meta.json").write_text(
+        json.dumps(sidecar, indent=2, sort_keys=True) + "\n"
+    )
+    print(f"wrote {path} (+ {path.with_suffix('.meta.json').name})")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "-o", "--output-dir", default="benchmarks/baselines",
+        help="directory receiving resilience.json / resilience_ci.json",
+    )
+    parser.add_argument(
+        "--ci-only", action="store_true",
+        help="recapture only the ci-grid slice (resilience_ci.json)",
+    )
+    args = parser.parse_args(argv)
+    argv = argv if argv is not None else sys.argv[1:]
+
+    out_dir = Path(args.output_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    context = _preresilience_context()
+
+    ci_report = _capture(("ci-grid",))
+    if ci_report.failed:
+        for res in ci_report.failed:
+            print(f"FAILED {res.name}:\n{res.error}", file=sys.stderr)
+        return 1
+    _write_with_sidecar(ci_report, out_dir / "resilience_ci.json", context, argv)
+
+    if not args.ci_only:
+        full_report = _capture(())
+        if full_report.failed:
+            for res in full_report.failed:
+                print(f"FAILED {res.name}:\n{res.error}", file=sys.stderr)
+            return 1
+        _write_with_sidecar(
+            full_report, out_dir / "resilience.json", context, argv
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,7 +7,15 @@ parallel file system (:class:`~repro.backends.simfs_backend.SimBackend`).
 """
 
 from repro.backends.base import Backend, RawFile
+from repro.backends.faults import FaultInjectingBackend, FaultPlan
 from repro.backends.localfs import LocalBackend
 from repro.backends.simfs_backend import SimBackend
 
-__all__ = ["Backend", "RawFile", "LocalBackend", "SimBackend"]
+__all__ = [
+    "Backend",
+    "RawFile",
+    "LocalBackend",
+    "SimBackend",
+    "FaultInjectingBackend",
+    "FaultPlan",
+]

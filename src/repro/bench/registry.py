@@ -17,11 +17,16 @@ from repro.errors import ReproError
 #: ``collective`` holds the collector-rank aggregation benchmarks
 #: (4k-64k tasks); ``repartition`` holds the m-readers-over-n-writers
 #: read benchmarks (4k-64k writer streams); ``serve`` holds the read-
-#: gateway load benchmarks (256-4096 concurrent sessions).  The latter
-#: four are selected explicitly — they are *not* part of ``full``,
+#: gateway load benchmarks (256-4096 concurrent sessions);
+#: ``resilience`` holds the fault-and-recover benchmarks (buddy-replica
+#: restore and torn-close shadow rebuild, 4k-64k tasks).  The latter
+#: five are selected explicitly — they are *not* part of ``full``,
 #: because tens of thousands of simulated tasks (or thousands of
 #: concurrent sessions) per scenario is not a casual run.
-SUITES = ("smoke", "full", "scale", "collective", "repartition", "serve")
+SUITES = (
+    "smoke", "full", "scale", "collective", "repartition", "serve",
+    "resilience",
+)
 
 
 @dataclass

@@ -673,5 +673,6 @@ def micro_metablock(ctx) -> ScenarioOutput:
 import repro.bench.collective  # noqa: E402,F401
 import repro.bench.core_io  # noqa: E402,F401
 import repro.bench.repartition  # noqa: E402,F401
+import repro.bench.resilience  # noqa: E402,F401
 import repro.bench.scale  # noqa: E402,F401
 import repro.bench.serve  # noqa: E402,F401

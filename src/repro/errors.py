@@ -66,6 +66,18 @@ class InvalidOperationError(SimFSError):
     """Operation not valid for the handle's open mode or state."""
 
 
+class FaultInjectedError(ReproError):
+    """A :class:`~repro.backends.faults.FaultPlan` fired a scripted fault.
+
+    Raised by :class:`~repro.backends.faults.FaultInjectingBackend` at the
+    exact backend call a plan targets.  Deliberately a direct
+    :class:`ReproError` subclass — it is neither a storage malfunction nor
+    an API misuse, and tests must be able to tell a scripted fault from a
+    real bug.  Carries only its message so it crosses process boundaries
+    (the ``proc`` SPMD engine transports worker exceptions by pickle).
+    """
+
+
 # ---------------------------------------------------------------------------
 # SION layer
 

@@ -24,12 +24,15 @@ Parallel read mirrors write (``sion.paropen(..., "r")``, ``fread``,
 """
 
 from repro.sion.constants import (
+    BUDDY_SUFFIX,
     DEFAULT_FSBLKSIZE,
+    FLAG_BUDDY,
     FLAG_COMPRESS,
     FLAG_SHADOW,
     MAGIC_MB1,
     MAGIC_MB2,
 )
+from repro.sion.buddy import MirrorRawFile, buddy_path
 from repro.sion.format import Metablock1, Metablock2
 from repro.sion.layout import ChunkLayout, align_up
 from repro.sion.mapping import ReadPartition, TaskMapping
@@ -46,15 +49,19 @@ from repro.sion.openspec import (
 from repro.sion.parallel import SionParallelFile, paropen
 from repro.sion.readwrite import PartitionStream, TaskStream
 from repro.sion.serial import SionSerialFile, open, open_rank  # noqa: A004
-from repro.sion.recovery import recover_multifile
+from repro.sion.recovery import RecoveryReport, recover_multifile
 from repro.sion.text import TextReader, TextWriter
 
 __all__ = [
+    "BUDDY_SUFFIX",
     "DEFAULT_FSBLKSIZE",
+    "FLAG_BUDDY",
     "FLAG_COMPRESS",
     "FLAG_SHADOW",
     "MAGIC_MB1",
     "MAGIC_MB2",
+    "MirrorRawFile",
+    "buddy_path",
     "Metablock1",
     "Metablock2",
     "ChunkLayout",
@@ -81,5 +88,6 @@ __all__ = [
     "SionSerialFile",
     "open",
     "open_rank",
+    "RecoveryReport",
     "recover_multifile",
 ]

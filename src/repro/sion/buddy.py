@@ -1,0 +1,144 @@
+"""Buddy-replica checkpointing: mirror every write to a partner file.
+
+SIONlib's buddy checkpointing trades storage for survivability: each
+physical file of a multifile set is written twice — once at its own
+path, once as a *replica* hosted on the partner group's name stem — so
+the loss of one entire physical file (node-local storage gone, stripe
+corrupted, file deleted) costs nothing but a
+:func:`~repro.sion.recovery.recover_multifile` run.
+
+The placement rule is :func:`buddy_path`: the replica of physical file
+``f`` lives at ``physical_path(base, (f + 1) % nfiles) + ".buddy"``.
+Hosting the replica on the *partner's* stem matters — if a failure takes
+out everything sharing file ``f``'s name stem (e.g. one OST, one
+node-local disk), file ``f``'s replica survives on stem ``f + 1``.  With
+``nfiles == 1`` the rule degenerates to ``base + ".buddy"``, which still
+survives deletion of the primary.
+
+Mechanically the mode is one wrapper: :class:`MirrorRawFile` duplicates
+the write-side ``RawFile`` surface onto two physical handles.  The open
+pipeline (:mod:`repro.sion.openspec`) hands the write executors a mirror
+instead of a plain handle, so chunk writes, shadow headers, and both
+metablocks reach primary and replica through the *same* code path — the
+replica is byte-identical to the primary by construction, not by a
+separate copy pass.  Readers never consult replicas; metablock 1 merely
+records :data:`~repro.sion.constants.FLAG_BUDDY` so tools and recovery
+know replicas exist.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.backends.base import RawFile
+from repro.buffers import BufferLike
+from repro.sion.constants import BUDDY_SUFFIX
+from repro.sion.mapping import physical_path
+
+
+def buddy_path(base: str, filenum: int, nfiles: int) -> str:
+    """Path hosting the replica of physical file ``filenum``.
+
+    The replica rides on the next file's name stem (wrapping around), so
+    a whole-stem loss never takes both copies of any file.
+    """
+    return physical_path(base, (filenum + 1) % nfiles) + BUDDY_SUFFIX
+
+
+class MirrorRawFile(RawFile):
+    """Duplicate every mutation onto a primary and a replica handle.
+
+    Write-side operations (``write``, ``pwrite``, ``pwritev``,
+    ``scatter_write``, ``write_zeros``, ``truncate``, ``seek``,
+    ``flush``, ``close``) are forwarded to both handles; read-side
+    operations are served by the primary alone.  Return values are the
+    primary's.  Every method forwards explicitly rather than relying on
+    the :class:`~repro.backends.base.RawFile` defaults, so a mirrored
+    ``scatter_write`` costs exactly one ``scatter_write`` per copy —
+    instrumented counts stay interpretable (replica overhead is a clean
+    2x of every write-side counter).
+    """
+
+    def __init__(self, primary: RawFile, replica: RawFile) -> None:
+        """Bind the two physical handles (both already open for writing)."""
+        self.primary = primary
+        self.replica = replica
+
+    # -- streaming surface (mirrored) ---------------------------------------
+
+    def seek(self, offset: int, whence: int = 0) -> int:
+        """Seek both handles; returns the primary's position."""
+        pos = self.primary.seek(offset, whence)
+        self.replica.seek(offset, whence)
+        return pos
+
+    def write(self, data: BufferLike) -> int:
+        """Write ``data`` at both file pointers."""
+        n = self.primary.write(data)
+        self.replica.write(data)
+        return n
+
+    def write_zeros(self, n: int) -> int:
+        """Write ``n`` zero bytes to both handles."""
+        out = self.primary.write_zeros(n)
+        self.replica.write_zeros(n)
+        return out
+
+    def truncate(self, size: int) -> None:
+        """Truncate both copies to ``size``."""
+        self.primary.truncate(size)
+        self.replica.truncate(size)
+
+    def flush(self) -> None:
+        """Flush both copies."""
+        self.primary.flush()
+        self.replica.flush()
+
+    def close(self) -> None:
+        """Close both handles (replica first; primary close wins errors)."""
+        self.replica.close()
+        self.primary.close()
+
+    # -- read-side surface (primary only) -----------------------------------
+
+    def tell(self) -> int:
+        """The primary's file-pointer position."""
+        return self.primary.tell()
+
+    def read(self, n: int = -1) -> bytes:
+        """Read from the primary (the replica is write-only in this mode)."""
+        return self.primary.read(n)
+
+    def pread(self, offset: int, n: int) -> bytes:
+        """Positioned read from the primary."""
+        return self.primary.pread(offset, n)
+
+    def preadv(self, offset: int, sizes: Sequence[int]) -> list[bytes]:
+        """Contiguous scatter-read from the primary."""
+        return self.primary.preadv(offset, sizes)
+
+    def gather_read(self, requests: Sequence[tuple[int, int]]) -> list[bytes]:
+        """Vectored read from the primary."""
+        return self.primary.gather_read(requests)
+
+    # -- positioned / vectored writes (mirrored) ----------------------------
+
+    def pwrite(self, offset: int, data: BufferLike) -> int:
+        """Positioned write to both copies."""
+        n = self.primary.pwrite(offset, data)
+        self.replica.pwrite(offset, data)
+        return n
+
+    def pwritev(self, offset: int, views: Sequence[BufferLike]) -> int:
+        """Contiguous gather-write to both copies."""
+        views = list(views)
+        n = self.primary.pwritev(offset, views)
+        self.replica.pwritev(offset, views)
+        return n
+
+    def scatter_write(self, fragments) -> int:
+        """Vectored write to both copies (one call per copy)."""
+        frags = list(fragments)
+        n = self.primary.scatter_write(frags)
+        self.replica.scatter_write(frags)
+        return n

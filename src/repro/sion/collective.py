@@ -322,13 +322,30 @@ def open_collective_write(
     tmap: TaskMapping,
     compress: bool,
     shadow: bool,
+    replica_path: str | None = None,
 ) -> SionCollectiveFile:
-    """Build the write-mode collective handle (metadata already agreed)."""
+    """Build the write-mode collective handle (metadata already agreed).
+
+    With ``replica_path`` set (buddy mode), the collector's physical
+    handle is a :class:`~repro.sion.buddy.MirrorRawFile`, so every
+    collection wave's ``scatter_write`` — and the master's metablock-2
+    persistence at close — lands on the buddy replica too.
+    """
+    from repro.sion.buddy import MirrorRawFile
+
     ccom = lcom.split(color=lrank // collectsize, key=lrank)
     assert ccom is not None
     raw: RawFile | None = None
     if ccom.rank == 0:
-        raw = ccom.exec_once(lambda: backend.open(my_path, "r+b"))
+        if replica_path is not None:
+            raw = ccom.exec_once(
+                lambda: MirrorRawFile(
+                    backend.open(my_path, "r+b"),
+                    backend.open(replica_path, "r+b"),
+                )
+            )
+        else:
+            raw = ccom.exec_once(lambda: backend.open(my_path, "r+b"))
     recorder = FragmentRecorder()
     stream = TaskStream(recorder, layout, lrank, "w", shadow=shadow)
     return SionCollectiveFile(

@@ -20,12 +20,18 @@ DEFAULT_FSBLKSIZE = 64 * 1024
 #: Flag bits stored in metablock 1.
 FLAG_COMPRESS = 1 << 0  # chunks hold a zlib-compressed task stream
 FLAG_SHADOW = 1 << 1  # chunks start with a shadow header for recovery
+FLAG_BUDDY = 1 << 2  # every write was mirrored to a buddy replica file
 
 #: Size in bytes of the per-chunk shadow header when FLAG_SHADOW is set.
 SHADOW_HEADER_SIZE = 32
 
 #: Suffix appended to physical files 1..n-1 of a multifile set.
 MULTIFILE_SUFFIX = ".{:06d}"
+
+#: Suffix of a buddy replica: the replica of physical file ``f`` lives at
+#: ``physical_path(base, (f + 1) % nfiles) + BUDDY_SUFFIX`` — on the
+#: *partner* group's name stem, so losing one stem loses one copy only.
+BUDDY_SUFFIX = ".buddy"
 
 #: Task-to-file mapping kinds (stored in metablock 1 of file 0).
 MAPPING_BLOCKED = 0

@@ -47,7 +47,9 @@ from repro.backends.localfs import LocalBackend
 from repro.buffers import BufferLike
 from repro.errors import SionUsageError
 from repro.sion.compression import ZlibReader
+from repro.sion.buddy import MirrorRawFile, buddy_path
 from repro.sion.constants import (
+    FLAG_BUDDY,
     FLAG_COMPRESS,
     FLAG_SHADOW,
     MAPPING_CUSTOM,
@@ -95,6 +97,7 @@ class OpenSpec:
     mapping: str | tuple[int, ...] | None = None
     compress: bool = False
     shadow: bool = False
+    buddy: bool = False
     collectsize: int | None = None
     collectors: int | None = None
     partitioned: bool = False
@@ -157,6 +160,7 @@ class OpenSpec:
             ("mapping", self.mapping is not None),
             ("compress", self.compress),
             ("shadow", self.shadow),
+            ("buddy", self.buddy),
         )
         for name, given in geometry_opts:
             if given:
@@ -179,6 +183,7 @@ class OpenSpec:
         mapping: "str | list[int] | tuple[int, ...]" = "blocked",
         compress: bool = False,
         shadow: bool = False,
+        buddy: bool = False,
         collectsize: int | None = None,
         collectors: int | None = None,
         partitioned: bool = False,
@@ -206,6 +211,7 @@ class OpenSpec:
             mapping=mapping,
             compress=compress,
             shadow=shadow,
+            buddy=buddy,
             collectsize=collectsize,
             collectors=collectors,
             partitioned=partitioned,
@@ -456,6 +462,31 @@ def open_guarded(
     )
 
 
+def open_mirrored(
+    backend: Backend, path: str, replica_path: str | None, comm: Any
+) -> ReplayGuardedFile:
+    """Open a write handle, mirrored onto its buddy replica when one exists.
+
+    The direct-mode buddy integration point: with ``replica_path`` set,
+    the replay-guarded handle wraps a
+    :class:`~repro.sion.buddy.MirrorRawFile`, so every chunk write,
+    shadow header, and metablock the stream (or ``persist_metablock2``,
+    via :func:`unwrap_raw`) issues lands on both copies through the one
+    existing code path.  Both opens happen inside a single ``exec_once``
+    op — the mirror pair must be created exactly once per rank.
+    """
+    if replica_path is None:
+        return open_guarded(backend, path, "r+b", comm)
+    return ReplayGuardedFile(
+        comm.exec_once(
+            lambda: MirrorRawFile(
+                backend.open(path, "r+b"), backend.open(replica_path, "r+b")
+            )
+        ),
+        comm,
+    )
+
+
 # ---------------------------------------------------------------------------
 # AccessPlan: what one rank physically does.
 
@@ -503,6 +534,8 @@ class AccessPlan:
     filenum: int | None = None
     lrank: int | None = None
     my_path: str | None = None
+    #: Buddy mode (write): where this rank's file is replicated, or None.
+    replica_path: str | None = None
     layout: ChunkLayout | None = None
     mb1: Metablock1 | None = None
     mb2: Metablock2 | None = None
@@ -569,9 +602,12 @@ def compile_write_plan(spec: OpenSpec, comm: Any, backend: Backend) -> AccessPla
     lcom = comm.split(color=myfile, key=comm.rank)
     assert lcom is not None
 
-    flags = (FLAG_COMPRESS if spec.compress else 0) | (
-        FLAG_SHADOW if spec.shadow else 0
+    flags = (
+        (FLAG_COMPRESS if spec.compress else 0)
+        | (FLAG_SHADOW if spec.shadow else 0)
+        | (FLAG_BUDDY if spec.buddy else 0)
     )
+    replica = buddy_path(spec.path, myfile, tmap.nfiles) if spec.buddy else None
     # Per-file master gathers (global rank, chunksize) and writes metablock 1.
     gathered = lcom.gather((comm.rank, int(chunksize)), root=0)
     layout: ChunkLayout
@@ -585,6 +621,12 @@ def compile_write_plan(spec: OpenSpec, comm: Any, backend: Backend) -> AccessPla
         # exec_once: the truncating create must not repeat if the bulk
         # engine replays this rank body (thread engine: plain call).
         lcom.exec_once(lambda: _create_with_metablock1(backend, mypath, mb1))
+        if replica is not None:
+            # The replica opens with the *same* metablock 1 bytes, so the
+            # mirrored chunk writes leave it byte-identical to the primary.
+            lcom.exec_once(
+                lambda: _create_with_metablock1(backend, replica, mb1)
+            )
         # The root adopts the *broadcast* objects too: under bulk-engine
         # replay the locally rebuilt layout/mb1 would be fresh instances,
         # and parclose's metablock2_offset patch must land on the single
@@ -606,6 +648,7 @@ def compile_write_plan(spec: OpenSpec, comm: Any, backend: Backend) -> AccessPla
         filenum=myfile,
         lrank=lrank,
         my_path=mypath,
+        replica_path=replica,
         layout=layout,
         mb1=mb1,
         lcom=lcom,
@@ -718,8 +761,9 @@ def _execute_write(plan: AccessPlan, comm: Any, backend: Backend):
             comm, plan.lcom, plan.lrank, plan.collectsize, backend,
             plan.spec.path, plan.my_path, plan.layout, plan.mb1,
             plan.mapping, plan.compress, plan.shadow,
+            replica_path=plan.replica_path,
         )
-    raw = open_guarded(backend, plan.my_path, "r+b", plan.lcom)
+    raw = open_mirrored(backend, plan.my_path, plan.replica_path, plan.lcom)
     stream = TaskStream(raw, plan.layout, plan.lrank, "w", shadow=plan.shadow)
     return SionParallelFile(
         mode="w",

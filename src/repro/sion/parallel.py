@@ -43,6 +43,7 @@ def paropen(
     backend: Backend | None = None,
     compress: bool = False,
     shadow: bool = False,
+    buddy: bool = False,
     collectsize: int | None = None,
     collectors: int | None = None,
     partitioned: bool = False,
@@ -66,6 +67,14 @@ def paropen(
     ``shadow``
         Per-chunk recovery headers so metablock 2 can be rebuilt after a
         crash (paper §6).
+    ``buddy``
+        Buddy-replica checkpointing (write mode): every write is
+        mirrored to a replica of this physical file hosted on the
+        partner group's name stem
+        (:func:`~repro.sion.buddy.buddy_path`), doubling the written
+        bytes but letting :func:`~repro.sion.recovery.recover_multifile`
+        rebuild a *lost or torn physical file* byte-identically.  Works
+        in direct and collective mode; readers ignore replicas.
     ``collectsize`` / ``collectors``
         Collector-rank aggregation (collective mode, SIONlib's
         ``collsize``): groups of ``collectsize`` tasks funnel their chunk
@@ -114,6 +123,7 @@ def paropen(
         mapping=mapping,
         compress=compress,
         shadow=shadow,
+        buddy=buddy,
         collectsize=collectsize,
         collectors=collectors,
         partitioned=partitioned,

@@ -1,13 +1,46 @@
-"""Metablock-2 reconstruction after failures (paper §6 roadmap).
+"""Rebuilding damaged multifiles: shadow headers and buddy replicas.
 
-If an application dies before the collective close — premature termination,
-quota violation — metablock 2 is never written and the multifile cannot be
-read.  When the file was opened with ``shadow=True``, every chunk starts
-with a 32-byte :class:`~repro.sion.format.ShadowHeader` recording how many
-bytes of that chunk were written as of the last shadow flush (automatic at
-every block boundary, at close, and whenever the application calls
-``flush_shadow``).  :func:`recover_multifile` scans those headers, rebuilds
-metablock 2, and patches the file back to a readable state.
+If an application dies before the collective close — premature
+termination, quota violation, a lost node — metablock 2 is never
+written and the multifile cannot be read.  Worse, a whole physical file
+of the set may be gone (node-local storage, a corrupted stripe).  Two
+write-time options fund two recovery paths:
+
+* **Shadow headers** (``paropen(..., shadow=True)``, paper §6): every
+  chunk starts with a 32-byte :class:`~repro.sion.format.ShadowHeader`
+  recording how many bytes of that chunk were written as of the last
+  shadow flush (automatic at every block boundary, at close, and
+  whenever the application calls ``flush_shadow``).
+  :func:`recover_multifile` scans those headers, rebuilds metablock 2
+  *in place*, and patches the file back to a readable state.  Cheap
+  (32 bytes per chunk), but it needs the file itself to survive.
+* **Buddy replicas** (``paropen(..., buddy=True)``): every write was
+  mirrored to a replica hosted on the partner group's name stem
+  (:func:`~repro.sion.buddy.buddy_path`).  :func:`recover_multifile`
+  rebuilds a **lost or torn physical file byte-identically** by copying
+  its replica back.  Costs 2x the written bytes, survives the loss of
+  an entire physical file.
+
+The decision per physical file (also rendered as a table in
+``docs/RESILIENCE.md``):
+
+========================  =======================  =========================
+primary file state        buddy replica intact     action
+========================  =======================  =========================
+metablock 2 intact        (any)                    nothing to do
+missing / metablock 1     yes                      byte-copy from replica
+unreadable
+missing / metablock 1     no                       unrecoverable
+unreadable
+metablock 2 torn          yes                      byte-copy from replica
+metablock 2 torn          no, shadow headers       in-place shadow rebuild
+metablock 2 torn          no, no shadow headers    unrecoverable
+========================  =======================  =========================
+
+A fully intact replica is preferred over a shadow rebuild because the
+copy is byte-identical to the unfaulted write, whereas a shadow rebuild
+can only vouch for bytes up to each chunk's last shadow flush.
+Unrecoverable states raise :class:`~repro.errors.SionMetadataLostError`.
 """
 
 from __future__ import annotations
@@ -17,76 +50,273 @@ from dataclasses import dataclass, field
 from repro.backends.base import Backend
 from repro.backends.localfs import LocalBackend
 from repro.errors import SionFormatError, SionMetadataLostError
-from repro.sion.constants import FLAG_SHADOW, SHADOW_HEADER_SIZE
+from repro.sion.buddy import buddy_path
+from repro.sion.constants import (
+    BUDDY_SUFFIX,
+    FLAG_BUDDY,
+    FLAG_SHADOW,
+    SHADOW_HEADER_SIZE,
+)
 from repro.sion.format import Metablock1, Metablock2, ShadowHeader
 from repro.sion.layout import ChunkLayout
 from repro.sion.mapping import physical_path
 
+#: Chunked-copy granularity of a buddy restore (bounds peak memory).
+_COPY_CHUNK = 1 << 20
+
 
 @dataclass
 class RecoveryReport:
-    """Outcome of scanning one multifile set."""
+    """Outcome of scanning (and repairing) one multifile set.
+
+    One report covers every physical file of the set.  ``files_intact``
+    counts files that needed nothing; ``files_recovered`` counts files
+    repaired by *either* path, of which ``files_rebuilt_from_buddy``
+    were restored by byte-copying their buddy replica.  The task/block/
+    byte counters aggregate what the repairs brought back:
+    ``bytes_recovered`` counts **logical data bytes** (recorded chunk
+    payload, excluding metablocks and shadow headers) — the number the
+    ``resilience`` benchmark suite pins against the written volume.
+    ``details`` holds one human-readable line per action taken.
+    """
 
     nfiles: int = 0
     files_intact: int = 0
     files_recovered: int = 0
+    files_rebuilt_from_buddy: int = 0
     tasks_recovered: int = 0
     blocks_recovered: int = 0
     bytes_recovered: int = 0
     details: list[str] = field(default_factory=list)
 
     def add(self, line: str) -> None:
+        """Append one detail line to the report."""
         self.details.append(line)
 
 
 def recover_multifile(
     path: str, backend: Backend | None = None, force: bool = False
 ) -> RecoveryReport:
-    """Rebuild missing metablock 2 data for every physical file of a set.
+    """Repair every damaged physical file of the multifile set at ``path``.
 
-    ``force=True`` re-derives metablock 2 from the shadow headers even when
-    an intact one exists (useful to validate the shadow chain).  Raises
-    :class:`SionMetadataLostError` if a damaged file lacks shadow headers.
+    Walks all physical files and applies the cheapest sufficient repair
+    per file (see the module docstring's decision table): nothing, a
+    byte-identical restore from the file's buddy replica, or an in-place
+    metablock-2 reconstruction from shadow headers.
+
+    Parameters
+    ----------
+    path:
+        Path of physical file 0.  If that file itself is lost, the set
+        geometry is bootstrapped from the buddy replica hosted at
+        ``path + ".buddy"`` (buddy-mode sets keep file ``nfiles - 1``'s
+        replica there, and every file's metablock 1 carries the set-wide
+        geometry fields).
+    backend:
+        Storage backend (default: local POSIX files).
+    force:
+        Re-derive metablock 2 from the shadow headers even for files
+        whose metablock 2 looks intact — a way to validate the shadow
+        chain end to end.
+
+    Returns
+    -------
+    RecoveryReport
+        What was intact, what was repaired, and how.
+
+    Raises
+    ------
+    SionMetadataLostError
+        A damaged file has neither a usable shadow chain nor an intact
+        buddy replica (see the decision table).
     """
     backend = backend if backend is not None else LocalBackend()
     report = RecoveryReport()
 
-    raw0 = backend.open(path, "rb")
-    mb1_0 = Metablock1.decode_from(raw0)
-    raw0.close()
+    mb1_0 = _bootstrap_geometry(path, backend, report)
     report.nfiles = mb1_0.nfiles
 
     for filenum in range(mb1_0.nfiles):
         fpath = physical_path(path, filenum)
-        _recover_one(fpath, backend, report, force)
+        _recover_one(path, fpath, filenum, mb1_0.nfiles, backend, report, force)
     return report
 
 
+def _bootstrap_geometry(
+    path: str, backend: Backend, report: RecoveryReport
+) -> Metablock1:
+    """Learn the set geometry, surviving the loss of physical file 0.
+
+    Every physical file (and every replica) carries the set-wide
+    ``nfiles``/flags fields in its metablock 1, so any readable copy
+    suffices.  File 0 is tried first; a buddy-mode set falls back to the
+    replica hosted on file 0's stem (``path + ".buddy"`` — the replica
+    of file ``nfiles - 1``, but geometry-wise interchangeable).
+    """
+    try:
+        raw0 = backend.open(path, "rb")
+        try:
+            return Metablock1.decode_from(raw0)
+        finally:
+            raw0.close()
+    except Exception as primary_exc:  # noqa: BLE001 - any unreadable state
+        fallback = path + BUDDY_SUFFIX
+        if not backend.exists(fallback):
+            raise primary_exc
+        raw = backend.open(fallback, "rb")
+        try:
+            mb1 = Metablock1.decode_from(raw)
+        finally:
+            raw.close()
+        report.add(
+            f"{path}: unreadable; set geometry bootstrapped from the "
+            f"buddy replica {fallback}"
+        )
+        return mb1
+
+
 def _recover_one(
-    fpath: str, backend: Backend, report: RecoveryReport, force: bool
+    base: str,
+    fpath: str,
+    filenum: int,
+    nfiles: int,
+    backend: Backend,
+    report: RecoveryReport,
+    force: bool,
 ) -> None:
+    """Inspect one physical file and apply the decision table to it."""
+    mb1: Metablock1 | None = None
+    if backend.exists(fpath):
+        raw = backend.open(fpath, "rb")
+        try:
+            mb1 = Metablock1.decode_from(raw)
+        except SionFormatError:
+            mb1 = None
+        finally:
+            raw.close()
+
+    if mb1 is None:
+        # Missing file (or unreadable metablock 1): only a replica helps.
+        if not _restore_from_buddy(base, fpath, filenum, nfiles, backend, report):
+            raise SionMetadataLostError(
+                f"{fpath}: physical file is missing or unreadable and no "
+                "intact buddy replica exists; data is unrecoverable"
+            )
+        return
+
+    intact = False
+    if mb1.metablock2_offset > 0:
+        raw = backend.open(fpath, "rb")
+        try:
+            Metablock2.decode_from(raw, mb1.metablock2_offset)
+            intact = True
+        except SionFormatError:
+            intact = False
+        finally:
+            raw.close()
+    if intact and not force:
+        report.files_intact += 1
+        report.add(f"{fpath}: metablock 2 intact, nothing to do")
+        return
+
+    # Torn close: prefer the byte-identical replica, then the shadow
+    # chain.  ``force`` is a shadow-chain validation request, so it
+    # skips the replica shortcut on purpose.
+    if mb1.flags & FLAG_BUDDY and not force:
+        if _restore_from_buddy(base, fpath, filenum, nfiles, backend, report):
+            return
+    if not mb1.flags & FLAG_SHADOW:
+        raise SionMetadataLostError(
+            f"{fpath}: metablock 2 missing and the file was written "
+            "without shadow headers; data is unrecoverable"
+        )
+    _rebuild_from_shadows(fpath, mb1, backend, report)
+
+
+def _restore_from_buddy(
+    base: str,
+    fpath: str,
+    filenum: int,
+    nfiles: int,
+    backend: Backend,
+    report: RecoveryReport,
+) -> bool:
+    """Byte-copy ``fpath`` back from its buddy replica, if fully intact.
+
+    The replica qualifies only when both of its metablocks decode and it
+    describes the right file — restoring a half-written replica would
+    trade one damaged copy for another.  Returns True on success, False
+    when no qualifying replica exists (callers then fall back or raise).
+    """
+    rpath = buddy_path(base, filenum, nfiles)
+    if not backend.exists(rpath):
+        return False
+    raw = backend.open(rpath, "rb")
+    try:
+        try:
+            mb1 = Metablock1.decode_from(raw)
+            mb2 = Metablock2.decode_from(raw, mb1.metablock2_offset)
+        except SionFormatError:
+            return False
+    finally:
+        raw.close()
+    if mb1.filenum != filenum or mb1.nfiles != nfiles:
+        return False
+
+    copied = _copy_file(backend, rpath, fpath)
+    report.files_recovered += 1
+    report.files_rebuilt_from_buddy += 1
+    data_bytes = 0
+    blocks = 0
+    tasks = 0
+    for sizes in mb2.blocksizes:
+        nonzero = [s for s in sizes if s]
+        data_bytes += sum(nonzero)
+        blocks += len(nonzero)
+        if nonzero:
+            tasks += 1
+    report.tasks_recovered += tasks
+    report.blocks_recovered += blocks
+    report.bytes_recovered += data_bytes
+    report.add(
+        f"{fpath}: restored byte-identically from buddy replica {rpath} "
+        f"({copied} bytes on store, {data_bytes} logical data bytes)"
+    )
+    return True
+
+
+def _copy_file(backend: Backend, src: str, dst: str) -> int:
+    """Copy ``src`` over ``dst`` in bounded chunks; returns bytes copied."""
+    size = backend.file_size(src)
+    rsrc = backend.open(src, "rb")
+    try:
+        rdst = backend.open(dst, "w+b")
+        try:
+            off = 0
+            while off < size:
+                piece = rsrc.pread(off, min(_COPY_CHUNK, size - off))
+                if not piece:
+                    break
+                rdst.pwrite(off, piece)
+                off += len(piece)
+            rdst.flush()
+        finally:
+            rdst.close()
+    finally:
+        rsrc.close()
+    return size
+
+
+def _rebuild_from_shadows(
+    fpath: str, mb1: Metablock1, backend: Backend, report: RecoveryReport
+) -> None:
+    """Reconstruct metablock 2 in place from the per-chunk shadow chain."""
     raw = backend.open(fpath, "r+b")
     try:
-        mb1 = Metablock1.decode_from(raw)
-        intact = False
-        if mb1.metablock2_offset > 0:
-            try:
-                Metablock2.decode_from(raw, mb1.metablock2_offset)
-                intact = True
-            except SionFormatError:
-                intact = False
-        if intact and not force:
-            report.files_intact += 1
-            report.add(f"{fpath}: metablock 2 intact, nothing to do")
-            return
-        if not mb1.flags & FLAG_SHADOW:
-            raise SionMetadataLostError(
-                f"{fpath}: metablock 2 missing and the file was written "
-                "without shadow headers; data is unrecoverable"
-            )
         layout = ChunkLayout.from_metablock1(mb1)
         file_size = backend.file_size(fpath)
         blocksizes: list[list[int]] = []
+        blocks_before = report.blocks_recovered
         for ltask in range(mb1.ntasks_local):
             sizes = _scan_task(raw, layout, ltask, file_size)
             blocksizes.append(sizes if sizes else [0])
@@ -103,7 +333,7 @@ def _recover_one(
         report.files_recovered += 1
         report.add(
             f"{fpath}: rebuilt metablock 2 for {mb1.ntasks_local} tasks "
-            f"({report.blocks_recovered} blocks)"
+            f"({report.blocks_recovered - blocks_before} blocks)"
         )
     finally:
         raw.close()
@@ -113,7 +343,10 @@ def _scan_task(raw, layout: ChunkLayout, ltask: int, file_size: int) -> list[int
     """Walk a task's chunk chain, reading shadow headers until they stop.
 
     Header addresses are computable locally, so each probe is one
-    positioned read — the scan never touches the file pointer.
+    positioned read — the scan never touches the file pointer.  The walk
+    ends at the first missing, undecodable, or misattributed header
+    (torn chain), and trailing zero-byte blocks — the open-but-unused
+    current chunk — are trimmed.
     """
     sizes: list[int] = []
     block = 0

@@ -11,13 +11,13 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.errors import ReproError
+from repro.errors import ReproError, SionUsageError
 from repro.sion.recovery import recover_multifile
 from repro.utils.cat import cat_rank, cat_reader
 from repro.utils.defrag import defragment
 from repro.utils.dump import dump_multifile, format_dump, format_partition
 from repro.utils.split import split_multifile
-from repro.utils.verify import format_report, verify_multifile
+from repro.utils.verify import assess_loss, format_report, verify_multifile
 
 
 def main_dump(argv: list[str] | None = None) -> int:
@@ -129,17 +129,22 @@ def main_recover(argv: list[str] | None = None) -> int:
 
 
 def main_verify(argv: list[str] | None = None) -> int:
-    """``sionverify [--deep] [--readers M] [--engine NAME] MULTIFILE``
+    """``sionverify [--deep] [--readers M] [--engine NAME] [--inject WHAT] MULTIFILE``
 
     Check the consistency of a multifile set.  ``--deep`` additionally
     validates shadow headers against metablock 2; ``--readers M``
     executes a real ``M``-reader partitioned read and cross-checks it
     against the serial global view, on the SPMD engine picked by
     ``--engine`` (default ``bulk``; ``proc`` reads on real cores).
-    Returns 0 when the set verifies, 2 when it does not, 1 on I/O
-    errors.
+    ``--inject lose-file=K`` runs a *non-destructive what-if* instead:
+    the tool reports whether losing physical file ``K`` entirely would
+    still be recoverable (i.e. the set was written with ``buddy=True``
+    and file ``K``'s replica is fully intact).  Returns 0 when the set
+    verifies (or the injected loss is survivable), 2 when it does not,
+    1 on I/O errors.
 
-    Example: ``sionverify --deep --readers 4 --engine proc out.sion``.
+    Example: ``sionverify --deep --readers 4 --engine proc out.sion``;
+    ``sionverify --inject lose-file=1 out.sion``.
     """
     p = argparse.ArgumentParser(
         prog="sionverify",
@@ -166,12 +171,30 @@ def main_verify(argv: list[str] | None = None) -> int:
         help="SPMD engine of the --readers read (threads|bulk|proc, "
         "aliases accepted; default: bulk)",
     )
+    p.add_argument(
+        "--inject",
+        default=None,
+        metavar="WHAT",
+        help="non-destructive what-if: 'lose-file=K' reports whether the "
+        "set would survive losing physical file K (buddy replica intact)",
+    )
     args = p.parse_args(argv)
 
     def run() -> None:
-        report = verify_multifile(
-            args.multifile, deep=args.deep, readers=args.readers, engine=args.engine
-        )
+        if args.inject is not None:
+            kind, _, value = args.inject.partition("=")
+            if kind != "lose-file" or not value.lstrip("-").isdigit():
+                raise SionUsageError(
+                    f"--inject expects lose-file=K, got {args.inject!r}"
+                )
+            report = assess_loss(args.multifile, int(value))
+        else:
+            report = verify_multifile(
+                args.multifile,
+                deep=args.deep,
+                readers=args.readers,
+                engine=args.engine,
+            )
         print(format_report(report))
         if not report.ok:
             raise SystemExit(2)

@@ -14,7 +14,8 @@ from dataclasses import dataclass, field
 from repro.backends.base import Backend
 from repro.backends.localfs import LocalBackend
 from repro.errors import ReproError, SionFormatError
-from repro.sion.constants import FLAG_SHADOW, SHADOW_HEADER_SIZE
+from repro.sion.buddy import buddy_path
+from repro.sion.constants import FLAG_BUDDY, FLAG_SHADOW, SHADOW_HEADER_SIZE
 from repro.sion.format import Metablock1, Metablock2, ShadowHeader
 from repro.sion.layout import ChunkLayout
 from repro.sion.mapping import TaskMapping, physical_path
@@ -257,6 +258,73 @@ def _deep_check_shadows(
                 f"{fpath}: task {ltask} block {b}: shadow says {hdr.written} "
                 f"bytes, metablock 2 says {nbytes}",
             )
+
+
+def assess_loss(
+    path: str, filenum: int, backend: Backend | None = None
+) -> VerifyReport:
+    """What-if assessment: could the set survive losing file ``filenum``?
+
+    The ``sionverify --inject lose-file=K`` backend.  Non-destructive:
+    nothing is deleted or modified.  The report is ``ok`` iff losing
+    physical file ``K`` *entirely* would still be recoverable — i.e. the
+    set was written with ``buddy=True`` and file ``K``'s replica exists
+    with both metablocks fully intact (the qualification
+    :func:`~repro.sion.recovery.recover_multifile` demands before a
+    byte-copy restore).  Shadow headers cannot save a lost file — they
+    live inside it — so a shadow-only set reports unrecoverable here.
+    """
+    backend = backend if backend is not None else LocalBackend()
+    report = VerifyReport(path=path)
+    try:
+        raw0 = backend.open(path, "rb")
+        mb1_0 = Metablock1.decode_from(raw0)
+        raw0.close()
+    except (ReproError, OSError) as exc:
+        report.error(f"{path}: cannot read metablock 1: {exc}")
+        return report
+    report.nfiles = mb1_0.nfiles
+    report.ntasks = mb1_0.ntasks_global
+    if not 0 <= filenum < mb1_0.nfiles:
+        report.error(
+            f"--inject lose-file={filenum}: the set has {mb1_0.nfiles} "
+            "physical file(s)"
+        )
+        return report
+    if not mb1_0.flags & FLAG_BUDDY:
+        report.error(
+            f"{path}: set written without buddy=True; losing file "
+            f"{filenum} would be unrecoverable"
+        )
+        return report
+    rpath = buddy_path(path, filenum, mb1_0.nfiles)
+    if not backend.exists(rpath):
+        report.error(
+            f"{rpath}: buddy replica of file {filenum} is missing; the "
+            "loss would be unrecoverable"
+        )
+        return report
+    raw = backend.open(rpath, "rb")
+    try:
+        try:
+            mb1 = Metablock1.decode_from(raw)
+            Metablock2.decode_from(raw, mb1.metablock2_offset)
+        except SionFormatError as exc:
+            report.error(f"{rpath}: buddy replica does not fully decode: {exc}")
+            return report
+    finally:
+        raw.close()
+    report.check(
+        mb1.filenum == filenum and mb1.nfiles == mb1_0.nfiles,
+        f"{rpath}: replica describes file {mb1.filenum} of {mb1.nfiles}, "
+        f"not file {filenum} of {mb1_0.nfiles}",
+    )
+    if report.ok:
+        report.warnings.append(
+            f"losing file {filenum} would be recoverable: intact buddy "
+            f"replica at {rpath}"
+        )
+    return report
 
 
 def format_report(report: VerifyReport) -> str:

@@ -1,0 +1,214 @@
+"""Fault plans fired through the SION layer: engines × open paths.
+
+The contract under test: a scripted fault surfaces as a clean
+:class:`SpmdWorkerError` carrying :class:`FaultInjectedError` for exactly
+the targeted rank (never a hang, never a mangled traceback), identically
+under the ``threads`` and ``bulk`` engines (and ``proc``, over the real
+FS), and across the direct, collective, serial, and partitioned open
+paths.  The silent faults (dropped metablock 2, corrupted shadow header)
+leave damage that ``recover_multifile`` repairs — run on the *clean*
+inner backend, since an armed plan would swallow recovery's own
+metablock-2 write just as faithfully.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.backends import FaultInjectingBackend, FaultPlan
+from repro.backends.localfs import LocalBackend
+from repro.backends.simfs_backend import SimBackend
+from repro.errors import FaultInjectedError, SpmdWorkerError
+from repro.fs.simfs import SimFS
+from repro.sion import paropen, recover_multifile, serial
+from repro.simmpi import run_spmd
+from repro.utils.verify import verify_multifile
+from tests.conftest import TEST_BLKSIZE
+
+ENGINES = ("threads", "bulk")
+
+
+def _payload(rank: int, n: int) -> bytes:
+    return bytes((rank * 13 + i) % 256 for i in range(n))
+
+
+def _faulty(plan: FaultPlan) -> FaultInjectingBackend:
+    fs = SimFS(blocksize_override=TEST_BLKSIZE)
+    fs.mkdir("/scratch")
+    return FaultInjectingBackend(SimBackend(fs), plan)
+
+
+def _write_task(path, be, size=700, **kw):
+    def task(comm):
+        f = paropen(path, "w", comm, chunksize=256, shadow=True,
+                    backend=be.for_rank(comm.rank), **kw)
+        f.fwrite(_payload(comm.rank, size))
+        f.parclose()
+
+    return task
+
+
+# -- kill_rank across engines and open paths ---------------------------------
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_kill_rank_direct_path(engine):
+    be = _faulty(FaultPlan().kill_rank(2, after_bytes=100))
+    with pytest.raises(SpmdWorkerError) as exc_info:
+        run_spmd(4, _write_task("/scratch/k.sion", be), engine=engine)
+    assert isinstance(exc_info.value.failures[2], FaultInjectedError)
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_kill_rank_collective_path(engine):
+    # Only collectors do physical I/O in collective mode: target rank 0,
+    # the collector of the first group.
+    be = _faulty(FaultPlan().kill_rank(0, after_bytes=100))
+    with pytest.raises(SpmdWorkerError) as exc_info:
+        run_spmd(
+            4,
+            _write_task("/scratch/kc.sion", be, collectsize=2),
+            engine=engine,
+        )
+    assert isinstance(exc_info.value.failures[0], FaultInjectedError)
+
+
+def test_kill_rank_proc_engine(tmp_path):
+    """The wrapped LocalBackend pickles; the plan fires in a real child."""
+    be = FaultInjectingBackend(
+        LocalBackend(blocksize_override=TEST_BLKSIZE),
+        FaultPlan().kill_rank(1, after_bytes=10),
+    )
+    with pytest.raises(SpmdWorkerError) as exc_info:
+        run_spmd(
+            3, _write_task(str(tmp_path / "kp.sion"), be), engine="proc"
+        )
+    assert isinstance(exc_info.value.failures[1], FaultInjectedError)
+
+
+def test_kill_rank_serial_path():
+    """Serial opens are single-process: the fault surfaces directly."""
+    be = _faulty(FaultPlan().kill_rank(0, after_bytes=0))
+    run_spmd(2, _write_task("/scratch/s.sion", FaultInjectingBackend(be.inner)))
+    with pytest.raises(FaultInjectedError):
+        serial.open("/scratch/s.sion", "r", backend=be.for_rank(0))
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_kill_rank_partitioned_read_path(engine):
+    """Read-side traffic charges the budget too: a reader rank dies."""
+    be = _faulty(FaultPlan().kill_rank(1, after_bytes=64))
+    # Write the container cleanly through an empty plan.
+    run_spmd(4, _write_task("/scratch/p.sion", FaultInjectingBackend(be.inner)))
+
+    def read_task(comm):
+        f = paropen("/scratch/p.sion", "r", comm, partitioned=True,
+                    backend=be.for_rank(comm.rank))
+        data = f.read_all()
+        f.parclose()
+        return data
+
+    with pytest.raises(SpmdWorkerError) as exc_info:
+        run_spmd(2, read_task, engine=engine)
+    assert isinstance(exc_info.value.failures[1], FaultInjectedError)
+
+
+# -- tear_scatter ------------------------------------------------------------
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_tear_scatter_direct_path(engine):
+    be = _faulty(
+        FaultPlan().tear_scatter("/scratch/t.sion", keep_fragments=1, rank=1)
+    )
+    with pytest.raises(SpmdWorkerError) as exc_info:
+        run_spmd(3, _write_task("/scratch/t.sion", be), engine=engine)
+    assert isinstance(exc_info.value.failures[1], FaultInjectedError)
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_tear_scatter_collective_path(engine):
+    """A collection wave's vectored write tears on the collector."""
+    be = _faulty(FaultPlan().tear_scatter("/scratch/tc.sion"))
+    with pytest.raises(SpmdWorkerError) as exc_info:
+        run_spmd(
+            4,
+            _write_task("/scratch/tc.sion", be, collectsize=2),
+            engine=engine,
+        )
+    assert any(
+        isinstance(e, FaultInjectedError)
+        for e in exc_info.value.failures.values()
+    )
+
+
+# -- silent faults + recovery ------------------------------------------------
+
+
+def test_drop_metablock2_then_shadow_recovery():
+    """The write 'succeeds'; the damage shows at verify; recovery repairs.
+
+    Recovery and readback run on the clean inner backend — through the
+    armed plan they would be swallowed exactly like the original close.
+    """
+    path = "/scratch/d.sion"
+    be = _faulty(FaultPlan().drop_metablock2(path))
+    run_spmd(4, _write_task(path, be))  # no exception: the fault is silent
+    assert not verify_multifile(path, backend=be.inner).ok
+    report = recover_multifile(path, backend=be.inner)
+    assert report.files_recovered == 1
+    assert report.bytes_recovered == 4 * 700
+    with serial.open(path, "r", backend=be.inner) as sf:
+        for r in range(4):
+            assert sf.read_task(r) == _payload(r, 700)
+
+
+def test_corrupt_chunk_header_shortens_recovered_chain():
+    """A torn chain loses exactly the blocks at and after the damage.
+
+    With shadow headers each 512-byte chunk holds 480 payload bytes, so
+    a 700-byte stream is blocks of 480 + 220: garbling (ltask=1,
+    block=1) costs task 1 its 220-byte tail and nothing else.
+    """
+    path = "/scratch/c.sion"
+    be = _faulty(
+        FaultPlan()
+        .corrupt_chunk_header(path, ltask=1, block=1)
+        .drop_metablock2(path)
+    )
+    run_spmd(4, _write_task(path, be))
+    report = recover_multifile(path, backend=be.inner)
+    assert report.bytes_recovered == 4 * 700 - 220
+    with serial.open(path, "r", backend=be.inner) as sf:
+        assert sf.read_task(1) == _payload(1, 700)[:480]
+        assert sf.read_task(2) == _payload(2, 700)
+
+
+def test_recovery_through_armed_plan_swallows_its_own_repair():
+    """Documented sharp edge: recover on ``be.inner``, not the wrapper."""
+    path = "/scratch/a.sion"
+    be = _faulty(FaultPlan().drop_metablock2(path))
+    run_spmd(2, _write_task(path, be))
+    recover_multifile(path, backend=be)  # repair swallowed again
+    assert not verify_multifile(path, backend=be.inner).ok
+    recover_multifile(path, backend=be.inner)
+    assert verify_multifile(path, backend=be.inner).ok
+
+
+# -- cross-engine determinism ------------------------------------------------
+
+
+def test_same_plan_same_failing_ranks_across_engines():
+    observed = {}
+    for engine in ENGINES:
+        be = _faulty(FaultPlan().kill_rank(3, after_bytes=256))
+        with pytest.raises(SpmdWorkerError) as exc_info:
+            run_spmd(
+                5, _write_task("/scratch/x.sion", be), engine=engine
+            )
+        observed[engine] = {
+            r
+            for r, e in exc_info.value.failures.items()
+            if isinstance(e, FaultInjectedError)
+        }
+    assert observed["threads"] == observed["bulk"] == {3}
