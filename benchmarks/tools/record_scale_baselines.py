@@ -1,0 +1,134 @@
+"""Refresh the ``scale`` wall-clock baselines and their provenance sidecars.
+
+Runs the full scale suite once (every control-plane grid point including
+the nightly 2^20-task cycle, the contention-model sweep, and the taskbw
+data plane), then writes:
+
+* ``benchmarks/baselines/scale.json`` — the control-plane scenarios of
+  that run (the nightly full-grid gate; taskbw is excluded, it has its
+  own hardware-annotated baseline pair);
+* ``benchmarks/baselines/scale_ci.json`` — the ``ci-grid``-tagged subset
+  (the push-gated PR loop);
+* ``.meta.json`` sidecars for both, recording machine, git state, engine
+  generation and the exact capture command.
+
+Deriving the CI file from the same run (rather than a second, shorter
+run) keeps the two baselines mutually consistent by construction.
+
+Usage:
+    PYTHONPATH=src python benchmarks/tools/record_scale_baselines.py
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[2]
+BASELINES = ROOT / "benchmarks" / "baselines"
+
+#: What the recorded engine is, for cross-generation archaeology.
+ENGINE_GENERATION = "wave-vectorized bulk engine (shared program rows)"
+
+
+def _git_sha() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=ROOT,
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def _sidecar(artifact: str, report: dict, role: str, notes: str) -> dict:
+    return {
+        "artifact": artifact,
+        "capture_command": (
+            "PYTHONPATH=src python benchmarks/tools/record_scale_baselines.py"
+        ),
+        "capture_cpu_count": os.cpu_count(),
+        "created": datetime.datetime.now(datetime.timezone.utc)
+        .isoformat(timespec="seconds"),
+        "engine_generation": ENGINE_GENERATION,
+        "environment": report["environment"],
+        "git_sha": _git_sha(),
+        "notes": notes,
+        "role": role,
+        "scenarios": sorted(report["scenarios"]),
+        "suite": report["suite"],
+    }
+
+
+def _write(path: Path, doc: dict) -> None:
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {path}")
+
+
+def main() -> int:
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+        tmp_path = tmp.name
+    try:
+        subprocess.run(
+            [sys.executable, "-m", "repro.bench", "run", "--suite", "scale",
+             "-o", tmp_path],
+            cwd=ROOT,
+            env={**os.environ, "PYTHONPATH": str(ROOT / "src")},
+            check=True,
+        )
+        report = json.loads(Path(tmp_path).read_text())
+    finally:
+        os.unlink(tmp_path)
+
+    def subset(pred) -> dict:
+        doc = {k: v for k, v in report.items() if k != "scenarios"}
+        doc["scenarios"] = {
+            name: sc for name, sc in report["scenarios"].items() if pred(sc)
+        }
+        return doc
+
+    full = subset(lambda sc: "data-plane" not in sc["tags"])
+    ci = subset(
+        lambda sc: "ci-grid" in sc["tags"] and "data-plane" not in sc["tags"]
+    )
+
+    _write(BASELINES / "scale.json", full)
+    _write(
+        BASELINES / "scale.meta.json",
+        _sidecar(
+            "scale.json",
+            full,
+            "current implementation (bulk control plane); nightly full-grid gate",
+            "Wall clocks are machine-bound (captured single-core); the "
+            "--threshold 1.0 compare only trips on 2x+ algorithmic "
+            "regressions.  Byte identity across engine generations is "
+            "pinned separately by scale_multifile_hashes.json, and the "
+            "O(1)-objects-per-rank bound is asserted inside every "
+            "paropen-parclose scenario run.",
+        ),
+    )
+    _write(BASELINES / "scale_ci.json", ci)
+    _write(
+        BASELINES / "scale_ci.meta.json",
+        _sidecar(
+            "scale_ci.json",
+            ci,
+            "current implementation (bulk control plane); push-gated CI grid",
+            "The ci-grid slice (4k/16k points plus the contention-model "
+            "sweep) of the same capture run as scale.json — derived from "
+            "one run so the two baselines cannot drift apart.",
+        ),
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,121 @@
+"""Record content fingerprints of the ``scale`` open/write/close multifile.
+
+Captures ``benchmarks/baselines/scale_multifile_hashes.json``: the sha256
+content fingerprint (:func:`repro.bench.scale.multifile_fingerprint`) of the
+multifile produced by the standard ``scale/paropen-parclose`` cycle at each
+grid point, plus its layout geometry.  The file is the *byte-identity pin*
+across engine generations: a rewritten SPMD engine must reproduce these
+hashes exactly, or it changed what lands on disk — a failure mode the
+wall-clock gates' wide thresholds would never see.
+
+The committed baseline was captured with the engine noted in its
+``recorded.engine_generation`` field *before* the wave-vectorized rewrite
+landed, so a fresh run on the current checkout directly answers "does the
+new engine still write the same bytes?".
+
+Usage:
+    PYTHONPATH=src python benchmarks/tools/record_scale_fingerprints.py \
+        [-o benchmarks/baselines/scale_multifile_hashes.json] \
+        [--ntasks 4096 65536 262144] [--engine bulk]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+
+DEFAULT_NTASKS = (4096, 16384, 65536, 262144)
+CHUNKSIZE = 4096
+FSBLK = 4096
+PAYLOAD = 64
+
+
+def capture_point(ntasks: int, engine: str) -> dict:
+    """Run one paropen->fwrite->parclose cycle and fingerprint the result."""
+    from repro.backends.simfs_backend import SimBackend
+    from repro.bench.scale import expected_geometry, multifile_fingerprint
+    from repro.fs.simfs import SimFS
+    from repro.simmpi import run_spmd
+    from repro.sion import paropen
+
+    backend = SimBackend(SimFS(blocksize_override=FSBLK))
+    payload = bytes([0xAB]) * PAYLOAD
+
+    def program(comm):
+        f = paropen(
+            "/scale.sion",
+            "w",
+            comm,
+            chunksize=CHUNKSIZE,
+            fsblksize=FSBLK,
+            backend=backend,
+        )
+        f.fwrite(payload)
+        f.parclose()
+        return (f.layout.start_of_data, f.mb1.metablock2_offset)
+
+    t0 = time.perf_counter()
+    out = run_spmd(ntasks, program, engine=engine)
+    wall = time.perf_counter() - t0
+    geometry = out[0]
+    if tuple(geometry) != expected_geometry(ntasks, CHUNKSIZE, FSBLK):
+        raise AssertionError(f"geometry drifted at ntasks={ntasks}: {geometry}")
+    digest = multifile_fingerprint(backend, "/scale.sion", nfiles=1)
+    size, extents = backend.fs.extents_of("/scale.sion")
+    return {
+        "sha256": digest,
+        "file_size": size,
+        "extent_count": len(extents),
+        "start_of_data": geometry[0],
+        "mb2_offset": geometry[1],
+        "wall_s": round(wall, 3),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    root = Path(__file__).resolve().parents[2]
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument(
+        "-o",
+        "--output",
+        type=Path,
+        default=root / "benchmarks" / "baselines" / "scale_multifile_hashes.json",
+    )
+    ap.add_argument("--ntasks", type=int, nargs="+", default=list(DEFAULT_NTASKS))
+    ap.add_argument("--engine", default="bulk")
+    args = ap.parse_args(argv)
+
+    points = {}
+    for n in args.ntasks:
+        print(f"[{n}] running {args.engine} cycle ...", flush=True)
+        points[str(n)] = capture_point(n, args.engine)
+        print(f"[{n}] {points[str(n)]['sha256'][:16]}... "
+              f"({points[str(n)]['wall_s']} s)", flush=True)
+
+    doc = {
+        "schema": 1,
+        "geometry": {
+            "chunksize": CHUNKSIZE,
+            "fsblksize": FSBLK,
+            "payload_bytes": PAYLOAD,
+            "nfiles": 1,
+            "path": "/scale.sion",
+        },
+        "recorded": {
+            "engine": args.engine,
+            "engine_generation": "pre-wave-vectorization (per-rank op logs)",
+            "date": time.strftime("%Y-%m-%d"),
+            "python": platform.python_version(),
+        },
+        "points": points,
+    }
+    args.output.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -40,7 +40,11 @@ on very slow machines raise it before running the 256k points.
 
 from __future__ import annotations
 
+import gc
+import json
+import sys
 import time
+from pathlib import Path
 
 from repro.backends.simfs_backend import SimBackend
 from repro.bench.registry import scenario
@@ -52,6 +56,20 @@ KiB = 1024
 #: Task counts of the full grid; the first two form the CI grid.
 SCALE_TASK_COUNTS = (4096, 16384, 65536, 262144)
 CI_TASK_COUNTS = frozenset((4096, 16384))
+
+#: The headline nightly-only point: 2^20 tasks through one collective
+#: open/write/close cycle.  Kept out of :data:`SCALE_TASK_COUNTS` so the
+#: serial-scan and collectives grids keep their 4k-256k shape; the point
+#: carries the ``nightly-1m`` tag instead of ``ci-grid`` (the PR gate
+#: stays on the 4k/16k slice; the nightly full-suite run picks it up).
+NIGHTLY_TASK_COUNT = 1 << 20
+
+#: In-scenario O(1)-objects-per-rank pin for the bulk engine: the cycle
+#: must not retain more than this many live python allocator blocks per
+#: rank once the world is torn down (~15 measured — the per-rank result
+#: tuples plus amortized engine state; a return of per-rank op logs
+#: costs hundreds).  The precise figure is also a gated metric.
+MAX_BLOCKS_PER_RANK = 64.0
 
 #: Common geometry: one FS block per chunk keeps the files small while
 #: still exercising every alignment and accounting path.
@@ -74,6 +92,35 @@ def _backend() -> SimBackend:
     return SimBackend(SimFS(blocksize_override=FSBLK))
 
 
+def multifile_fingerprint(backend: SimBackend, base_path: str, nfiles: int = 1) -> str:
+    """sha256 over the exact content of every physical file of a multifile.
+
+    Hashes, per physical file in mapping order, the file size plus each
+    materialized ``(offset, bytes)`` extent run (holes contribute nothing,
+    so sparse layouts hash cheaply at any scale).  Two multifiles share a
+    fingerprint iff they are byte-identical, which is what the engine
+    byte-identity pin (``benchmarks/baselines/scale_multifile_hashes.json``)
+    compares across engine generations.
+    """
+    import hashlib
+
+    from repro.sion.mapping import physical_path
+
+    h = hashlib.sha256()
+    for filenum in range(nfiles):
+        path = physical_path(base_path, filenum)
+        size, extents = backend.fs.extents_of(path)
+        h.update(b"file %d size %d\n" % (filenum, size))
+        handle = backend.open(path, "rb")
+        try:
+            for offset, length in extents:
+                h.update(b"@%d+%d:" % (offset, length))
+                h.update(handle.pread(offset, length))
+        finally:
+            handle.close()
+    return h.hexdigest()
+
+
 def expected_geometry(ntasks: int, chunksize: int, fsblk: int) -> tuple[int, int]:
     """Closed-form byte offsets of the scenario's single-file layout.
 
@@ -88,6 +135,99 @@ def expected_geometry(ntasks: int, chunksize: int, fsblk: int) -> tuple[int, int
     start_of_data = -(-mb1_size // fsblk) * fsblk
     aligned_chunk = max(-(-chunksize // fsblk), 1) * fsblk
     return start_of_data, start_of_data + ntasks * aligned_chunk
+
+
+_HASH_PINS: dict | None = None
+
+
+def _hash_pins() -> dict:
+    """Recorded per-``ntasks`` fingerprints of the byte-identity baseline.
+
+    Loads ``benchmarks/baselines/scale_multifile_hashes.json`` (captured
+    with the pre-wave-vectorization engine by
+    ``benchmarks/tools/record_scale_fingerprints.py``) once per process.
+    Returns ``{}`` when the repo checkout is not present (installed
+    package run outside the tree) — the pin is then simply not applied.
+    """
+    global _HASH_PINS
+    if _HASH_PINS is None:
+        path = (
+            Path(__file__).resolve().parents[3]
+            / "benchmarks"
+            / "baselines"
+            / "scale_multifile_hashes.json"
+        )
+        try:
+            _HASH_PINS = json.loads(path.read_text())["points"]
+        except (OSError, KeyError, ValueError):
+            _HASH_PINS = {}
+    return _HASH_PINS
+
+
+def _reset_peak_rss() -> None:
+    """Reset the kernel's peak-RSS watermark for this process (Linux).
+
+    Writing ``5`` to ``/proc/self/clear_refs`` zeroes ``VmHWM``, making
+    the subsequent :func:`_peak_rss_mb` a *per-scenario* peak rather than
+    a whole-process one.  Silently a no-op elsewhere — the metric then
+    reports the process high-water mark, which is still an upper bound.
+    """
+    try:
+        with open("/proc/self/clear_refs", "w") as fh:
+            fh.write("5")
+    except OSError:
+        pass
+
+
+def _peak_rss_mb() -> float:
+    """Peak resident set in MiB: ``VmHWM`` when available, else getrusage."""
+    try:
+        with open("/proc/self/status") as fh:
+            for line in fh:
+                if line.startswith("VmHWM:"):
+                    return int(line.split()[1]) / 1024.0
+    except OSError:
+        pass
+    import resource
+
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+
+
+#: Whole-world wave sequence of one nfiles=1 open/write/close cycle under
+#: the bulk engine: paropen's chunksize gather and geometry bcast, then
+#: parclose's blocktable gather and final barrier.
+_CYCLE_WAVES = ("gather", "bcast", "gather", "barrier")
+
+
+def _phase_metrics(stats: dict, ntasks: int, t0_mono: float) -> dict[str, Metric]:
+    """Per-phase wall breakdown from the engine's wave completion log.
+
+    The bulk engine timestamps every collective wave (creation and last
+    consumption, ``time.monotonic``).  For the standard cycle the four
+    whole-world waves bracket the phases: the open phase ends when the
+    geometry bcast drains, the write phase (task-local fwrites replayed
+    between open and close) ends when the blocktable gather drains, and
+    the close phase runs to the final barrier.  ``collective_wait_s``
+    sums every wave's open-to-drain span — the aggregate time some rank
+    spent parked — and is informational (spans overlap wall time).
+    """
+    waves = [w for w in stats.get("waves", ()) if w[0] == ntasks]
+    out: dict[str, Metric] = {}
+    if not waves or stats.get("waves_dropped"):
+        return out
+    out["collective_wait_s"] = Metric(
+        sum(t_done - t_open for _, _, t_open, t_done in waves), "s", "info"
+    )
+    waves.sort(key=lambda w: w[3])
+    if tuple(w[1] for w in waves) != _CYCLE_WAVES:
+        return out
+    open_s = waves[1][3] - t0_mono
+    write_s = waves[2][3] - waves[1][3]
+    close_s = waves[3][3] - waves[2][3]
+    out["phase_open_s"] = Metric(open_s, "s", "lower")
+    out["phase_write_s"] = Metric(write_s, "s", "lower")
+    out["phase_close_s"] = Metric(close_s, "s", "lower")
+    return out
 
 
 # --------------------------------------------------------------------------
@@ -116,9 +256,23 @@ def _paropen_parclose(ctx) -> ScenarioOutput:
         f.parclose()
         return (f.layout.start_of_data, f.mb1.metablock2_offset)
 
+    stats: dict = {}
+    gc.collect()
+    blocks_before = sys.getallocatedblocks()
+    _reset_peak_rss()
+    t0_mono = time.monotonic()
     t0 = time.perf_counter()
-    out = run_spmd(ntasks, program, engine=p["engine"])
+    out = run_spmd(ntasks, program, engine=p["engine"], engine_stats=stats)
     wall = time.perf_counter() - t0
+    gc.collect()
+    blocks_per_rank = (sys.getallocatedblocks() - blocks_before) / ntasks
+    peak_rss_mb = _peak_rss_mb()
+    if blocks_per_rank > MAX_BLOCKS_PER_RANK:
+        raise AssertionError(
+            f"bulk cycle retains {blocks_per_rank:.1f} python blocks per rank "
+            f"(> {MAX_BLOCKS_PER_RANK:.0f}); engine state is no longer O(1) "
+            "objects per rank"
+        )
     start_of_data, mb2_offset = out[0]
     if (start_of_data, mb2_offset) != expected_geometry(
         ntasks, p["chunksize"], p["fsblksize"]
@@ -138,19 +292,48 @@ def _paropen_parclose(ctx) -> ScenarioOutput:
                     f"rank {rank} round-tripped {len(got)} unexpected bytes"
                 )
 
+    # Byte-identity pin: the multifile's content fingerprint must match
+    # the recorded pre-wave-vectorization capture exactly at every grid
+    # point the baseline knows — an engine rewrite may move wall clock,
+    # never bytes.  (Extent-run hashing keeps this cheap even at 2^20
+    # tasks; unrecorded points still report their hash for future pins.)
+    digest = multifile_fingerprint(backend, "/scale.sion", nfiles=p["nfiles"])
+    pin = _hash_pins().get(str(ntasks))
+    if pin is not None and digest != pin["sha256"]:
+        raise AssertionError(
+            f"multifile bytes drifted at ntasks={ntasks}: sha256 {digest} != "
+            f"recorded {pin['sha256']} "
+            "(benchmarks/baselines/scale_multifile_hashes.json)"
+        )
+
     metrics = {
         "open_close_wall_s": Metric(wall, "s", "lower"),
         "tasks_per_s": Metric(ntasks / wall, "tasks/s", "info"),
         "start_of_data_bytes": Metric(float(start_of_data), "bytes", "lower"),
         "mb2_offset_bytes": Metric(float(mb2_offset), "bytes", "lower"),
+        "peak_rss_mb": Metric(peak_rss_mb, "MiB", "lower"),
+        "py_blocks_per_rank": Metric(blocks_per_rank, "blocks", "lower"),
     }
+    metrics.update(_phase_metrics(stats, ntasks, t0_mono))
+    phases = ""
+    if "phase_open_s" in metrics:
+        phases = (
+            f"; phases open {metrics['phase_open_s'].value:.2f} / write "
+            f"{metrics['phase_write_s'].value:.2f} / close "
+            f"{metrics['phase_close_s'].value:.2f} s"
+        )
     text = (
         f"{ntasks} tasks open/write({p['payload_bytes']} B)/close via "
         f"engine={p['engine']}: {wall:.2f} s ({ntasks / wall:,.0f} tasks/s); "
         f"metablock 1 spans {start_of_data // KiB} KiB, metablock 2 at "
-        f"{mb2_offset / (1 << 20):.1f} MiB"
+        f"{mb2_offset / (1 << 20):.1f} MiB{phases}; peak RSS "
+        f"{peak_rss_mb:,.0f} MiB, {blocks_per_rank:.1f} live blocks/rank; "
+        f"sha256 {digest[:16]}... "
+        f"({'pinned' if pin is not None else 'no recorded pin'})"
     )
-    return ScenarioOutput(metrics=metrics, text=text, raw={"wall": wall})
+    return ScenarioOutput(
+        metrics=metrics, text=text, raw={"wall": wall, "sha256": digest}
+    )
 
 
 # --------------------------------------------------------------------------
@@ -246,6 +429,123 @@ def _collectives(ctx) -> ScenarioOutput:
         lines.append(f"{op:<9} {best * 1e3:8.1f} ms")
     text = f"{ntasks}-rank whole-world rounds (engine={engine}):\n" + "\n".join(lines)
     return ScenarioOutput(metrics=metrics, text=text)
+
+
+# --------------------------------------------------------------------------
+# Contention-model sweep over the 1M-task layout: what would the cycle's
+# on-disk geometry cost on the paper's real file systems?  Pure model
+# evaluation (LockContentionModel / StripingPolicy) over the exact
+# ChunkLayout arithmetic the suite writes with — no SPMD run — so the
+# scenario is fast enough to ride every grid and the assertions are
+# deterministic.
+
+
+def _contention_sweep(ctx) -> ScenarioOutput:
+    from repro.bench.scenarios import ALIGNMENT_SWEEP_BLKSIZES
+    from repro.fs.locks import alignment_speedup, blocks_shared_by_layout, mean_sharers
+    from repro.fs.striping import aggregate_stripe_bandwidth, expected_coverage
+    from repro.fs.systems import jaguar, jugene
+    from repro.sion.layout import ChunkLayout
+
+    p = ctx.params
+    ntasks = p["ntasks"]
+    window = p["layout_window"]
+    gpfs = jugene()
+    model = gpfs.lock_model
+    true_blk = gpfs.fs_block_size
+
+    metrics: dict[str, Metric] = {}
+    lines = [
+        f"{ntasks} one-chunk tasks on {gpfs.name} (GPFS {true_blk // KiB} KiB "
+        "blocks), SION alignment swept downward:",
+        "align KiB  sharers/blk  write speedup  read speedup",
+    ]
+    speedups_w: list[float] = []
+    speedups_r: list[float] = []
+    for align in ALIGNMENT_SWEEP_BLKSIZES:
+        # The actual layout the suite would write at this alignment: one
+        # aligned chunk per task.  Geometry is uniform, so the sharing
+        # pattern is periodic — an exact count over a window of the full
+        # layout must match the analytic sharers everywhere.
+        lay = ChunkLayout(align, [align] * ntasks, 0)
+        starts = [lay.start_of_data + off for off in lay.chunk_prefix[:window]]
+        ends = [s + size for s, size in zip(starts, lay.aligned_sizes[:window])]
+        k_exact = mean_sharers(blocks_shared_by_layout(starts, ends, true_blk))
+        k_model = model.sharers_per_block(align, true_blk)
+        if abs(k_exact - k_model) > 1e-9 * k_model:
+            raise AssertionError(
+                f"analytic sharers {k_model} != layout count {k_exact} "
+                f"at align={align}"
+            )
+        w = alignment_speedup(model, true_blk, align, true_blk, "write")
+        r = alignment_speedup(model, true_blk, align, true_blk, "read")
+        speedups_w.append(w)
+        speedups_r.append(r)
+        lines.append(
+            f"{align // KiB:>9}  {k_model:>11.1f}  {w:>13.2f}  {r:>12.2f}"
+        )
+        metrics[f"write_speedup_{align // KiB}k"] = Metric(w, "x", "info")
+
+    # Pin the ordering of the ablation sweep (smaller alignment -> more
+    # sharers -> larger aligned-vs-unaligned speedup, strictly so below
+    # the true block size) and the paper's Table 1 factors at 16 KiB.
+    for (a_blk, a), (b_blk, b) in zip(
+        zip(ALIGNMENT_SWEEP_BLKSIZES, speedups_w),
+        zip(ALIGNMENT_SWEEP_BLKSIZES[1:], speedups_w[1:]),
+    ):
+        if not (b > a or (b == a and a_blk % true_blk == 0 and b_blk % true_blk == 0)):
+            raise AssertionError(
+                f"alignment-speedup ordering broken: {a_blk}B -> {a:.3f}x but "
+                f"{b_blk}B -> {b:.3f}x"
+            )
+    i16 = ALIGNMENT_SWEEP_BLKSIZES.index(16 * KiB)
+    if abs(speedups_w[i16] - 2.53) > 0.02 or abs(speedups_r[i16] - 1.78) > 0.02:
+        raise AssertionError(
+            f"16 KiB factors drifted from Table 1: write {speedups_w[i16]:.3f}x "
+            f"(paper 2.53x), read {speedups_r[i16]:.3f}x (paper 1.78x)"
+        )
+    metrics["write_factor_16k"] = Metric(speedups_w[i16], "x", "info")
+    metrics["read_factor_16k"] = Metric(speedups_r[i16], "x", "info")
+
+    # nfiles axis on the striped system: splitting the 1M-task multifile
+    # across more physical files covers more OSTs; the optimized policy
+    # must dominate the default at every split (paper Fig. 4b).
+    lustre = jaguar()
+    lines.append("")
+    lines.append(
+        f"{lustre.name} (Lustre, {lustre.n_targets} OSTs): aggregate MB/s "
+        "by physical-file count"
+    )
+    lines.append("nfiles  coverage  default BW  optimized BW")
+    prev_cov = 0.0
+    for nf in p["nfiles_grid"]:
+        cov = expected_coverage(
+            nf, lustre.default_striping.stripe_count, lustre.n_targets
+        )
+        bw_d = aggregate_stripe_bandwidth(
+            nf,
+            lustre.default_striping,
+            lustre.n_targets,
+            lustre.target_write_bw,
+            lustre.peak_write_bw,
+        )
+        bw_o = aggregate_stripe_bandwidth(
+            nf,
+            lustre.optimized_striping,
+            lustre.n_targets,
+            lustre.target_write_bw,
+            lustre.peak_write_bw,
+        )
+        if cov < prev_cov - 1e-9:
+            raise AssertionError(f"OST coverage shrank at nfiles={nf}")
+        if bw_o < bw_d - 1e-9:
+            raise AssertionError(
+                f"optimized striping below default at nfiles={nf}: "
+                f"{bw_o:.0f} < {bw_d:.0f} MB/s"
+            )
+        prev_cov = cov
+        lines.append(f"{nf:>6}  {cov:>8.1f}  {bw_d:>8.0f}    {bw_o:>9.0f}")
+    return ScenarioOutput(metrics=metrics, text="\n".join(lines))
 
 
 # --------------------------------------------------------------------------
@@ -385,6 +685,36 @@ for _n in SCALE_TASK_COUNTS:
         tags=_tags("collectives", _n),
         params={"ntasks": _n, "rounds": 1, "engine": "bulk"},
     )(_collectives)
+
+# The nightly-only 2^20-task headline point and the contention-model
+# sweep over its layout.  ``nightly-1m`` (not ``ci-grid``): the PR gate
+# keeps its tight 4k/16k loop; the nightly full-suite run — and anyone
+# running ``--suite scale`` without a tag filter — gets the 1M cycle.
+scenario(
+    f"scale/paropen-parclose[ntasks={NIGHTLY_TASK_COUNT}]",
+    suite="scale",
+    tags=("scale", "control-plane", "paropen-parclose", "nightly-1m"),
+    params={
+        "ntasks": NIGHTLY_TASK_COUNT,
+        "chunksize": CHUNKSIZE,
+        "fsblksize": FSBLK,
+        "nfiles": 1,
+        "payload_bytes": PAYLOAD,
+        "engine": "bulk",
+    },
+)(_paropen_parclose)
+scenario(
+    f"scale/contention-sweep[ntasks={NIGHTLY_TASK_COUNT}]",
+    suite="scale",
+    # Model math only (no SPMD world), so it is cheap enough for the CI
+    # grid as well — the Table 1 pins then guard every PR.
+    tags=("scale", "model", "contention-sweep", "nightly-1m", "ci-grid"),
+    params={
+        "ntasks": NIGHTLY_TASK_COUNT,
+        "layout_window": 4096,
+        "nfiles_grid": (1, 2, 4, 16, 64, 512),
+    },
+)(_contention_sweep)
 
 for _w in TASKBW_WORKERS:
     scenario(

@@ -510,6 +510,22 @@ class SimFS:
             inode.data.version,
         )
 
+    def extents_of(self, path: str) -> tuple[int, list[tuple[int, int]]]:
+        """``(size, materialized extents)`` of a file, without accounting.
+
+        The extents are ascending, disjoint ``(offset, length)`` runs; holes
+        between them read as zeros.  Together with the bytes under each run
+        this determines the file content exactly, which is what content
+        fingerprints (e.g. the scale suite's multifile hash pin) are built
+        from — a free-of-charge introspection, so no op accounting happens.
+        """
+        inode = self._lookup(path)
+        if inode.kind != "file":
+            raise InvalidOperationError(f"{path}: is a directory")
+        assert inode.data is not None
+        with self._lock:
+            return inode.data.size, inode.data.extents()
+
     def unlink(self, path: str) -> None:
         """Remove a file."""
         parts = self._split(path)

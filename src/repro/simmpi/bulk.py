@@ -1,24 +1,42 @@
-"""Bulk SPMD engine: hundreds of thousands of ranks without the threads.
+"""Bulk SPMD engine: a million ranks without the threads — or the logs.
 
 The default :func:`~repro.simmpi.runner.run_spmd` engine gives every rank
 its own OS thread, which is faithful but tops out around a few thousand
-ranks — each collective crosses three full-world barriers and the kernel
-has to schedule one thread per rank.  This module executes the same
-``fn(comm, ...)`` programs *cooperatively*: a bounded worker pool (default
-``min(32, ncpu * 4)``) drains a run queue of logical ranks, and whole-world
-collectives deposit into a **preallocated world buffer** (one slot array
-per in-flight collective) instead of the thread engine's per-rank
-mailbox-and-barrier dance.
+ranks.  This module executes the same ``fn(comm, ...)`` programs
+*cooperatively* on a bounded worker pool, and — since the wave-vectorized
+rewrite — keeps the whole control plane in **flat per-wave arrays** so
+each rank costs O(1) python objects of engine state:
+
+* **Shared op log.**  Rank op sequences are interned opcode ids appended
+  to :class:`_Program` rows *shared* by every rank that runs the same
+  sequence (the SPMD common case: one row for the whole world, plus one
+  for the root's extra ``exec_once`` steps).  A rank's log is just two
+  integers in flat arrays — its program row and its op count — not a
+  per-rank list of tuples.
+* **Value columns.**  Logged op *results* live in per-position
+  :class:`_Col` columns that start as a single shared value (barrier
+  ``None``, the bcast/allgather/allreduce shared object) and spill to an
+  exceptions dict, then a dense object ndarray, only when ranks actually
+  disagree (per-rank ``exec_once`` results such as file handles).
+* **Preallocated wave buffers.**  Each in-flight collective is one
+  :class:`_Wave`: an object ndarray of deposit slots, a bool deposit
+  bitmap, and a preallocated int32 waiter array.  Waking the world when a
+  wave completes is a handful of vectorized index operations over flag
+  arrays, not a python loop over a waiter set.
+* **Uniform-program fast path.**  When the first wave of a world
+  completes with every member on the same program row, replay
+  verification switches from per-op opcode compares to a running
+  sequence fingerprint checked once when the rank reaches its frontier.
 
 Plain Python functions cannot be suspended mid-call without a dedicated
 stack, so cooperative scheduling is built on **memoized replay**:
 
 * a rank body runs until it hits a communication op whose result is not
   yet available (e.g. a barrier some ranks have not reached);
-* the op's deposit is recorded in the world buffer, the rank is parked,
+* the op's deposit is recorded in the wave buffer, the rank is parked,
   and its worker moves on to another rank;
 * when the op completes, parked ranks re-run **from the top** — every
-  communication op they already completed returns its logged result
+  communication op they already completed returns its column value
   instantly and with no side effects, so the body deterministically
   reaches the frontier and continues.
 
@@ -28,8 +46,9 @@ parks on (roughly the program's collective depth), not by world size.
 **Program contract** (checked where cheap, documented here in full):
 
 1. Rank bodies must be *deterministic* given their communication results.
-   The engine verifies on replay that the op sequence matches and raises
-   ``SimMPIError`` otherwise.
+   The engine verifies on replay that the op sequence matches — per op on
+   the general path, by sequence fingerprint on the uniform fast path —
+   and raises ``SimMPIError`` otherwise.
 2. Non-communication side effects between ops may be re-executed and must
    be idempotent (positioned writes of the same bytes are; truncating
    creates and appends are not).  Guard non-idempotent effects with
@@ -57,15 +76,21 @@ Collective *readiness* is relaxed exactly as real MPI allows: a bcast
 returns at the root immediately, a gather blocks only the root, a barrier
 blocks everyone.  Programs that relied on the thread engine's accidental
 barrier-per-collective behavior should add explicit barriers.
+
+Pass ``stats={}`` to :func:`run_spmd_bulk` (or ``engine_stats={}``
+through ``run_spmd``) to receive per-wave timing and replay counters —
+the raw material of the ``scale`` suite's phase breakdown.
 """
 
 from __future__ import annotations
 
-import os
 import threading
 import time
+from array import array
 from collections import deque
 from typing import Any, Callable, Sequence
+
+import numpy as np
 
 from repro.errors import (
     CollectiveMismatchError,
@@ -95,24 +120,188 @@ class _Suspend(BaseException):
     """
 
 
-class _Coll:
-    """One in-flight collective: the preallocated world buffer plus state."""
+# --------------------------------------------------------------------------
+# Opcode interning and program fingerprints.
+
+_OP_NAMES: list[str] = []
+_OP_IDS: dict[str, int] = {}
+
+
+def _opid(name: str) -> int:
+    opid = _OP_IDS.get(name)
+    if opid is None:
+        opid = _OP_IDS[name] = len(_OP_NAMES)
+        _OP_NAMES.append(name)
+    return opid
+
+
+_OP_BARRIER = _opid("barrier")
+_OP_BCAST = _opid("bcast")
+_OP_GATHER = _opid("gather")
+_OP_ALLGATHER = _opid("allgather")
+_OP_GATHERV = _opid("gatherv")
+_OP_SCATTERV = _opid("scatterv")
+_OP_SCATTER = _opid("scatter")
+_OP_ALLTOALL = _opid("alltoall")
+_OP_REDUCE = _opid("reduce")
+_OP_ALLREDUCE = _opid("allreduce")
+_OP_SPLIT = _opid("split")
+_OP_SEND = _opid("send")
+_OP_RECV = _opid("recv")
+_OP_IPROBE = _opid("iprobe")
+_OP_TRYRECV = _opid("tryrecv")
+_OP_EXEC_ONCE = _opid("exec_once")
+
+#: FNV-1a-style running fingerprint of an op-id sequence, masked to stay
+#: a machine int.  Used by the uniform-program fast path: replays
+#: accumulate the fingerprint instead of checking each opcode, and the
+#: result is compared against the program's prefix fingerprint once, when
+#: the rank crosses from replay into fresh execution.
+_FP_SEED = 0xCBF29CE484222325
+_FP_MULT = 0x100000001B3
+_FP_MASK = (1 << 64) - 1
+
+
+def _fp_step(fp: int, opid: int) -> int:
+    return ((fp ^ opid) * _FP_MULT) & _FP_MASK
+
+
+#: Above this many distinct per-rank values a column abandons its
+#: exceptions dict for a dense object ndarray (8 bytes/rank + values).
+_COL_SPILL = 16
+
+
+class _Col:
+    """Value column of one program position: the logged results, by rank.
+
+    Starts empty, becomes *uniform* on the first deposit (a single shared
+    value — the common case for barriers, bcast/allgather shared objects
+    and ``None`` results), collects disagreeing ranks in an exceptions
+    dict, and spills to a dense object ndarray indexed by global rank
+    once per-rank values are the rule (``exec_once`` handles).
+    """
+
+    __slots__ = ("mode", "value", "exc", "dense")
+
+    def __init__(self) -> None:
+        self.mode = 0  # 0 empty, 1 uniform(+exceptions), 2 dense
+        self.value: Any = None
+        self.exc: dict[int, Any] | None = None
+        self.dense: Any = None
+
+    def put(self, grank: int, value: Any, engine_size: int) -> None:
+        """Record ``value`` for ``grank`` (caller holds the program lock)."""
+        mode = self.mode
+        if mode == 2:
+            self.dense[grank] = value
+            return
+        if mode == 0:
+            self.value = value
+            self.mode = 1
+            return
+        if value is self.value:
+            return
+        exc = self.exc
+        if exc is None:
+            exc = self.exc = {}
+        exc[grank] = value
+        if len(exc) > _COL_SPILL and engine_size > 2 * _COL_SPILL:
+            dense = np.empty(engine_size, dtype=object)
+            dense.fill(self.value)
+            for g, v in exc.items():
+                dense[g] = v
+            # Publish dense before flipping the mode: lock-free readers
+            # observe either the old uniform view or the complete dense
+            # one (the exceptions dict is kept so a stale mode-1 read
+            # stays correct).
+            self.dense = dense
+            self.mode = 2
+
+    def get(self, grank: int) -> Any:
+        """Logged value for ``grank`` (lock-free; replay hot path)."""
+        mode = self.mode
+        if mode == 1:
+            exc = self.exc
+            if exc is not None:
+                return exc.get(grank, self.value)
+            return self.value
+        return self.dense[grank]
+
+
+class _Program:
+    """One shared op sequence: interned opcode ids plus value columns.
+
+    Ranks running identical sequences share a row; a rank whose next op
+    diverges branches to a child row that shares the common-prefix
+    columns by reference.  ``fps[k]`` is the running fingerprint of
+    ``ops[:k]``; ``uniform`` is set when a whole world was observed on
+    this row at its first wave, enabling fingerprint-verified replay.
+    """
+
+    __slots__ = ("ops", "cols", "fps", "branches", "uniform")
+
+    def __init__(
+        self,
+        ops: list[int] | None = None,
+        cols: list[_Col] | None = None,
+        fps: list[int] | None = None,
+    ) -> None:
+        self.ops: list[int] = ops if ops is not None else []
+        self.cols: list[_Col] = cols if cols is not None else []
+        self.fps: list[int] = fps if fps is not None else [_FP_SEED]
+        self.branches: dict[tuple[int, int], _Program] = {}
+        self.uniform = False
+
+
+class _Exec:
+    """Transient state of one execution (one run of one rank body).
+
+    Created per :meth:`_BulkEngine._execute` call and dropped when the
+    body returns, parks, or fails — engine state that must *persist*
+    across executions lives in the engine's flat arrays instead.
+    """
+
+    __slots__ = ("prog", "cursor", "nlogged", "fast", "fp", "verified", "suspending")
+
+    def __init__(self, prog: _Program, nlogged: int) -> None:
+        self.prog = prog
+        self.cursor = 0
+        self.nlogged = nlogged
+        #: Snapshot of ``prog.uniform`` at execution start: the replay
+        #: verification mode must not change mid-run (the fingerprint is
+        #: only meaningful if accumulated from op 0).
+        self.fast = prog.uniform
+        self.fp = _FP_SEED
+        self.verified = False
+        #: True while a ``_Suspend`` is unwinding this body.  Any
+        #: communication attempted by cleanup code (``finally`` blocks,
+        #: context-manager ``__exit__`` like ``SionParallelFile.parclose``)
+        #: during the unwind must itself suspend without touching the
+        #: program or wave state — the cleanup re-runs for real on replay.
+        self.suspending = False
+
+
+class _Wave:
+    """One in-flight collective: preallocated world buffers plus state."""
 
     __slots__ = (
-        "name", "slots", "deposited", "filled", "consumed",
-        "waiters", "wake_root", "shared", "has_shared",
+        "opid", "slots", "deposited", "filled", "consumed",
+        "waiters", "nwaiters", "wake_root", "shared", "has_shared", "t0",
     )
 
-    def __init__(self, name: str, size: int) -> None:
-        self.name = name
-        self.slots: list[Any] = [None] * size
-        self.deposited = bytearray(size)
+    def __init__(self, opid: int, size: int) -> None:
+        self.opid = opid
+        self.slots = np.empty(size, dtype=object)
+        self.deposited = np.zeros(size, dtype=bool)
         self.filled = 0
         self.consumed = 0
-        self.waiters: set[int] = set()  # global ranks parked on this op
+        #: Parked global ranks, packed front-first; reset on every wake.
+        self.waiters = np.empty(size, dtype=np.int32)
+        self.nwaiters = 0
         self.wake_root: int | None = None  # deposit by this lrank readies waiters
         self.shared: Any = None  # once-computed shared result (allgather, ...)
         self.has_shared = False
+        self.t0 = time.monotonic()
 
 
 class _Mailbox:
@@ -143,19 +332,23 @@ class _Mailbox:
 
 
 class _World:
-    """Shared state of one communicator group under the bulk engine."""
+    """Shared state of one communicator group under the bulk engine.
 
-    __slots__ = ("engine", "size", "granks", "consumed_ops", "colls", "_mailboxes")
+    ``granks`` maps local rank to engine (global) rank; for the root
+    world it is a ``range``, so a million-rank world costs no per-rank
+    objects here either.  ``consumed[lr]`` counts collective ops local
+    rank ``lr`` has completed — its frontier collective is op number
+    ``consumed[lr]`` of this world.
+    """
+
+    __slots__ = ("engine", "size", "granks", "consumed", "waves", "_mailboxes")
 
     def __init__(self, engine: "_BulkEngine", granks: Sequence[int]) -> None:
         self.engine = engine
         self.size = len(granks)
-        self.granks = list(granks)
-        #: Per local rank: number of collective ops already consumed — the
-        #: frontier collective of local rank ``lr`` is op number
-        #: ``consumed_ops[lr]`` of this world.
-        self.consumed_ops = [0] * self.size
-        self.colls: dict[int, _Coll] = {}
+        self.granks = granks
+        self.consumed = array("l", bytes(8 * self.size))
+        self.waves: dict[int, _Wave] = {}
         self._mailboxes: dict[int, _Mailbox] = {}
 
     def mailbox(self, lrank: int) -> _Mailbox:
@@ -165,33 +358,6 @@ class _World:
         return box
 
 
-class _RankState:
-    """Execution state of one logical rank."""
-
-    __slots__ = ("log", "cursor", "done", "parked_on", "suspending", "running", "rewake")
-
-    def __init__(self) -> None:
-        #: Completed op results as ``(opname, value)``, in program order.
-        self.log: list[tuple[str, Any]] = []
-        self.cursor = 0
-        self.done = False
-        self.parked_on = "start"
-        #: True while a worker is executing (or unwinding) this rank's
-        #: body.  A wake that arrives in that window — the rank deposited,
-        #: released the engine lock, and its op completed before the
-        #: worker finished unwinding — must not re-queue it yet, or two
-        #: workers would execute the same rank concurrently.  It is
-        #: deferred via ``rewake`` until the worker hands the rank back.
-        self.running = False
-        self.rewake = False
-        #: True while a ``_Suspend`` is unwinding this rank's body.  Any
-        #: communication attempted by cleanup code (``finally`` blocks,
-        #: context-manager ``__exit__`` like ``SionParallelFile.parclose``)
-        #: during the unwind must itself suspend without touching the op
-        #: log or world state — the cleanup re-runs for real on replay.
-        self.suspending = False
-
-
 class BulkComm:
     """One rank's communicator handle under the bulk engine.
 
@@ -199,13 +365,13 @@ class BulkComm:
     module docstring for the few intentional semantic differences.
     """
 
-    __slots__ = ("_world", "_lrank", "_grank", "_state")
+    __slots__ = ("_world", "_engine", "_lrank", "_grank")
 
     def __init__(self, world: _World, lrank: int) -> None:
         self._world = world
+        self._engine = world.engine
         self._lrank = lrank
         self._grank = world.granks[lrank]
-        self._state = world.engine.states[self._grank]
 
     # -- introspection ----------------------------------------------------
 
@@ -224,103 +390,151 @@ class BulkComm:
 
     # -- replay machinery -------------------------------------------------
 
-    def _replay(self, name: str) -> Any:
-        """Return the logged result of the op at the cursor (fast path)."""
-        state = self._state
-        logged_name, value = state.log[state.cursor]
-        if logged_name != name:
+    def _replay(self, ex: _Exec, opid: int) -> Any:
+        """Return the column value of the op at the cursor (hot path)."""
+        prog, c = ex.prog, ex.cursor
+        if ex.fast:
+            # Uniform fast path: accumulate the sequence fingerprint;
+            # verified once against the program prefix at the frontier.
+            ex.fp = _fp_step(ex.fp, opid)
+        elif prog.ops[c] != opid:
             raise SimMPIError(
                 f"non-deterministic rank program: replay expected "
-                f"{logged_name!r} but rank {self._grank} called {name!r}; "
-                "bulk-engine programs must be deterministic"
+                f"{_OP_NAMES[prog.ops[c]]!r} but rank {self._grank} called "
+                f"{_OP_NAMES[opid]!r}; bulk-engine programs must be "
+                "deterministic"
             )
-        state.cursor += 1
+        ex.cursor = c + 1
+        return prog.cols[c].get(self._grank)
+
+    def _verify_frontier(self, ex: _Exec) -> None:
+        """Fingerprint check when a fast-path replay reaches its frontier."""
+        if ex.fast and not ex.verified:
+            if ex.fp != ex.prog.fps[ex.cursor]:
+                raise SimMPIError(
+                    f"non-deterministic rank program: rank {self._grank}'s "
+                    "replayed op sequence diverged from the logged program "
+                    "(fingerprint mismatch); bulk-engine programs must be "
+                    "deterministic"
+                )
+        ex.verified = True
+
+    def _advance(self, ex: _Exec, opid: int, value: Any) -> Any:
+        """Record a completed frontier op in the (shared) program row."""
+        engine = self._engine
+        g = self._grank
+        with engine.proglock:
+            self._verify_frontier(ex)
+            prog, k = ex.prog, ex.cursor
+            if k < len(prog.ops):
+                if prog.ops[k] == opid:
+                    prog.cols[k].put(g, value, engine.size)
+                else:
+                    # This rank diverges from the row it shared: branch to
+                    # (or create) the child row for its op, sharing the
+                    # common-prefix columns by reference.
+                    child = prog.branches.get((k, opid))
+                    if child is None:
+                        fps = prog.fps[: k + 1]
+                        fps.append(_fp_step(fps[-1], opid))
+                        child = _Program(
+                            prog.ops[:k] + [opid], prog.cols[:k] + [_Col()], fps
+                        )
+                        prog.branches[(k, opid)] = child
+                    child.cols[k].put(g, value, engine.size)
+                    engine.progs[g] = ex.prog = child
+            else:
+                col = _Col()
+                col.put(g, value, engine.size)
+                prog.ops.append(opid)
+                prog.cols.append(col)
+                prog.fps.append(_fp_step(prog.fps[-1], opid))
+            engine.nops[g] = ex.nlogged = ex.cursor = k + 1
         return value
 
-    def _op(self, name: str, frontier: Callable[[], Any]) -> Any:
+    def _op(self, opid: int, frontier: Callable[[], Any]) -> Any:
         """Replay a logged op or execute ``frontier`` exactly once."""
-        state = self._state
-        if state.suspending:
+        engine = self._engine
+        ex = engine.execs[self._grank]
+        if ex.suspending:
             raise _Suspend()
-        if state.cursor < len(state.log):
-            return self._replay(name)
-        engine = self._world.engine
+        if ex.cursor < ex.nlogged:
+            return self._replay(ex, opid)
         if engine.aborted:
             raise SimMPIError("communicator aborted (another rank failed)")
-        value = frontier()
-        state.log.append((name, value))
-        state.cursor += 1
-        return value
+        return self._advance(ex, opid, frontier())
 
     def _collective(
         self,
-        name: str,
+        opid: int,
         deposit: Any,
-        ready: Callable[[_Coll], bool],
-        result: Callable[[_Coll], Any],
+        ready: Callable[[_Wave], bool],
+        result: Callable[[_Wave], Any],
         wake_root: int | None = None,
         copy: bool = True,
     ) -> Any:
-        state = self._state
-        if state.suspending:
+        engine = self._engine
+        g = self._grank
+        ex = engine.execs[g]
+        if ex.suspending:
             raise _Suspend()
-        if state.cursor < len(state.log):
-            # Replay fast path: no lock, no deposit copy, no closures.
-            return self._replay(name)
+        if ex.cursor < ex.nlogged:
+            # Replay fast path: no lock, no deposit copy.
+            return self._replay(ex, opid)
         world, lr = self._world, self._lrank
-        engine = world.engine
         with engine.cond:
             if engine.aborted:
                 raise SimMPIError("communicator aborted (another rank failed)")
-            k = world.consumed_ops[lr]
-            coll = world.colls.get(k)
-            if coll is None:
-                coll = world.colls[k] = _Coll(name, world.size)
-                coll.wake_root = wake_root
-            if coll.name != name:
+            k = world.consumed[lr]
+            wave = world.waves.get(k)
+            if wave is None:
+                wave = world.waves[k] = _Wave(opid, world.size)
+                wave.wake_root = wake_root
+            if wave.opid != opid:
                 engine.abort()
                 raise CollectiveMismatchError(
                     "ranks disagree on collective operation: "
-                    f"{sorted((coll.name, name))}"
+                    f"{sorted((_OP_NAMES[wave.opid], _OP_NAMES[opid]))}"
                 )
-            if not coll.deposited[lr]:
-                coll.deposited[lr] = 1
-                coll.slots[lr] = _copy_payload(deposit) if copy else deposit
-                coll.filled += 1
+            if not wave.deposited[lr]:
+                wave.deposited[lr] = True
+                wave.slots[lr] = _copy_payload(deposit) if copy else deposit
+                wave.filled += 1
                 engine.last_progress = time.monotonic()
-                if coll.filled == world.size or lr == coll.wake_root:
-                    engine.wake(coll.waiters)
-            if not ready(coll):
-                coll.waiters.add(self._grank)
-                state.parked_on = f"{name} (op {k} of a {world.size}-rank world)"
-                state.suspending = True
+                if wave.filled == world.size or lr == wave.wake_root:
+                    engine.wake_wave(wave)
+            if not ready(wave):
+                nw = wave.nwaiters
+                wave.waiters[nw] = g
+                wave.nwaiters = nw + 1
+                engine.park_collective(g, opid, k, world.size)
+                ex.suspending = True
                 raise _Suspend()
-            value = result(coll)
-            world.consumed_ops[lr] += 1
-            coll.consumed += 1
-            if coll.consumed == world.size:
-                del world.colls[k]
-        state.log.append((name, value))
-        state.cursor += 1
-        return value
+            value = result(wave)
+            world.consumed[lr] = k + 1
+            wave.consumed += 1
+            if wave.consumed == world.size:
+                del world.waves[k]
+                engine.note_wave_done(world, wave)
+                if k == 0:
+                    engine.maybe_mark_uniform(world)
+        return self._advance(ex, opid, value)
 
     # -- collectives ------------------------------------------------------
 
     def barrier(self) -> None:
         """Block until every rank of the communicator has entered."""
-        self._collective(
-            "barrier", None, _ready_all, lambda coll: None
-        )
+        self._collective(_OP_BARRIER, None, _ready_all, _result_none)
 
     def bcast(self, value: Any, root: int = 0) -> Any:
         """Broadcast ``value`` from ``root`` to every rank; returns it."""
         self._check_root(root)
         deposit = value if self._lrank == root else None
         return self._collective(
-            "bcast",
+            _OP_BCAST,
             deposit,
-            lambda coll: bool(coll.deposited[root]),
-            lambda coll: coll.slots[root],
+            lambda wave: bool(wave.deposited[root]),
+            lambda wave: wave.slots[root],
             wake_root=root,
         )
 
@@ -328,16 +542,14 @@ class BulkComm:
         """Gather one value per rank at ``root`` (``None`` elsewhere)."""
         self._check_root(root)
         if self._lrank == root:
-            # The world buffer itself is handed to the root: by the time
-            # every rank has deposited, the engine never touches it again.
             return self._collective(
-                "gather", value, _ready_all, lambda coll: coll.slots
+                _OP_GATHER, value, _ready_all, _slots_list
             )
-        return self._collective("gather", value, _ready_always, _result_none)
+        return self._collective(_OP_GATHER, value, _ready_always, _result_none)
 
     def allgather(self, value: Any) -> list[Any]:
         """Gather one value per rank; every rank gets the (shared) list."""
-        return self._collective("allgather", value, _ready_all, _shared_list)
+        return self._collective(_OP_ALLGATHER, value, _ready_all, _shared_list)
 
     def gatherv(self, fragments: Sequence[Any], root: int = 0) -> list[tuple[Any, ...]] | None:
         """Gather a variable-length fragment sequence per rank at ``root``.
@@ -353,10 +565,10 @@ class BulkComm:
         deposit = tuple(_copy_payload(f) for f in fragments)
         if self._lrank == root:
             return self._collective(
-                "gatherv", deposit, _ready_all, lambda coll: coll.slots, copy=False
+                _OP_GATHERV, deposit, _ready_all, _slots_list, copy=False
             )
         return self._collective(
-            "gatherv", deposit, _ready_always, _result_none, copy=False
+            _OP_GATHERV, deposit, _ready_always, _result_none, copy=False
         )
 
     def scatterv(
@@ -370,22 +582,22 @@ class BulkComm:
         self._check_root(root)
         if self._lrank == root:
             if values is None or len(values) != self.size:
-                self._world.engine.abort()
+                self._engine.abort()
                 raise CommunicatorError(
                     "scatterv requires exactly one fragment sequence per rank "
                     "at the root"
                 )
             deposit = [tuple(_copy_payload(f) for f in seq) for seq in values]
             return self._collective(
-                "scatterv", deposit, _ready_always,
-                lambda coll: coll.slots[root][root],
+                _OP_SCATTERV, deposit, _ready_always,
+                lambda wave: wave.slots[root][root],
                 wake_root=root, copy=False,
             )
         lr = self._lrank
         return self._collective(
-            "scatterv", None,
-            lambda coll: bool(coll.deposited[root]),
-            lambda coll: coll.slots[root][lr],
+            _OP_SCATTERV, None,
+            lambda wave: bool(wave.deposited[root]),
+            lambda wave: wave.slots[root][lr],
             wake_root=root,
         )
 
@@ -394,35 +606,35 @@ class BulkComm:
         self._check_root(root)
         if self._lrank == root:
             if values is None or len(values) != self.size:
-                self._world.engine.abort()
+                self._engine.abort()
                 raise CommunicatorError(
                     "scatter requires exactly one value per rank at the root"
                 )
             deposit = [_copy_payload(v) for v in values]
             return self._collective(
-                "scatter", deposit, _ready_always,
-                lambda coll: coll.slots[root][root],
+                _OP_SCATTER, deposit, _ready_always,
+                lambda wave: wave.slots[root][root],
                 wake_root=root, copy=False,
             )
         lr = self._lrank
         return self._collective(
-            "scatter", None,
-            lambda coll: bool(coll.deposited[root]),
-            lambda coll: coll.slots[root][lr],
+            _OP_SCATTER, None,
+            lambda wave: bool(wave.deposited[root]),
+            lambda wave: wave.slots[root][lr],
             wake_root=root,
         )
 
     def alltoall(self, values: Sequence[Any]) -> list[Any]:
         """Each rank provides one value per destination; returns its column."""
         if len(values) != self.size:
-            self._world.engine.abort()
+            self._engine.abort()
             raise CommunicatorError("alltoall requires exactly one value per rank")
         lr = self._lrank
         return self._collective(
-            "alltoall",
+            _OP_ALLTOALL,
             [_copy_payload(v) for v in values],
             _ready_all,
-            lambda coll: [coll.slots[src][lr] for src in range(coll_size(coll))],
+            lambda wave: [wave.slots[src][lr] for src in range(len(wave.slots))],
             copy=False,
         )
 
@@ -436,21 +648,21 @@ class BulkComm:
         self._check_root(root)
         if self._lrank == root:
             return self._collective(
-                "reduce", value, _ready_all,
-                lambda coll: _fold(coll.slots, op),
+                _OP_REDUCE, value, _ready_all,
+                lambda wave: _fold(list(wave.slots), op),
             )
-        return self._collective("reduce", value, _ready_always, _result_none)
+        return self._collective(_OP_REDUCE, value, _ready_always, _result_none)
 
     def allreduce(self, value: Any, op: Callable[[Any, Any], Any] | None = None) -> Any:
         """Reduce one value per rank; the (shared) result on every rank."""
 
-        def shared_fold(coll: _Coll) -> Any:
-            if not coll.has_shared:
-                coll.shared = _fold(coll.slots, op)
-                coll.has_shared = True
-            return coll.shared
+        def shared_fold(wave: _Wave) -> Any:
+            if not wave.has_shared:
+                wave.shared = _fold(list(wave.slots), op)
+                wave.has_shared = True
+            return wave.shared
 
-        return self._collective("allreduce", value, _ready_all, shared_fold)
+        return self._collective(_OP_ALLREDUCE, value, _ready_all, shared_fold)
 
     # -- point to point ---------------------------------------------------
 
@@ -461,7 +673,7 @@ class BulkComm:
         if tag < 0:
             raise CommunicatorError("tags must be non-negative")
         world, lr = self._world, self._lrank
-        engine = world.engine
+        engine = self._engine
 
         def frontier() -> None:
             with engine.cond:
@@ -470,7 +682,7 @@ class BulkComm:
                 engine.wake(box.waiters)
             return None
 
-        return self._op("send", frontier)
+        return self._op(_OP_SEND, frontier)
 
     def recv(
         self, source: int = ANY_SOURCE, tag: int = ANY_TAG, return_status: bool = False
@@ -482,7 +694,7 @@ class BulkComm:
         if source != ANY_SOURCE and not 0 <= source < self.size:
             raise CommunicatorError(f"source {source} out of range")
         world, lr = self._world, self._lrank
-        engine = world.engine
+        engine = self._engine
 
         def frontier() -> Any:
             with engine.cond:
@@ -492,12 +704,12 @@ class BulkComm:
                 hit = box.match(source, tag)
                 if hit is None:
                     box.waiters.add(self._grank)
-                    self._state.parked_on = f"recv(source={source}, tag={tag})"
-                    self._state.suspending = True
+                    engine.park_recv(self._grank, source, tag)
+                    engine.execs[self._grank].suspending = True
                     raise _Suspend()
                 return hit
 
-        src, tg, payload = self._op("recv", frontier)
+        src, tg, payload = self._op(_OP_RECV, frontier)
         if return_status:
             return payload, src, tg
         return payload
@@ -530,13 +742,13 @@ class BulkComm:
         worker — use ``recv`` to wait.
         """
         world, lr = self._world, self._lrank
-        engine = world.engine
+        engine = self._engine
 
         def frontier() -> bool:
             with engine.cond:
                 return world.mailbox(lr).probe(source, tag)
 
-        return self._op("iprobe", frontier)
+        return self._op(_OP_IPROBE, frontier)
 
     # -- communicator management ------------------------------------------
 
@@ -544,17 +756,17 @@ class BulkComm:
         """Partition by ``color``; subgroup ranks ordered by ``(key, rank)``."""
         world = self._world
 
-        def split_result(coll: _Coll) -> "BulkComm | None":
-            if not coll.has_shared:
-                coll.shared = _split_worlds(world, coll.slots)
-                coll.has_shared = True
-            entry = coll.shared.get(self._lrank)
+        def split_result(wave: _Wave) -> "BulkComm | None":
+            if not wave.has_shared:
+                wave.shared = _split_worlds(world, wave.slots)
+                wave.has_shared = True
+            entry = wave.shared.get(self._lrank)
             if entry is None:
                 return COMM_NULL
             child_world, new_rank = entry
             return BulkComm(child_world, new_rank)
 
-        return self._collective("split", (color, key), _ready_all, split_result)
+        return self._collective(_OP_SPLIT, (color, key), _ready_all, split_result)
 
     def dup(self) -> "BulkComm":
         """Duplicate the communicator (fresh synchronization context)."""
@@ -578,25 +790,29 @@ class BulkComm:
         """Run ``fn`` exactly once for this rank; replays return its result.
 
         The bulk-engine escape hatch for non-idempotent side effects: on
-        replay the logged result is returned and ``fn`` is not called.
-        ``fn`` must not perform communication — a skipped replay would
-        desynchronize the op log (checked).
+        replay the column value is returned and ``fn`` is not called.
+        Whether a rank has executed its op is exactly ``nops[rank] >
+        position`` — the shared program's op count doubles as the
+        exec-once bitmap.  ``fn`` must not perform communication — a
+        skipped replay would desynchronize the op log (checked).
         """
+        engine = self._engine
 
         def frontier() -> Any:
-            before = len(self._state.log)
+            ex = engine.execs[self._grank]
+            before = ex.cursor
             value = fn()
-            if len(self._state.log) != before:
+            if ex.cursor != before:
                 raise SimMPIError(
                     "exec_once callable must not perform communication"
                 )
             return value
 
-        return self._op("exec_once", frontier)
+        return self._op(_OP_EXEC_ONCE, frontier)
 
     def abort(self) -> None:
         """Abort the whole bulk world, failing every unfinished rank."""
-        engine = self._world.engine
+        engine = self._engine
         with engine.cond:
             engine.abort()
 
@@ -607,32 +823,33 @@ class BulkComm:
             raise CommunicatorError(f"root {root} out of range for size {self.size}")
 
 
-def coll_size(coll: _Coll) -> int:
-    return len(coll.slots)
+def _ready_all(wave: _Wave) -> bool:
+    return wave.filled == len(wave.slots)
 
 
-def _ready_all(coll: _Coll) -> bool:
-    return coll.filled == len(coll.slots)
-
-
-def _ready_always(coll: _Coll) -> bool:
+def _ready_always(wave: _Wave) -> bool:
     return True
 
 
-def _result_none(coll: _Coll) -> None:
+def _result_none(wave: _Wave) -> None:
     return None
 
 
-def _shared_list(coll: _Coll) -> list[Any]:
+def _slots_list(wave: _Wave) -> list[Any]:
+    """Root's gather/gatherv result: the wave buffer as a plain list."""
+    return list(wave.slots)
+
+
+def _shared_list(wave: _Wave) -> list[Any]:
     """Shared allgather result (computed once, handed to every rank)."""
-    if not coll.has_shared:
-        coll.shared = list(coll.slots)
-        coll.has_shared = True
-    return coll.shared
+    if not wave.has_shared:
+        wave.shared = list(wave.slots)
+        wave.has_shared = True
+    return wave.shared
 
 
 def _split_worlds(
-    world: _World, slots: list[Any]
+    world: _World, slots: Sequence[Any]
 ) -> dict[int, tuple[_World, int]]:
     """Shared split plan: old local rank -> (child world, new rank)."""
     groups: dict[int, list[tuple[int, int]]] = {}
@@ -675,7 +892,7 @@ class BulkRequest:
             return True, self._value
         comm = self._comm
         world, lr = comm._world, comm._lrank
-        engine = world.engine
+        engine = comm._engine
         source = self._source if self._source is not None else ANY_SOURCE
         tag = self._tag if self._tag is not None else ANY_TAG
 
@@ -686,7 +903,7 @@ class BulkRequest:
                     return False, None
                 return True, hit[2]
 
-        done, payload = comm._op("tryrecv", frontier)
+        done, payload = comm._op(_OP_TRYRECV, frontier)
         if done:
             self._done = True
             self._value = payload
@@ -705,8 +922,23 @@ class BulkRequest:
         return value
 
 
+#: Waiter batches below this size wake with a plain loop; above it, the
+#: numpy views over the flag arrays take over (one vectorized pass).
+_WAKE_VECTOR_MIN = 64
+
+#: Per-wave timing entries kept for engine stats before dropping.
+_WAVE_LOG_CAP = 4096
+
+
 class _BulkEngine:
-    """Worklist scheduler executing logical ranks on a bounded pool."""
+    """Worklist scheduler executing logical ranks on a bounded pool.
+
+    All persistent per-rank state is packed into flat arrays (program
+    row refs, op counts, scheduler flags, parked-on descriptors); the
+    only per-rank python objects are the transient :class:`_Exec` of the
+    ranks currently on a worker and whatever the rank bodies themselves
+    allocate.
+    """
 
     def __init__(
         self,
@@ -716,6 +948,7 @@ class _BulkEngine:
         kwargs: dict,
         timeout: float | None,
         nworkers: int | None,
+        stats: dict | None = None,
     ) -> None:
         if nprocs < 1:
             raise CommunicatorError(f"communicator size must be >= 1, got {nprocs}")
@@ -724,6 +957,7 @@ class _BulkEngine:
         self.args = args
         self.kwargs = kwargs
         self.timeout = timeout
+        self.stats = stats
         #: Monotonic time of the last scheduler progress (op completion,
         #: wake, rank finishing).  The timeout is a *stall* bound — it
         #: fires only when nothing has advanced for ``timeout`` seconds,
@@ -732,10 +966,39 @@ class _BulkEngine:
         self.last_progress = time.monotonic()
         self.nworkers = max(1, nworkers if nworkers is not None else default_nworkers())
         self.cond = threading.Condition()
-        self.states = [_RankState() for _ in range(nprocs)]
+        #: Guards program rows, columns and the ``progs``/``nops`` arrays.
+        #: Leaf lock: may be taken while holding ``cond``, never the
+        #: reverse.  Replay reads are lock-free (GIL-ordered stores).
+        self.proglock = threading.Lock()
+
+        # Flat per-rank state: one shared program row at the start, zero
+        # logged ops, every rank runnable and parked on "start".
+        root = _Program()
+        self.progs: list[_Program] = [root] * nprocs
+        self.nops = array("l", bytes(8 * nprocs))
+        self.execs: list[_Exec | None] = [None] * nprocs
+
+        # Scheduler flags as byte arrays with shared numpy views: the
+        # scalar paths index the bytearrays, vectorized wake indexes the
+        # views — same memory.
+        self.done_b = bytearray(nprocs)
+        self.queued_b = bytearray(b"\x01" * nprocs)
+        self.running_b = bytearray(nprocs)
+        self.rewake_b = bytearray(nprocs)
+        self.done_v = np.frombuffer(self.done_b, dtype=np.bool_)
+        self.queued_v = np.frombuffer(self.queued_b, dtype=np.bool_)
+        self.running_v = np.frombuffer(self.running_b, dtype=np.bool_)
+        self.rewake_v = np.frombuffer(self.rewake_b, dtype=np.bool_)
+
+        # Parked-on descriptors, packed; formatted lazily by
+        # ``_parked_desc`` only when a stuck world is reported.
+        self.parked_kind = bytearray(nprocs)  # 0 start, 1 collective, 2 recv
+        self.parked_a = array("l", bytes(8 * nprocs))  # opid / source
+        self.parked_b = array("l", bytes(8 * nprocs))  # op index / tag
+        self.parked_c = array("l", bytes(8 * nprocs))  # world size / unused
+
         self.world = _World(self, range(nprocs))
         self.runnable: deque[int] = deque(range(nprocs))
-        self.queued = bytearray(b"\x01" * nprocs)
         self.results: list[Any] = [None] * nprocs
         self.failures: dict[int, BaseException] = {}
         self.ndone = 0
@@ -744,26 +1007,106 @@ class _BulkEngine:
         self.finished = False
         self.timed_out = False
 
+        # Stats counters (satellite telemetry, no hot-path cost beyond
+        # the per-wave append).
+        self.nexecs = 0
+        self.nprograms = 1
+        self.wave_log: list[tuple[int, str, float, float]] = []
+        self.wave_log_dropped = 0
+
     # -- scheduler state transitions (call with ``self.cond`` held) --------
 
     def wake(self, waiters: set[int]) -> None:
         """Move parked ranks back onto the run queue (or defer: a rank
         whose previous execution is still unwinding re-queues when its
-        worker releases it)."""
+        worker releases it).  Set-based path for mailbox waiters."""
         if not waiters:
             return
         self.last_progress = time.monotonic()
         for grank in waiters:
-            state = self.states[grank]
-            if state.done or self.queued[grank]:
+            if self.done_b[grank] or self.queued_b[grank]:
                 continue
-            if state.running:
-                state.rewake = True
+            if self.running_b[grank]:
+                self.rewake_b[grank] = 1
             else:
-                self.queued[grank] = 1
+                self.queued_b[grank] = 1
                 self.runnable.append(grank)
         waiters.clear()
         self.cond.notify_all()
+
+    def wake_wave(self, wave: _Wave) -> None:
+        """Wake a wave's parked ranks — vectorized over the flag views."""
+        nw = wave.nwaiters
+        if nw == 0:
+            return
+        wave.nwaiters = 0
+        self.last_progress = time.monotonic()
+        if nw < _WAKE_VECTOR_MIN:
+            for i in range(nw):
+                grank = int(wave.waiters[i])
+                if self.done_b[grank] or self.queued_b[grank]:
+                    continue
+                if self.running_b[grank]:
+                    self.rewake_b[grank] = 1
+                else:
+                    self.queued_b[grank] = 1
+                    self.runnable.append(grank)
+        else:
+            w = wave.waiters[:nw]
+            w = w[~(self.done_v[w] | self.queued_v[w])]
+            running = self.running_v[w]
+            self.rewake_v[w[running]] = True
+            go = w[~running]
+            self.queued_v[go] = True
+            self.runnable.extend(go.tolist())
+        self.cond.notify_all()
+
+    def park_collective(self, grank: int, opid: int, k: int, wsize: int) -> None:
+        self.parked_kind[grank] = 1
+        self.parked_a[grank] = opid
+        self.parked_b[grank] = k
+        self.parked_c[grank] = wsize
+
+    def park_recv(self, grank: int, source: int, tag: int) -> None:
+        self.parked_kind[grank] = 2
+        self.parked_a[grank] = source
+        self.parked_b[grank] = tag
+
+    def _parked_desc(self, grank: int) -> str:
+        kind = self.parked_kind[grank]
+        if kind == 1:
+            return (
+                f"{_OP_NAMES[self.parked_a[grank]]} (op {self.parked_b[grank]} "
+                f"of a {self.parked_c[grank]}-rank world)"
+            )
+        if kind == 2:
+            return f"recv(source={self.parked_a[grank]}, tag={self.parked_b[grank]})"
+        return "start"
+
+    def note_wave_done(self, world: _World, wave: _Wave) -> None:
+        if len(self.wave_log) < _WAVE_LOG_CAP:
+            self.wave_log.append(
+                (world.size, _OP_NAMES[wave.opid], wave.t0, time.monotonic())
+            )
+        else:
+            self.wave_log_dropped += 1
+
+    def maybe_mark_uniform(self, world: _World) -> None:
+        """Uniform-program detection at a world's first completed wave.
+
+        If every member rank is on the same program row once wave 0 has
+        been consumed by all of them, the row is flagged and subsequent
+        replays of it verify by sequence fingerprint instead of per-op
+        opcode compares.  Ranks that later diverge simply branch to
+        unflagged child rows — the flag never needs revoking.
+        """
+        with self.proglock:
+            progs = self.progs
+            first = progs[world.granks[0]]
+            for lr in range(1, world.size):
+                if progs[world.granks[lr]] is not first:
+                    return
+            first.uniform = True
 
     def abort(self) -> None:
         # The condition wraps an RLock, so this is safe both from worker
@@ -773,37 +1116,36 @@ class _BulkEngine:
             self.cond.notify_all()
 
     def _finish_rank(self, grank: int, result: Any) -> None:
-        state = self.states[grank]
-        state.done = True
+        self.done_b[grank] = 1
         self.results[grank] = result
         self.ndone += 1
         self.last_progress = time.monotonic()
 
     def _fail_rank(self, grank: int, exc: BaseException) -> None:
-        state = self.states[grank]
-        state.done = True
+        self.done_b[grank] = 1
         self.failures[grank] = exc
         self.ndone += 1
         self.aborted = True
 
     def _declare_stuck(self) -> None:
         """No runnable rank, no active worker, ranks unfinished: fail them."""
-        for grank, state in enumerate(self.states):
-            if state.done:
+        for grank in range(self.size):
+            if self.done_b[grank]:
                 continue
             if self.timed_out:
                 exc: BaseException = SimMPIError(
                     f"bulk engine stalled: no scheduler progress for "
                     f"{self.timeout}s while rank {grank} was parked on "
-                    f"{state.parked_on}; raise REPRO_SPMD_TIMEOUT if the "
-                    "machine is genuinely this slow"
+                    f"{self._parked_desc(grank)}; raise REPRO_SPMD_TIMEOUT "
+                    "if the machine is genuinely this slow"
                 )
             elif self.aborted:
                 exc = SimMPIError("communicator aborted (another rank failed)")
             else:
                 exc = SimMPIError(
-                    f"deadlock: rank {grank} is parked on {state.parked_on} "
-                    "and no other rank can complete it"
+                    f"deadlock: rank {grank} is parked on "
+                    f"{self._parked_desc(grank)} and no other rank can "
+                    "complete it"
                 )
             self._fail_rank(grank, exc)
         self.finished = True
@@ -812,12 +1154,12 @@ class _BulkEngine:
     # -- execution ---------------------------------------------------------
 
     def _execute(self, grank: int) -> None:
-        state = self.states[grank]
-        state.cursor = 0
-        state.suspending = False
+        ex = _Exec(self.progs[grank], self.nops[grank])
+        self.execs[grank] = ex
         comm = BulkComm(self.world, grank)
         try:
             result = self.fn(comm, *self.args, **self.kwargs)
+            self._check_completed_replay(ex, grank)
         except _Suspend:
             return
         except BaseException as exc:  # noqa: BLE001 - fanned out to caller
@@ -825,9 +1167,32 @@ class _BulkEngine:
                 self._fail_rank(grank, exc)
                 self.cond.notify_all()
             return
+        finally:
+            self.execs[grank] = None
         with self.cond:
             self._finish_rank(grank, result)
             self.cond.notify_all()
+
+    def _check_completed_replay(self, ex: _Exec, grank: int) -> None:
+        """Deferred replay verification when a body returns mid-replay.
+
+        The uniform fast path checks the sequence fingerprint at the
+        frontier; a nondeterministic body that returns *before* reaching
+        its frontier (fewer ops than logged, or a diverging sequence the
+        fingerprint accumulated) is caught here instead.
+        """
+        if ex.cursor < ex.nlogged:
+            raise SimMPIError(
+                f"non-deterministic rank program: rank {grank} returned "
+                f"after {ex.cursor} ops but its log holds {ex.nlogged}; "
+                "bulk-engine programs must be deterministic"
+            )
+        if ex.fast and not ex.verified and ex.fp != ex.prog.fps[ex.cursor]:
+            raise SimMPIError(
+                f"non-deterministic rank program: rank {grank}'s replayed "
+                "op sequence diverged from the logged program (fingerprint "
+                "mismatch); bulk-engine programs must be deterministic"
+            )
 
     def _worker(self) -> None:
         while True:
@@ -843,11 +1208,11 @@ class _BulkEngine:
                         return
                     if self.runnable and not self.aborted:
                         grank = self.runnable.popleft()
-                        self.queued[grank] = 0
-                        if self.states[grank].done:
+                        self.queued_b[grank] = 0
+                        if self.done_b[grank]:
                             grank = None
                             continue
-                        self.states[grank].running = True
+                        self.running_b[grank] = 1
                         self.active += 1
                         break
                     if self.active == 0 and not self.runnable:
@@ -872,15 +1237,34 @@ class _BulkEngine:
                     self.cond.wait(timeout=remaining)
             self._execute(grank)
             with self.cond:
-                state = self.states[grank]
-                state.running = False
+                self.nexecs += 1
+                self.running_b[grank] = 0
                 self.active -= 1
-                if state.rewake:
-                    state.rewake = False
-                    if not state.done and not self.queued[grank]:
-                        self.queued[grank] = 1
+                if self.rewake_b[grank]:
+                    self.rewake_b[grank] = 0
+                    if not self.done_b[grank] and not self.queued_b[grank]:
+                        self.queued_b[grank] = 1
                         self.runnable.append(grank)
                 self.cond.notify_all()
+
+    def _fill_stats(self) -> None:
+        stats = self.stats
+        if stats is None:
+            return
+        seen: set[int] = set()
+        uniform = 0
+        for prog in self.progs:
+            if id(prog) not in seen:
+                seen.add(id(prog))
+                if prog.uniform:
+                    uniform += 1
+        stats["engine"] = "bulk"
+        stats["ranks"] = self.size
+        stats["executions"] = self.nexecs
+        stats["programs"] = len(seen)
+        stats["uniform_programs"] = uniform
+        stats["waves"] = list(self.wave_log)
+        stats["waves_dropped"] = self.wave_log_dropped
 
     def run(self) -> list[Any]:
         nworkers = min(self.nworkers, self.size)
@@ -897,6 +1281,7 @@ class _BulkEngine:
                 t.start()
             for t in threads:
                 t.join()
+        self._fill_stats()
         if self.failures:
             from repro.simmpi.runner import spmd_failure_error
 
@@ -910,12 +1295,18 @@ def run_spmd_bulk(
     *args: Any,
     timeout: float | None = None,
     nworkers: int | None = None,
+    stats: dict | None = None,
     **kwargs: Any,
 ) -> list[Any]:
     """Run ``fn(comm, *args, **kwargs)`` on ``nprocs`` cooperative ranks.
 
     Same result contract as :func:`repro.simmpi.runner.run_spmd`; see the
     module docstring for the bulk-engine program contract.  Usually invoked
-    as ``run_spmd(..., engine="bulk")``.
+    as ``run_spmd(..., engine="bulk")``.  If ``stats`` is a dict it is
+    filled with engine telemetry on return: ``executions`` (total body
+    runs, replay multiplier included), ``programs``/``uniform_programs``
+    (shared op-log rows), and ``waves`` — up to ``_WAVE_LOG_CAP``
+    ``(world_size, opname, t_created, t_completed)`` tuples the scale
+    suite turns into its per-phase breakdown.
     """
-    return _BulkEngine(nprocs, fn, args, kwargs, timeout, nworkers).run()
+    return _BulkEngine(nprocs, fn, args, kwargs, timeout, nworkers, stats).run()

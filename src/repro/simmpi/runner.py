@@ -83,6 +83,7 @@ def run_spmd(
     timeout: Any = _TIMEOUT_UNSET,
     engine: str = "threads",
     nworkers: int | None = None,
+    engine_stats: dict | None = None,
     **kwargs: Any,
 ) -> list[Any]:
     """Run ``fn(comm, *args, **kwargs)`` on ``nprocs`` ranks and join.
@@ -104,10 +105,14 @@ def run_spmd(
         ``"threads"`` (default) runs one OS thread per rank — fully
         preemptive, supports arbitrary blocking programs, practical up to
         a few thousand ranks.  ``"bulk"`` runs ranks cooperatively on a
-        bounded worker pool with world-buffer collectives — practical to
-        hundreds of thousands of ranks, but rank bodies may be re-executed
-        when a collective unblocks (see :mod:`repro.simmpi.bulk` for the
-        contract; guard non-idempotent effects with ``Comm.exec_once``).
+        bounded worker pool with wave-vectorized collectives: op logs are
+        shared program rows of interned opcode ids, per-op results live
+        in per-position value columns, and each collective is one
+        preallocated wave buffer — O(1) python objects of engine state
+        per rank, practical to a million ranks.  Rank bodies may be
+        re-executed when a collective unblocks (see
+        :mod:`repro.simmpi.bulk` for the contract; guard non-idempotent
+        effects with ``Comm.exec_once``).
         ``"proc"`` runs one OS *process* per rank with shared-memory
         collectives — the only engine whose aggregate bandwidth scales
         past one core; payloads cross by value and backend handles must
@@ -117,6 +122,11 @@ def run_spmd(
         Bulk engine only: size of the worker pool (default
         :func:`default_bulk_nworkers`, i.e.
         ``min(32, (os.cpu_count() or 1) * 4)``).
+    engine_stats:
+        Bulk engine only: pass a dict to receive engine telemetry on
+        return (execution counts, program rows, per-wave timings — see
+        :func:`repro.simmpi.bulk.run_spmd_bulk`).  The other engines
+        leave the dict untouched.
 
     Returns
     -------
@@ -135,7 +145,8 @@ def run_spmd(
         from repro.simmpi.bulk import run_spmd_bulk
 
         return run_spmd_bulk(
-            nprocs, fn, *args, timeout=timeout, nworkers=nworkers, **kwargs
+            nprocs, fn, *args, timeout=timeout, nworkers=nworkers,
+            stats=engine_stats, **kwargs
         )
     if engine == "proc":
         from repro.simmpi.proc import run_spmd_proc

@@ -64,11 +64,28 @@ def test_builtin_scale_scenarios_registered_with_ci_grid():
             assert f"scale/{family}[ntasks={n}]" in names
     for w in (1, 2, 4):
         assert f"scale/taskbw[workers={w}]" in names
+    for nightly in (
+        "scale/paropen-parclose[ntasks=1048576]",
+        "scale/contention-sweep[ntasks=1048576]",
+    ):
+        assert nightly in names
     ci = [sc.name for sc in iter_scenarios(suite="scale", tags=("ci-grid",))]
-    grid = [n for n in ci if "ntasks=" in n]
+    grid = [n for n in ci if "ntasks=" in n and "contention" not in n]
     taskbw = [n for n in ci if "taskbw" in n]
+    # Engine-exercising ci-grid points stay at 4k/16k; the contention sweep
+    # is analytic (no SPMD run) so its 1M layout rides CI too.
     assert len(grid) == 6 and all("4096" in n or "16384" in n for n in grid)
-    assert len(taskbw) == 3 and len(ci) == 9
+    assert "scale/contention-sweep[ntasks=1048576]" in ci
+    assert len(taskbw) == 3 and len(ci) == 10
+    # The 1M engine cycle is nightly-only: tagged nightly-1m, not ci-grid.
+    assert "scale/paropen-parclose[ntasks=1048576]" not in ci
+    nightly_1m = [
+        sc.name for sc in iter_scenarios(suite="scale", tags=("nightly-1m",))
+    ]
+    assert sorted(nightly_1m) == [
+        "scale/contention-sweep[ntasks=1048576]",
+        "scale/paropen-parclose[ntasks=1048576]",
+    ]
 
 
 def test_builtin_collective_scenarios_registered_with_ci_grid():

@@ -161,6 +161,7 @@ def test_cli_list_json(capsys):
     assert {r["name"] for r in rows} == {
         "extrapolation/create[system=jugene]",
         "extrapolation/create[system=jaguar]",
+        "scale/contention-sweep[ntasks=1048576]",
     }
 
 
